@@ -1,0 +1,82 @@
+// Command ldpopt optimizes a strategy matrix for a workload offline and
+// saves it to a file, so deployments can ship a precomputed strategy to
+// clients (strategy optimization is a one-time cost; Section 6.6).
+//
+// Usage:
+//
+//	ldpopt -workload Prefix -n 256 -eps 1.0 -o prefix256.strategy
+//	ldpopt -workload AllRange -n 64 -eps 0.5 -iters 1000 -o range.strategy
+//
+// The resulting file is loaded with ldp.LoadStrategy (see cmd/ldprun for a
+// consumer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ldp "repro"
+)
+
+func main() {
+	wname := flag.String("workload", "Prefix", "workload family (Histogram, Prefix, AllRange, AllMarginals, 3-WayMarginals, Parity)")
+	n := flag.Int("n", 64, "domain size")
+	eps := flag.Float64("eps", 1.0, "privacy budget ε")
+	iters := flag.Int("iters", 500, "optimizer iterations")
+	seed := flag.Int64("seed", 0, "random seed")
+	outPath := flag.String("o", "", "output file (default <workload><n>.strategy)")
+	alpha := flag.Float64("alpha", 0.01, "report sample complexity at this normalized variance")
+	flag.Parse()
+
+	w, err := ldp.WorkloadByName(*wname, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("optimizing %s workload, n=%d, ε=%g ...\n", w.Name(), *n, *eps)
+	start := time.Now()
+	mech, err := ldp.Optimize(w, *eps, &ldp.OptimizeOptions{Iters: *iters, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	sc, err := ldp.SampleComplexity(mech, w, *alpha)
+	if err != nil {
+		fatal(err)
+	}
+	lb, err := ldp.LowerBoundObjective(w, *eps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in %s (%d iterations)\n", elapsed.Round(time.Millisecond), mech.Iterations)
+	fmt.Printf("objective L(Q) = %.6g (SVD lower bound %.6g, ratio %.2f)\n",
+		mech.Objective, lb, mech.Objective/lb)
+	fmt.Printf("sample complexity at α=%g: %.4g users\n", *alpha, sc)
+
+	// Baseline comparison.
+	rr := ldp.RandomizedResponse(*n, *eps)
+	if rrSC, err := ldp.SampleComplexity(rr, w, *alpha); err == nil {
+		fmt.Printf("randomized response needs %.4g users (%.2fx more)\n", rrSC, rrSC/sc)
+	}
+
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("%s%d.strategy", w.Name(), *n)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := ldp.SaveStrategy(f, mech.Strategy()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("strategy (%dx%d) written to %s\n", mech.Strategy().Outputs(), mech.Strategy().Domain(), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ldpopt: %v\n", err)
+	os.Exit(1)
+}

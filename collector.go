@@ -1,0 +1,63 @@
+package ldp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Collector is a goroutine-safe aggregation front-end for Server, for
+// deployments where many handler goroutines ingest client responses
+// concurrently. Aggregation is a single histogram increment, so a mutex (not
+// a channel pipeline) is the right tool; reconstruction methods take the same
+// lock and see a consistent snapshot.
+type Collector struct {
+	mu     sync.Mutex
+	server *Server
+}
+
+// NewCollector wraps a Server for concurrent use. The Server must not be
+// used directly afterwards.
+func NewCollector(server *Server) *Collector {
+	return &Collector{server: server}
+}
+
+// Add records one client response; safe for concurrent use.
+func (c *Collector) Add(response int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server.Add(response)
+}
+
+// AddBatch records a batch of responses under one lock acquisition.
+func (c *Collector) AddBatch(responses []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, r := range responses {
+		if err := c.server.Add(r); err != nil {
+			return fmt.Errorf("ldp: batch element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of responses collected so far.
+func (c *Collector) Count() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server.Count()
+}
+
+// Answers returns unbiased workload estimates from the current snapshot.
+func (c *Collector) Answers() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server.Answers()
+}
+
+// ConsistentAnswers returns WNNLS-post-processed estimates from the current
+// snapshot.
+func (c *Collector) ConsistentAnswers() ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server.ConsistentAnswers()
+}

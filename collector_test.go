@@ -1,0 +1,155 @@
+package ldp_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	ldp "repro"
+)
+
+func TestCollectorConcurrentAdds(t *testing.T) {
+	n := 8
+	w := ldp.Histogram(n)
+	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 40, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ldp.NewServer(mech.Strategy(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := ldp.NewCollector(server)
+	client, err := ldp.NewClient(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				if err := col.Add(client.Respond(rng.Intn(n), rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := col.Count(); got != goroutines*perG {
+		t.Fatalf("count = %v, want %d", got, goroutines*perG)
+	}
+	if ans := col.Answers(); len(ans) != n {
+		t.Fatal("answers shape wrong")
+	}
+	cons, err := col.ConsistentAnswers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range cons {
+		if v < -1e-9 {
+			t.Fatalf("consistent answer %v negative", v)
+		}
+		total += v
+	}
+	if math.Abs(total-goroutines*perG) > 1e-6 {
+		t.Fatalf("consistent total %v, want %d", total, goroutines*perG)
+	}
+}
+
+func TestCollectorAddBatch(t *testing.T) {
+	n := 4
+	w := ldp.Histogram(n)
+	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 30, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ldp.NewServer(mech.Strategy(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := ldp.NewCollector(server)
+	if err := col.AddBatch([]int{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 4 {
+		t.Fatalf("count = %v", col.Count())
+	}
+	if err := col.AddBatch([]int{0, 99999}); err == nil {
+		t.Fatal("expected error for out-of-range response in batch")
+	}
+}
+
+func TestProductWorkloadFacade(t *testing.T) {
+	p := ldp.Product(ldp.AllRange(4), ldp.AllRange(4))
+	if p.Domain() != 16 || p.Queries() != 100 {
+		t.Fatalf("2-D range workload shape: n=%d p=%d", p.Domain(), p.Queries())
+	}
+	mech, err := ldp.Optimize(p, 1.0, &ldp.OptimizeOptions{Iters: 60, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mech.Strategy().Validate(1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeForPriorFacade(t *testing.T) {
+	n := 8
+	w := ldp.Histogram(n)
+	prior := make([]float64, n)
+	prior[0], prior[1] = 0.7, 0.3
+	mech, err := ldp.OptimizeForPrior(w, 1.0, prior, &ldp.OptimizeOptions{Iters: 150, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.Name() != "Optimized (prior)" {
+		t.Fatalf("name = %q", mech.Name())
+	}
+	vp, err := ldp.Evaluate(mech, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concentrated types must enjoy lower variance than the ignored tail.
+	if vp.PerUser[0] >= vp.PerUser[n-1] {
+		t.Fatalf("prior-favored type variance %v not below tail %v", vp.PerUser[0], vp.PerUser[n-1])
+	}
+}
+
+func TestOptimizeBestFacade(t *testing.T) {
+	w := ldp.Prefix(8)
+	mech, err := ldp.OptimizeBest(w, 1.0, &ldp.OptimizeOptions{Iters: 80, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSC, err := ldp.SampleComplexity(mech, w, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must beat (or match) every factorization competitor even at this tiny
+	// iteration budget — that is OptimizeBest's contract.
+	ms, err := ldp.Competitors(w, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Name() == "Matrix Mechanism (L1)" || m.Name() == "Matrix Mechanism (L2)" {
+			continue // additive mechanisms are not warm-start candidates
+		}
+		sc, err := ldp.SampleComplexity(m, w, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optSC > sc*1.05 {
+			t.Fatalf("OptimizeBest (%v) worse than %s (%v)", optSC, m.Name(), sc)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mechanism"
+	"repro/internal/workload"
+)
+
+// The prior-weighted gradient must match finite differences, exactly like the
+// uniform one.
+func TestPriorGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 4, 9
+	gram := workload.NewPrefix(n).Gram()
+	prior := []float64{2.1, 0.4, 1.0, 0.5} // already positive and scaled
+	q := randPositive(rng, m, n)
+	obj, grad, err := ObjectiveGradPrior(q, gram, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj <= 0 {
+		t.Fatalf("objective = %v", obj)
+	}
+	const h = 1e-6
+	for trial := 0; trial < 25; trial++ {
+		o := rng.Intn(m)
+		u := rng.Intn(n)
+		qp := q.Clone()
+		qp.Set(o, u, qp.At(o, u)+h)
+		objP, _, err := ObjectiveGradPrior(qp, gram, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm := q.Clone()
+		qm.Set(o, u, qm.At(o, u)-h)
+		objM, _, err := ObjectiveGradPrior(qm, gram, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := (objP - objM) / (2 * h)
+		if math.Abs(fd-grad.At(o, u)) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("prior grad (%d,%d): analytic %v vs fd %v", o, u, grad.At(o, u), fd)
+		}
+	}
+}
+
+// The uniform prior must reproduce the unweighted objective exactly.
+func TestUniformPriorMatchesUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, m := 5, 12
+	gram := workload.NewAllRange(n).Gram()
+	q := randPositive(rng, m, n)
+	obj1, g1, err := ObjectiveGrad(q, gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, g2, err := ObjectiveGradPrior(q, gram, linalg.Ones(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj1-obj2) > 1e-9*(1+obj1) {
+		t.Fatalf("objectives differ: %v vs %v", obj1, obj2)
+	}
+	if !linalg.ApproxEqual(g1, g2, 1e-9*(1+g1.MaxAbs())) {
+		t.Fatal("gradients differ under the uniform prior")
+	}
+}
+
+// Optimizing for a concentrated prior must reduce the prior-weighted variance
+// relative to the uniform-optimized strategy.
+func TestPriorOptimizationHelpsOnMatchedData(t *testing.T) {
+	n := 16
+	eps := 1.0
+	w := workload.NewHistogram(n)
+	// Prior: nearly all users are of the first four types.
+	prior := make([]float64, n)
+	for u := 0; u < 4; u++ {
+		prior[u] = 0.25
+	}
+	uniform, err := Optimize(w, eps, Options{Iters: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Optimize(w, eps, Options{Iters: 400, Seed: 13, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Strategy.Validate(1e-7); err != nil {
+		t.Fatalf("prior-optimized strategy violates LDP: %v", err)
+	}
+
+	// Evaluate both with their own deployment reconstructions on data drawn
+	// from the prior.
+	x := make([]float64, n)
+	for u := 0; u < 4; u++ {
+		x[u] = 250
+	}
+	mu, err := mechanism.NewFactorizationWithPrior("uniform", uniform.Strategy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := mechanism.NewFactorizationWithPrior("weighted", weighted.Strategy, weighted.PriorWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vu, err := mu.Profile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := mw.Profile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vw.OnData(x) >= vu.OnData(x) {
+		t.Fatalf("prior-optimized variance %v not below uniform-optimized %v on matched data",
+			vw.OnData(x), vu.OnData(x))
+	}
+}
+
+func TestPriorValidation(t *testing.T) {
+	w := workload.NewHistogram(4)
+	cases := [][]float64{
+		{1, 2, 3},     // wrong length
+		{0, 0, 0, 0},  // no mass
+		{1, -1, 1, 1}, // negative
+		{1, math.NaN(), 1, 1},
+	}
+	for i, p := range cases {
+		if _, err := Optimize(w, 1, Options{Iters: 5, StepSize: 1e-3, Prior: p}); err == nil {
+			t.Fatalf("case %d: expected error for invalid prior %v", i, p)
+		}
+	}
+	// A sparse-but-valid prior is smoothed, not rejected.
+	if _, err := Optimize(w, 1, Options{Iters: 10, StepSize: 1e-3, Prior: []float64{1, 0, 0, 0}}); err != nil {
+		t.Fatalf("sparse prior should be smoothed and accepted: %v", err)
+	}
+}
+
+func TestNormalizePrior(t *testing.T) {
+	out, err := normalizePrior([]float64{3, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sums to n with smoothing.
+	if math.Abs(out[0]+out[1]-2) > 1e-12 {
+		t.Fatalf("normalized prior sums to %v, want 2", out[0]+out[1])
+	}
+	if out[0] <= out[1] {
+		t.Fatal("ordering lost in normalization")
+	}
+	// Zero entries become small but positive.
+	out2, err := normalizePrior([]float64{1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[1] <= 0 {
+		t.Fatalf("smoothing failed: %v", out2)
+	}
+	if nilOut, err := normalizePrior(nil, 5); err != nil || nilOut != nil {
+		t.Fatal("nil prior must pass through")
+	}
+}

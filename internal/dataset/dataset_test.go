@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestGeneratorsBasicInvariants(t *testing.T) {
+	const n, total = 128, 5000
+	for _, name := range append(append([]string{}, Names...), "UNIFORM") {
+		x, err := ByName(name, n, total, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(x) != n {
+			t.Fatalf("%s: length %d, want %d", name, len(x), n)
+		}
+		if got := linalg.Sum(x); got != total {
+			t.Fatalf("%s: total %v, want %d", name, got, total)
+		}
+		for i, v := range x {
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("%s: x[%d] = %v is not a non-negative integer", name, i, v)
+			}
+		}
+	}
+	if _, err := ByName("nope", n, total, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestGeneratorsDeterministicInSeed(t *testing.T) {
+	a := HEPTHLike(64, 1000, 42)
+	b := HEPTHLike(64, 1000, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := HEPTHLike(64, 1000, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestShapesAreDistinct(t *testing.T) {
+	const n, total = 256, 100000
+	hepth := HEPTHLike(n, total, 1)
+	medcost := MEDCOSTLike(n, total, 1)
+	nettrace := NETTRACELike(n, total, 1)
+
+	// MEDCOST has a dominant spike at zero.
+	if medcost[0] < 0.15*total {
+		t.Fatalf("MEDCOST zero-spike only %v of %v", medcost[0], total)
+	}
+	// NETTRACE is sparse: its top-5 cells carry most of the mass.
+	top := topK(nettrace, 5)
+	if top < 0.8*total {
+		t.Fatalf("NETTRACE top-5 mass %v of %v — not sparse enough", top, total)
+	}
+	// HEPTH is comparatively spread out: top-5 cells well under half.
+	if topK(hepth, 5) > 0.5*total {
+		t.Fatalf("HEPTH top-5 mass %v of %v — too concentrated", topK(hepth, 5), total)
+	}
+}
+
+func topK(x []float64, k int) float64 {
+	c := linalg.CloneVec(x)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		j := linalg.ArgMax(c)
+		total += c[j]
+		c[j] = -1
+	}
+	return total
+}
+
+func TestZipf(t *testing.T) {
+	x := Zipf(50, 10000, 1.5, 3)
+	if linalg.Sum(x) != 10000 {
+		t.Fatalf("Zipf total = %v", linalg.Sum(x))
+	}
+	// Mass should be decreasing-ish: cell 0 ≫ cell 40.
+	if x[0] <= x[40] {
+		t.Fatalf("Zipf not decaying: x[0]=%v x[40]=%v", x[0], x[40])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{1, 3})
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Fatalf("Normalize = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-mass input")
+		}
+	}()
+	Normalize([]float64{0, 0})
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	x := []float64{3, 0, 7, 2}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(x) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(x))
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("round-trip[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{"a,b", "1", "1,x", "-1,5"}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+	// Comments and blanks are skipped.
+	got, err := ReadCSV(strings.NewReader("# comment\n\n0,4\n2,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("parsed %v", got)
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps unit-test runtime low; the real scales run via
+// cmd/ldpbench and the benchmark suite.
+func tinyConfig() Config {
+	return Config{Alpha: 0.01, Seed: 1, Iters: 60}
+}
+
+func TestFigureEpsilonShape(t *testing.T) {
+	sweeps, err := FigureEpsilon(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 6 {
+		t.Fatalf("got %d workload panels, want 6", len(sweeps))
+	}
+	for _, sw := range sweeps {
+		if len(sw.Series) != len(MechanismNames) {
+			t.Fatalf("%s: %d series, want %d", sw.Workload, len(sw.Series), len(MechanismNames))
+		}
+		for _, se := range sw.Series {
+			if len(se.Values) != len(sw.Points) {
+				t.Fatalf("%s/%s: %d values for %d points", sw.Workload, se.Mechanism, len(se.Values), len(sw.Points))
+			}
+		}
+		// Sample complexity must decrease with ε for the Optimized series.
+		for _, se := range sw.Series {
+			if se.Mechanism != "Optimized" {
+				continue
+			}
+			for i := 1; i < len(se.Values); i++ {
+				if se.Values[i] > se.Values[i-1]*1.05 {
+					t.Errorf("%s: Optimized sample complexity rose with ε: %v", sw.Workload, se.Values)
+				}
+			}
+		}
+	}
+	// Headline property: Optimized never loses by more than the tolerance.
+	sum := Improvements(sweeps)
+	if sum.Losses > 2 {
+		t.Fatalf("Optimized lost %d configurations (ratios %v–%v)", sum.Losses, sum.MinRatio, sum.MaxRatio)
+	}
+	if sum.MaxRatio < 1 {
+		t.Fatalf("expected Optimized to win somewhere; max ratio %v", sum.MaxRatio)
+	}
+
+	var buf bytes.Buffer
+	WriteSweeps(&buf, sweeps, "epsilon")
+	if !strings.Contains(buf.String(), "Workload=Histogram") {
+		t.Fatal("rendering missing workload header")
+	}
+}
+
+func TestFigureDomainShape(t *testing.T) {
+	cfg := tinyConfig()
+	sweeps, err := FigureDomain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 6 {
+		t.Fatalf("got %d panels", len(sweeps))
+	}
+	// Histogram: RR grows ~linearly in n while Optimized grows much slower
+	// (the paper's Section 6.3 finding). Compare growth factors over the
+	// sweep.
+	for _, sw := range sweeps {
+		if sw.Workload != "Histogram" {
+			continue
+		}
+		var rr, opt []float64
+		for _, se := range sw.Series {
+			switch se.Mechanism {
+			case "Randomized Response":
+				rr = se.Values
+			case "Optimized":
+				opt = se.Values
+			}
+		}
+		last := len(rr) - 1
+		rrGrowth := rr[last] / rr[0]
+		optGrowth := opt[last] / opt[0]
+		if optGrowth > rrGrowth*0.75 {
+			t.Errorf("Optimized growth %v not clearly below RR growth %v on Histogram", optGrowth, rrGrowth)
+		}
+	}
+}
+
+func TestFigureDatasetsCloseToWorstCase(t *testing.T) {
+	rows, err := FigureDatasets(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // three datasets + worst case
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	worst := rows[len(rows)-1]
+	if worst.Dataset != "Worst-case" {
+		t.Fatalf("last row = %q", worst.Dataset)
+	}
+	// Section 6.4: data-dependent sample complexity for Optimized deviates
+	// from worst case by ≈1% in the paper; allow 25% at reduced scale.
+	for _, r := range rows[:3] {
+		got := r.Values["Optimized"]
+		ref := worst.Values["Optimized"]
+		if math.IsInf(got, 1) || math.IsInf(ref, 1) {
+			t.Fatalf("missing Optimized values")
+		}
+		if got > ref*1.001 {
+			t.Errorf("%s: data-dependent complexity %v exceeds worst case %v", r.Dataset, got, ref)
+		}
+		if got < ref*0.5 {
+			t.Errorf("%s: data-dependent complexity %v implausibly far below worst case %v", r.Dataset, got, ref)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDatasets(&buf, rows)
+	if !strings.Contains(buf.String(), "HEPTH") {
+		t.Fatal("rendering missing dataset")
+	}
+}
+
+func TestFigureInitRatios(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iters = 40
+	pts, err := FigureInit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		if p.Min < 1-1e-9 {
+			t.Fatalf("%s m=%dn: ratio-to-best %v below 1 — impossible", p.Workload, p.MFactor, p.Min)
+		}
+		if p.Min > p.Median+1e-9 || p.Median > p.Max+1e-9 {
+			t.Fatalf("%s m=%dn: min/median/max out of order: %v %v %v", p.Workload, p.MFactor, p.Min, p.Median, p.Max)
+		}
+	}
+	var buf bytes.Buffer
+	WriteInit(&buf, pts)
+	if !strings.Contains(buf.String(), "median") {
+		t.Fatal("rendering missing header")
+	}
+}
+
+func TestFigureScalabilityGrows(t *testing.T) {
+	pts, err := FigureScalability(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatal("too few scale points")
+	}
+	// Per-iteration time must grow with n (roughly cubically; just check
+	// monotone growth between the endpoints to keep the test robust).
+	if pts[len(pts)-1].PerIteration <= pts[0].PerIteration {
+		t.Fatalf("per-iteration time did not grow: %v vs %v", pts[0].PerIteration, pts[len(pts)-1].PerIteration)
+	}
+	var buf bytes.Buffer
+	WriteScalability(&buf, pts)
+	if !strings.Contains(buf.String(), "per-iteration") {
+		t.Fatal("rendering missing header")
+	}
+}
+
+func TestFigureWNNLSImproves(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iters = 40
+	rows, err := FigureWNNLS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	improved := 0
+	for _, r := range rows {
+		if r.WNNLS <= r.Default {
+			improved++
+		}
+	}
+	// Figure 4: WNNLS improves on every workload; tolerate one Monte-Carlo
+	// anomaly at the reduced trial count.
+	if improved < len(rows)-1 {
+		t.Fatalf("WNNLS improved only %d/%d workloads", improved, len(rows))
+	}
+	var buf bytes.Buffer
+	WriteWNNLS(&buf, rows)
+	if !strings.Contains(buf.String(), "improvement") {
+		t.Fatal("rendering missing header")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	wantOutputs := map[string]int{
+		"Randomized Response": 8,
+		"Hadamard":            16,
+		"RAPPOR":              256,
+		"Subset Selection":    28,
+	}
+	for _, r := range rows {
+		if !r.LDPValid {
+			t.Errorf("%s fails LDP validation", r.Mechanism)
+		}
+		if want := wantOutputs[r.Mechanism]; r.Outputs != want {
+			t.Errorf("%s outputs = %d, want %d", r.Mechanism, r.Outputs, want)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "RAPPOR") {
+		t.Fatal("rendering missing mechanism")
+	}
+}
+
+func TestMinMedianMax(t *testing.T) {
+	mn, md, mx := minMedianMax([]float64{3, 1, 2})
+	if mn != 1 || md != 2 || mx != 3 {
+		t.Fatalf("got %v %v %v", mn, md, mx)
+	}
+}

@@ -1,0 +1,323 @@
+// Package freqoracle implements the practical LDP frequency oracles the paper
+// cites as the state of the art for the Histogram workload [41, 18]: unary
+// encoding (symmetric RAPPOR and Optimized Unary Encoding) and Optimized
+// Local Hashing. Unlike the strategy-matrix mechanisms elsewhere in this
+// repository, these scale to domains far beyond what an explicit m×n strategy
+// matrix allows (their implicit output ranges are exponential or
+// hash-parameterized), at the cost of answering only point queries directly.
+//
+// Each oracle provides the client-side randomizer and the server-side
+// unbiased frequency estimator, plus the closed-form per-count variance from
+// Wang et al., so they can be compared against the factorization mechanisms
+// on the Histogram workload at any domain size.
+package freqoracle
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Oracle is a frequency-estimation protocol: clients randomize their type,
+// the server aggregates and estimates the histogram.
+type Oracle interface {
+	// Name identifies the protocol.
+	Name() string
+	// Domain returns the number of user types.
+	Domain() int
+	// Epsilon returns the privacy budget each report satisfies.
+	Epsilon() float64
+	// NewAggregate returns an empty aggregation state.
+	NewAggregate() Aggregate
+	// Randomize produces one client report for user type u.
+	Randomize(u int, rng *rand.Rand) Report
+	// VariancePerUser returns the estimator's variance contribution of one
+	// user to one count (the n·Var[ĉ_v]/N figure of merit, asymptotically
+	// independent of the true frequencies for these oracles).
+	VariancePerUser() float64
+}
+
+// Report is an opaque client report consumed by Aggregate.Add.
+type Report interface{}
+
+// Aggregate accumulates reports and produces histogram estimates.
+type Aggregate interface {
+	// Add ingests one report.
+	Add(r Report) error
+	// Count returns the number of reports ingested.
+	Count() int
+	// Estimate returns unbiased estimates of the per-type counts.
+	Estimate() []float64
+}
+
+// ---------------------------------------------------------------------------
+// Unary encoding (RAPPOR / OUE)
+// ---------------------------------------------------------------------------
+
+// Unary is the unary-encoding family: the user one-hot encodes their type
+// into n bits and reports each bit flipped with bit-dependent probabilities.
+// p is Pr[1 stays 1], q is Pr[0 becomes 1]. Symmetric RAPPOR uses
+// p = e^{ε/2}/(1+e^{ε/2}), q = 1−p; OUE uses p = 1/2, q = 1/(1+e^ε), which
+// minimizes estimation variance at the same ε.
+type Unary struct {
+	name string
+	n    int
+	eps  float64
+	p, q float64
+}
+
+// NewRAPPOR returns symmetric RAPPOR (basic one-hot variant) for any domain
+// size — unlike baselines.RAPPOR, no strategy matrix is materialized.
+func NewRAPPOR(n int, eps float64) (*Unary, error) {
+	if n < 1 {
+		return nil, errors.New("freqoracle: domain must be positive")
+	}
+	e2 := math.Exp(eps / 2)
+	p := e2 / (1 + e2)
+	return &Unary{name: "RAPPOR", n: n, eps: eps, p: p, q: 1 - p}, nil
+}
+
+// NewOUE returns Optimized Unary Encoding (Wang et al.).
+func NewOUE(n int, eps float64) (*Unary, error) {
+	if n < 1 {
+		return nil, errors.New("freqoracle: domain must be positive")
+	}
+	return &Unary{name: "OUE", n: n, eps: eps, p: 0.5, q: 1 / (1 + math.Exp(eps))}, nil
+}
+
+func (u *Unary) Name() string { return u.name }
+
+// Domain returns n.
+func (u *Unary) Domain() int { return u.n }
+
+// Epsilon returns ε.
+func (u *Unary) Epsilon() float64 { return u.eps }
+
+// Randomize returns the perturbed bit vector as []bool.
+func (u *Unary) Randomize(v int, rng *rand.Rand) Report {
+	if v < 0 || v >= u.n {
+		panic(fmt.Sprintf("freqoracle: type %d out of domain %d", v, u.n))
+	}
+	bits := make([]bool, u.n)
+	for i := range bits {
+		if i == v {
+			bits[i] = rng.Float64() < u.p
+		} else {
+			bits[i] = rng.Float64() < u.q
+		}
+	}
+	return bits
+}
+
+// VariancePerUser returns q(1−q)/(p−q)² + [p(1−p) − q(1−q)]·f/(p−q)² with the
+// frequency term dropped (the standard approximate variance; exact for f→0).
+func (u *Unary) VariancePerUser() float64 {
+	d := u.p - u.q
+	return u.q * (1 - u.q) / (d * d)
+}
+
+// NewAggregate returns a bit-count accumulator.
+func (u *Unary) NewAggregate() Aggregate {
+	return &unaryAgg{oracle: u, ones: make([]float64, u.n)}
+}
+
+type unaryAgg struct {
+	oracle *Unary
+	ones   []float64
+	count  int
+}
+
+func (a *unaryAgg) Add(r Report) error {
+	bits, ok := r.([]bool)
+	if !ok || len(bits) != a.oracle.n {
+		return errors.New("freqoracle: malformed unary report")
+	}
+	for i, b := range bits {
+		if b {
+			a.ones[i]++
+		}
+	}
+	a.count++
+	return nil
+}
+
+func (a *unaryAgg) Count() int { return a.count }
+
+// Estimate inverts the bit-flip channel: ĉ_v = (ones_v − q·N)/(p − q).
+func (a *unaryAgg) Estimate() []float64 {
+	o := a.oracle
+	out := make([]float64, o.n)
+	d := o.p - o.q
+	for v := range out {
+		out[v] = (a.ones[v] - o.q*float64(a.count)) / d
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Optimized Local Hashing (OLH)
+// ---------------------------------------------------------------------------
+
+// OLH is Optimized Local Hashing (Wang et al.): each user hashes their type
+// into a small range g = ⌈e^ε⌉ + 1 with a per-user hash seed, then applies
+// randomized response over the hash range. Communication is O(log g) and no
+// n-sized state is ever sent.
+type OLH struct {
+	n   int
+	eps float64
+	g   int
+	p   float64 // Pr[report the true hash value]
+}
+
+// NewOLH returns the OLH oracle with the variance-optimal hash range.
+func NewOLH(n int, eps float64) (*OLH, error) {
+	if n < 1 {
+		return nil, errors.New("freqoracle: domain must be positive")
+	}
+	g := int(math.Round(math.Exp(eps))) + 1
+	if g < 2 {
+		g = 2
+	}
+	e := math.Exp(eps)
+	return &OLH{n: n, eps: eps, g: g, p: e / (e + float64(g) - 1)}, nil
+}
+
+func (o *OLH) Name() string { return "OLH" }
+
+// Domain returns n.
+func (o *OLH) Domain() int { return o.n }
+
+// Epsilon returns ε.
+func (o *OLH) Epsilon() float64 { return o.eps }
+
+// HashRange returns g.
+func (o *OLH) HashRange() int { return o.g }
+
+// olhReport is (seed, perturbed hash value).
+type olhReport struct {
+	Seed  uint64
+	Value int
+}
+
+// hashTo hashes (seed, v) into [0, g). The value bytes are fed first so they
+// mix through the seed bytes' multiplications (feeding them last makes FNV's
+// output differ by a fixed additive offset between adjacent values — a real
+// pitfall that destroys the 1/g collision property), and a splitmix64
+// finalizer avalanches the result before reduction.
+func (o *OLH) hashTo(seed uint64, v int) int {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(v) >> (8 * i))
+		buf[8+i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	x := h.Sum64()
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(o.g))
+}
+
+// Randomize hashes the user's type with a fresh seed and perturbs the hash
+// value with randomized response over [0, g).
+func (o *OLH) Randomize(v int, rng *rand.Rand) Report {
+	if v < 0 || v >= o.n {
+		panic(fmt.Sprintf("freqoracle: type %d out of domain %d", v, o.n))
+	}
+	seed := rng.Uint64()
+	true_ := o.hashTo(seed, v)
+	if rng.Float64() < o.p {
+		return olhReport{Seed: seed, Value: true_}
+	}
+	// Report one of the other g−1 values uniformly.
+	alt := rng.Intn(o.g - 1)
+	if alt >= true_ {
+		alt++
+	}
+	return olhReport{Seed: seed, Value: alt}
+}
+
+// VariancePerUser returns the Wang et al. OLH variance constant
+// e^ε·... expressed through p and g: q = [p + (1−p)/(g−1)]·(1/g) support
+// probability; the standard form is (q'(1−q'))/(p'−q')² with p' = p and
+// q' = 1/g.
+func (o *OLH) VariancePerUser() float64 {
+	pPrime := o.p
+	qPrime := 1 / float64(o.g)
+	d := pPrime - qPrime
+	return qPrime * (1 - qPrime) / (d * d)
+}
+
+// NewAggregate returns an OLH support-count accumulator. Estimation must scan
+// each report against each candidate type, so Estimate costs O(N·n) — the
+// known trade-off of OLH (cheap communication, expensive aggregation).
+func (o *OLH) NewAggregate() Aggregate {
+	return &olhAgg{oracle: o, support: make([]float64, o.n)}
+}
+
+type olhAgg struct {
+	oracle  *OLH
+	support []float64
+	count   int
+}
+
+func (a *olhAgg) Add(r Report) error {
+	rep, ok := r.(olhReport)
+	if !ok {
+		return errors.New("freqoracle: malformed OLH report")
+	}
+	if rep.Value < 0 || rep.Value >= a.oracle.g {
+		return errors.New("freqoracle: OLH report value out of range")
+	}
+	// A report supports type v when v hashes to the reported value.
+	for v := 0; v < a.oracle.n; v++ {
+		if a.oracle.hashTo(rep.Seed, v) == rep.Value {
+			a.support[v]++
+		}
+	}
+	a.count++
+	return nil
+}
+
+func (a *olhAgg) Count() int { return a.count }
+
+// Estimate inverts the support channel: a true v is supported with
+// probability p, any other with 1/g; ĉ_v = (support_v − N/g)/(p − 1/g).
+func (a *olhAgg) Estimate() []float64 {
+	o := a.oracle
+	out := make([]float64, o.n)
+	q := 1 / float64(o.g)
+	d := o.p - q
+	for v := range out {
+		out[v] = (a.support[v] - q*float64(a.count)) / d
+	}
+	return out
+}
+
+// Run executes a full protocol for integer data vector x and returns the
+// estimated counts.
+func Run(o Oracle, x []float64, seed int64) ([]float64, error) {
+	if len(x) != o.Domain() {
+		return nil, fmt.Errorf("freqoracle: data length %d, domain %d", len(x), o.Domain())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	agg := o.NewAggregate()
+	for v, cnt := range x {
+		c := int(cnt)
+		if float64(c) != cnt || c < 0 {
+			return nil, fmt.Errorf("freqoracle: count x[%d] = %g is not a non-negative integer", v, cnt)
+		}
+		for j := 0; j < c; j++ {
+			if err := agg.Add(o.Randomize(v, rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return agg.Estimate(), nil
+}

@@ -1,0 +1,219 @@
+package freqoracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func oracles(t *testing.T, n int, eps float64) []Oracle {
+	t.Helper()
+	rp, err := NewRAPPOR(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oue, err := NewOUE(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	olh, err := NewOLH(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Oracle{rp, oue, olh}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewRAPPOR(0, 1); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+	if _, err := NewOUE(0, 1); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+	if _, err := NewOLH(0, 1); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	for _, o := range oracles(t, 10, 1.5) {
+		if o.Domain() != 10 || o.Epsilon() != 1.5 || o.Name() == "" {
+			t.Fatalf("%s metadata wrong", o.Name())
+		}
+		if o.VariancePerUser() <= 0 {
+			t.Fatalf("%s variance constant not positive", o.Name())
+		}
+	}
+}
+
+func TestOLHHashRange(t *testing.T) {
+	olh, err := NewOLH(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g = round(e) + 1 = 4.
+	if olh.HashRange() != 4 {
+		t.Fatalf("g = %d, want 4", olh.HashRange())
+	}
+	// Tiny ε still yields a valid range ≥ 2.
+	olh2, err := NewOLH(100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if olh2.HashRange() < 2 {
+		t.Fatalf("g = %d", olh2.HashRange())
+	}
+}
+
+// Unbiasedness: the mean estimate over many protocol runs approaches the true
+// histogram for every oracle.
+func TestEstimatorsUnbiased(t *testing.T) {
+	n := 6
+	x := []float64{50, 0, 30, 10, 0, 10} // N = 100
+	for _, o := range oracles(t, n, 2.0) {
+		mean := make([]float64, n)
+		const runs = 60
+		for r := 0; r < runs; r++ {
+			est, err := Run(o, x, int64(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			linalg.AxpyVec(1.0/runs, est, mean)
+		}
+		for v := range x {
+			// Standard error at N=100, 60 runs: a few counts.
+			if math.Abs(mean[v]-x[v]) > 8 {
+				t.Fatalf("%s: mean estimate[%d] = %v, truth %v", o.Name(), v, mean[v], x[v])
+			}
+		}
+	}
+}
+
+// Empirical variance must approximate the closed-form constant.
+func TestVarianceMatchesClosedForm(t *testing.T) {
+	n := 4
+	// All users of type 0 — the variance formula's f→0 regime holds for the
+	// empty cells 1..3.
+	x := []float64{200, 0, 0, 0}
+	for _, o := range oracles(t, n, 1.0) {
+		var sumsq float64
+		const runs = 150
+		for r := 0; r < runs; r++ {
+			est, err := Run(o, x, int64(1000+r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cell 1 is empty: its estimator has variance N·VariancePerUser.
+			sumsq += est[1] * est[1]
+		}
+		empirical := sumsq / runs
+		want := 200 * o.VariancePerUser()
+		if empirical < 0.5*want || empirical > 1.7*want {
+			t.Fatalf("%s: empirical variance %v vs closed form %v", o.Name(), empirical, want)
+		}
+	}
+}
+
+// OUE must dominate symmetric RAPPOR in variance at the same ε (that is the
+// "optimized" in its name), and OLH must be comparable to OUE.
+func TestOUEBeatsRAPPOR(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		rp, _ := NewRAPPOR(32, eps)
+		oue, _ := NewOUE(32, eps)
+		if oue.VariancePerUser() >= rp.VariancePerUser() {
+			t.Fatalf("ε=%v: OUE variance %v not below RAPPOR %v",
+				eps, oue.VariancePerUser(), rp.VariancePerUser())
+		}
+		olh, _ := NewOLH(32, eps)
+		ratio := olh.VariancePerUser() / oue.VariancePerUser()
+		if ratio > 1.3 || ratio < 0.7 {
+			t.Fatalf("ε=%v: OLH/OUE variance ratio %v outside the expected ≈1 band", eps, ratio)
+		}
+	}
+}
+
+func TestAggregateRejectsMalformed(t *testing.T) {
+	oue, _ := NewOUE(4, 1)
+	agg := oue.NewAggregate()
+	if err := agg.Add("nonsense"); err == nil {
+		t.Fatal("expected error for malformed report")
+	}
+	if err := agg.Add(make([]bool, 3)); err == nil {
+		t.Fatal("expected error for wrong-length report")
+	}
+	olh, _ := NewOLH(4, 1)
+	oagg := olh.NewAggregate()
+	if err := oagg.Add(42); err == nil {
+		t.Fatal("expected error for malformed OLH report")
+	}
+	if err := oagg.Add(olhReport{Seed: 1, Value: 99}); err == nil {
+		t.Fatal("expected error for out-of-range OLH value")
+	}
+}
+
+func TestRunValidatesData(t *testing.T) {
+	oue, _ := NewOUE(3, 1)
+	if _, err := Run(oue, []float64{1, 2}, 1); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Run(oue, []float64{1, 2.5, 0}, 1); err == nil {
+		t.Fatal("expected non-integer error")
+	}
+	if _, err := Run(oue, []float64{1, -2, 0}, 1); err == nil {
+		t.Fatal("expected negativity error")
+	}
+}
+
+func TestRandomizePanicsOutOfDomain(t *testing.T) {
+	oue, _ := NewOUE(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	oue.Randomize(5, rand.New(rand.NewSource(1)))
+}
+
+// The LDP guarantee of unary encoding, checked directly: the likelihood ratio
+// of any single report bit pattern between two user types is bounded by e^ε.
+func TestUnaryLikelihoodRatioBound(t *testing.T) {
+	n, eps := 5, 1.0
+	for _, mk := range []func(int, float64) (*Unary, error){NewRAPPOR, NewOUE} {
+		u, err := mk(n, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob := func(bits []bool, v int) float64 {
+			p := 1.0
+			for i, b := range bits {
+				pi := u.q
+				if i == v {
+					pi = u.p
+				}
+				if b {
+					p *= pi
+				} else {
+					p *= 1 - pi
+				}
+			}
+			return p
+		}
+		rng := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 200; trial++ {
+			bits := make([]bool, n)
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 0
+			}
+			for v1 := 0; v1 < n; v1++ {
+				for v2 := 0; v2 < n; v2++ {
+					ratio := prob(bits, v1) / prob(bits, v2)
+					if ratio > math.Exp(eps)*(1+1e-9) {
+						t.Fatalf("%s: likelihood ratio %v exceeds e^ε", u.Name(), ratio)
+					}
+				}
+			}
+		}
+	}
+}

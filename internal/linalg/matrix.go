@@ -1,0 +1,488 @@
+// Package linalg provides the dense linear-algebra substrate used throughout
+// the repository: matrices, factorizations (LU, Cholesky), a symmetric Jacobi
+// eigendecomposition, pseudo-inverses of PSD matrices, and singular values.
+//
+// Everything is implemented on top of the standard library only. Matrices are
+// dense, row-major, and sized for the problem scales of the paper (domains up
+// to a few thousand). The package favors clarity and numerical robustness over
+// squeezing the last constant factor: the optimization loop in internal/core
+// is the only hot path, and it is dominated by O(n^2 m) matrix products that
+// use cache-friendly ikj loops below.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64.
+//
+// The zero value is an empty matrix. Use New, NewFrom or Identity to create
+// matrices with a shape.
+type Matrix struct {
+	// RowsN and ColsN give the shape. They are exported via Rows/Cols
+	// accessors; direct field access is internal to the package.
+	rows, cols int
+	data       []float64
+}
+
+// New returns a rows x cols matrix of zeros.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFrom wraps data (row-major, length rows*cols) in a Matrix. The slice is
+// used directly, not copied.
+func NewFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns the square diagonal matrix with d on the diagonal.
+func Diag(d []float64) *Matrix {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Data exposes the backing row-major slice. Mutating it mutates the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic("linalg: SetRow length mismatch")
+	}
+	copy(m.Row(i), v)
+}
+
+// SetCol copies v into column j.
+func (m *Matrix) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic("linalg: SetCol length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic("linalg: CopyFrom shape mismatch")
+	}
+	copy(m.data, src.data)
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// AddScaled adds s*b to m in place and returns m. Shapes must match.
+func (m *Matrix) AddScaled(s float64, b *Matrix) *Matrix {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("linalg: AddScaled shape mismatch")
+	}
+	for i, v := range b.data {
+		m.data[i] += s * v
+	}
+	return m
+}
+
+// Add returns m + b as a new matrix.
+func Add(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("linalg: Add shape mismatch")
+	}
+	out := a.Clone()
+	return out.AddScaled(1, b)
+}
+
+// Sub returns a - b as a new matrix.
+func Sub(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("linalg: Sub shape mismatch")
+	}
+	out := a.Clone()
+	return out.AddScaled(-1, b)
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	MulTo(out, a, b)
+	return out
+}
+
+// MulTo computes dst = a*b, reusing dst's storage. dst must have shape
+// a.Rows x b.Cols and must not alias a or b.
+func MulTo(dst, a, b *Matrix) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic("linalg: MulTo shape mismatch")
+	}
+	n := b.cols
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulAtB returns aᵀ*b without materializing the transpose.
+func MulAtB(a, b *Matrix) *Matrix {
+	if a.rows != b.rows {
+		panic("linalg: MulAtB shape mismatch")
+	}
+	out := New(a.cols, b.cols)
+	n := b.cols
+	for k := 0; k < a.rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABt returns a*bᵀ without materializing the transpose.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic("linalg: MulABt shape mismatch")
+	}
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		drow := out.Row(i)
+		for j := 0; j < b.rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀ*a (the Gram matrix of a's columns).
+func Gram(a *Matrix) *Matrix { return MulAtB(a, a) }
+
+// MulVec returns m*x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("linalg: MulVec length mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// MulVecT returns mᵀ*x.
+func (m *Matrix) MulVecT(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic("linalg: MulVecT length mismatch")
+	}
+	out := make([]float64, m.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if m.rows != m.cols {
+		panic("linalg: Trace of non-square matrix")
+	}
+	t := 0.0
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+// FrobNorm2 returns the squared Frobenius norm (sum of squared entries).
+func (m *Matrix) FrobNorm2() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute entry (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ScaleRows multiplies row i by s[i] in place and returns m.
+func (m *Matrix) ScaleRows(s []float64) *Matrix {
+	if len(s) != m.rows {
+		panic("linalg: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		si := s[i]
+		for j := range row {
+			row[j] *= si
+		}
+	}
+	return m
+}
+
+// ScaleCols multiplies column j by s[j] in place and returns m.
+func (m *Matrix) ScaleCols(s []float64) *Matrix {
+	if len(s) != m.cols {
+		panic("linalg: ScaleCols length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s[j]
+		}
+	}
+	return m
+}
+
+// RowSums returns the vector of row sums (m * 1).
+func (m *Matrix) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Sum(m.Row(i))
+	}
+	return out
+}
+
+// ColSums returns the vector of column sums (mᵀ * 1).
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// DiagOf returns the diagonal of a square matrix as a new slice.
+func (m *Matrix) DiagOf() []float64 {
+	if m.rows != m.cols {
+		panic("linalg: DiagOf non-square matrix")
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+i]
+	}
+	return out
+}
+
+// IsSymmetric reports whether the matrix is symmetric to within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Symmetrize replaces m with (m + mᵀ)/2 in place and returns m.
+func (m *Matrix) Symmetrize() *Matrix {
+	if m.rows != m.cols {
+		panic("linalg: Symmetrize non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// ApproxEqual reports whether a and b have the same shape and all entries
+// differ by at most tol.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.rows*m.cols > 400 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.rows, m.cols)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Matrix(%dx%d)[\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("  ")
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&sb, "% .4g ", m.At(i, j))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// HasNaN reports whether any entry is NaN or Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stack vertically concatenates the given matrices (which must share a column
+// count) into a single matrix.
+func Stack(blocks ...*Matrix) *Matrix {
+	if len(blocks) == 0 {
+		return New(0, 0)
+	}
+	cols := blocks[0].cols
+	rows := 0
+	for _, b := range blocks {
+		if b.cols != cols {
+			panic("linalg: Stack column mismatch")
+		}
+		rows += b.rows
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, b := range blocks {
+		copy(out.data[at*cols:], b.data)
+		at += b.rows
+	}
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.rows*b.rows, a.cols*b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for p := 0; p < b.rows; p++ {
+				for q := 0; q < b.cols; q++ {
+					out.Set(i*b.rows+p, j*b.cols+q, av*b.At(p, q))
+				}
+			}
+		}
+	}
+	return out
+}

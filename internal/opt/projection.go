@@ -1,0 +1,213 @@
+// Package opt provides the numerical-optimization substrate: the projection
+// onto the bounded probability simplex (Algorithm 1 of the paper), utilities
+// for projected gradient methods, a power-iteration spectral-norm estimator,
+// and an accelerated projected-gradient non-negative least squares solver used
+// by the WNNLS post-processing step (Appendix A).
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ClipState records, per coordinate, how the simplex projection resolved it.
+// It is consumed by the ∇z back-propagation in internal/core.
+type ClipState int8
+
+const (
+	// ClipLow marks a coordinate clipped at its lower bound z_o.
+	ClipLow ClipState = -1
+	// Free marks an interior coordinate (value r_o + λ).
+	Free ClipState = 0
+	// ClipHigh marks a coordinate clipped at its upper bound e^ε·z_o.
+	ClipHigh ClipState = 1
+)
+
+// ErrInfeasible is returned when the constraint set
+// {q : z ≤ q ≤ e^ε z, 1ᵀq = 1} is empty, i.e. Σz > 1 or e^ε Σz < 1.
+var ErrInfeasible = errors.New("opt: bounded simplex is empty for the given z and ε")
+
+// ColumnProjection is the result of projecting one column onto the bounded
+// probability simplex.
+type ColumnProjection struct {
+	// Q is the projected column: clip(r + λ, z, e^ε z) with 1ᵀQ = 1.
+	Q []float64
+	// Lambda is the shift (the Lagrange multiplier of the sum constraint).
+	Lambda float64
+	// State[o] records whether coordinate o was clipped low, high, or free.
+	State []ClipState
+	// NumFree counts interior coordinates.
+	NumFree int
+}
+
+// ProjectColumn solves Problem 4.1 for a single column (Proposition 4.2 /
+// Algorithm 1): it returns the Euclidean projection of r onto
+// {q : z ≤ q ≤ e^ε z, 1ᵀq = 1} by finding the shift λ with
+// Σ clip(r + λ, z, e^ε z) = 1 via a sorted sweep over the 2m breakpoints,
+// O(m log m) total.
+//
+// z must be coordinate-wise non-negative with Σz ≤ 1 ≤ e^ε Σz (otherwise the
+// set is empty and ErrInfeasible is returned).
+func ProjectColumn(r, z []float64, eps float64) (*ColumnProjection, error) {
+	m := len(r)
+	if len(z) != m {
+		return nil, fmt.Errorf("opt: r has %d entries, z has %d", m, len(z))
+	}
+	e := math.Exp(eps)
+	sumZ := 0.0
+	for _, v := range z {
+		if v < 0 {
+			return nil, fmt.Errorf("opt: z must be non-negative, got %g", v)
+		}
+		sumZ += v
+	}
+	const tol = 1e-12
+	if sumZ > 1+tol || e*sumZ < 1-tol {
+		return nil, fmt.Errorf("%w: Σz = %g, e^ε Σz = %g", ErrInfeasible, sumZ, e*sumZ)
+	}
+
+	// Breakpoints: coordinate o leaves its lower clip when λ > z_o − r_o and
+	// enters its upper clip when λ > e^ε z_o − r_o. f(λ) = Σ clip(r+λ, z, ez)
+	// is piecewise linear and nondecreasing, starting at Σz (slope 0) and
+	// saturating at e^ε Σz.
+	type breakpoint struct {
+		lam   float64
+		slope float64 // +1 when a coordinate becomes free, −1 when it clips high
+	}
+	bps := make([]breakpoint, 0, 2*m)
+	for o := 0; o < m; o++ {
+		bps = append(bps,
+			breakpoint{lam: z[o] - r[o], slope: +1},
+			breakpoint{lam: e*z[o] - r[o], slope: -1},
+		)
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].lam < bps[j].lam })
+
+	var lambda float64
+	total := sumZ
+	slope := 0.0
+	found := false
+	prev := math.Inf(-1)
+	for _, bp := range bps {
+		if slope > 0 {
+			needed := (1 - total) / slope
+			if prev+needed <= bp.lam {
+				lambda = prev + needed
+				found = true
+				break
+			}
+			total += slope * (bp.lam - prev)
+		}
+		slope += bp.slope
+		prev = bp.lam
+	}
+	if !found {
+		// All breakpoints passed: f saturates at e^ε Σz ≥ 1, so the crossing is
+		// at or beyond the last breakpoint; since f is constant afterwards this
+		// can only happen through round-off when e^ε Σz ≈ 1. Use the last λ.
+		lambda = prev
+	}
+
+	q := make([]float64, m)
+	state := make([]ClipState, m)
+	free := 0
+	for o := 0; o < m; o++ {
+		v := r[o] + lambda
+		switch {
+		case v <= z[o]:
+			q[o] = z[o]
+			state[o] = ClipLow
+		case v >= e*z[o]:
+			q[o] = e * z[o]
+			state[o] = ClipHigh
+		default:
+			q[o] = v
+			state[o] = Free
+			free++
+		}
+	}
+	// Absorb residual round-off into the free coordinates so the column sums
+	// to one exactly (keeps downstream LDP validation clean).
+	if free > 0 {
+		resid := 1 - linalg.Sum(q)
+		adj := resid / float64(free)
+		for o := 0; o < m; o++ {
+			if state[o] == Free {
+				q[o] += adj
+			}
+		}
+	}
+	return &ColumnProjection{Q: q, Lambda: lambda, State: state, NumFree: free}, nil
+}
+
+// MatrixProjection is the result of projecting every column of a matrix onto
+// the bounded probability simplex.
+type MatrixProjection struct {
+	// Q is the projected matrix (each column feasible).
+	Q *linalg.Matrix
+	// State is m×n; State[o*n+u] is the clip state of entry (o, u).
+	State []ClipState
+	// NumFree[u] counts free coordinates in column u.
+	NumFree []int
+}
+
+// ProjectMatrix applies ProjectColumn to every column of r: the operator
+// Π_{z,ε}(R) of Problem 4.1.
+func ProjectMatrix(r *linalg.Matrix, z []float64, eps float64) (*MatrixProjection, error) {
+	m, n := r.Rows(), r.Cols()
+	if len(z) != m {
+		return nil, fmt.Errorf("opt: z has %d entries, R has %d rows", len(z), m)
+	}
+	out := &MatrixProjection{
+		Q:       linalg.New(m, n),
+		State:   make([]ClipState, m*n),
+		NumFree: make([]int, n),
+	}
+	col := make([]float64, m)
+	for u := 0; u < n; u++ {
+		for o := 0; o < m; o++ {
+			col[o] = r.At(o, u)
+		}
+		cp, err := ProjectColumn(col, z, eps)
+		if err != nil {
+			return nil, fmt.Errorf("opt: column %d: %w", u, err)
+		}
+		for o := 0; o < m; o++ {
+			out.Q.Set(o, u, cp.Q[o])
+			out.State[o*n+u] = cp.State[o]
+		}
+		out.NumFree[u] = cp.NumFree
+	}
+	return out, nil
+}
+
+// FeasibleZ rescales z in place so the bounded simplex is non-empty:
+// Σz ≤ 1 ≤ e^ε Σz, with every coordinate at least floor ≥ 0. It returns z.
+func FeasibleZ(z []float64, eps, floor float64) []float64 {
+	for i := range z {
+		if z[i] < floor {
+			z[i] = floor
+		}
+	}
+	e := math.Exp(eps)
+	s := linalg.Sum(z)
+	if s <= 0 {
+		// Degenerate: spread uniformly at a feasible level.
+		v := 1 / (e * float64(len(z)))
+		for i := range z {
+			z[i] = v
+		}
+		return z
+	}
+	const margin = 1e-9
+	if s > 1-margin {
+		linalg.ScaleVec((1-margin)/s, z)
+	} else if e*s < 1+margin {
+		linalg.ScaleVec((1+margin)/(e*s), z)
+	}
+	return z
+}

@@ -1,0 +1,108 @@
+package postprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/workload"
+)
+
+func TestRunRecoversCleanAnswers(t *testing.T) {
+	// When the "noisy" estimates are exact answers of a non-negative x, WNNLS
+	// must reproduce them.
+	w := workload.NewPrefix(8)
+	x := []float64{5, 0, 3, 2, 0, 0, 7, 1}
+	vy := w.MatVec(x)
+	res, err := Run(w, vy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vy {
+		if math.Abs(res.Answers[i]-vy[i]) > 1e-4 {
+			t.Fatalf("answer[%d] = %v, want %v", i, res.Answers[i], vy[i])
+		}
+	}
+	for i := range x {
+		if res.X[i] < 0 {
+			t.Fatalf("x̂[%d] = %v < 0", i, res.X[i])
+		}
+	}
+}
+
+func TestRunFixesNegativeEstimates(t *testing.T) {
+	// Histogram workload with a negative noisy estimate: the consistent
+	// answer must be non-negative and closer (in the feasible set) to truth.
+	w := workload.NewHistogram(4)
+	noisy := []float64{10, -3, 5, 2}
+	res, err := Run(w, noisy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 0, 5, 2}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Fatalf("x̂ = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestRunTotalCountProjection(t *testing.T) {
+	w := workload.NewHistogram(3)
+	noisy := []float64{4, 4, 4}
+	res, err := Run(w, noisy, Options{TotalCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(linalg.Sum(res.X)-30) > 1e-9 {
+		t.Fatalf("Σx̂ = %v, want 30", linalg.Sum(res.X))
+	}
+	// All-zero degenerate case: mass spread uniformly.
+	res2, err := Run(w, []float64{-1, -1, -1}, Options{TotalCount: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res2.X {
+		if math.Abs(v-3) > 1e-9 {
+			t.Fatalf("degenerate projection x̂ = %v, want uniform 3", res2.X)
+		}
+	}
+}
+
+func TestRunReducesErrorOnNoisyEstimates(t *testing.T) {
+	// The headline Figure 4 effect: WNNLS answers are closer to the truth
+	// than the raw noisy estimates, in expectation over noise draws.
+	rng := rand.New(rand.NewSource(1))
+	w := workload.NewPrefix(16)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(rng.Intn(20))
+	}
+	truth := w.MatVec(x)
+	rawErr, ppErr := 0.0, 0.0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		noisy := make([]float64, len(truth))
+		for i := range noisy {
+			noisy[i] = truth[i] + 40*rng.NormFloat64()
+		}
+		res, err := Run(w, noisy, Options{TotalCount: linalg.Sum(x)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			rawErr += (noisy[i] - truth[i]) * (noisy[i] - truth[i])
+			ppErr += (res.Answers[i] - truth[i]) * (res.Answers[i] - truth[i])
+		}
+	}
+	if ppErr >= rawErr {
+		t.Fatalf("WNNLS error %v not below raw error %v", ppErr, rawErr)
+	}
+}
+
+func TestRunLengthMismatch(t *testing.T) {
+	if _, err := Run(workload.NewHistogram(3), []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}

@@ -1,0 +1,150 @@
+// Package simulate executes the full LDP protocol end-to-end: every user
+// randomizes their type through the strategy matrix, the server aggregates
+// the response vector y, and the analyst reconstructs workload answers —
+// unbiased (V·y) or consistent (WNNLS post-processing). It also provides
+// Monte-Carlo estimation of the mechanism's empirical error, used by the
+// Figure 4 reproduction where no closed-form variance exists for WNNLS.
+//
+// The reconstruction never materializes V: V·y = W·(B·y) with
+// B = (QᵀD⁻¹Q)⁺QᵀD⁻¹ (Theorem 3.10), so only the n-vector B·y is formed and
+// the workload's fast MatVec does the rest.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/postprocess"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// Protocol bundles a strategy with a workload and precomputes everything the
+// per-run simulation needs (alias samplers, reconstruction factor).
+type Protocol struct {
+	strategy *strategy.Strategy
+	work     workload.Workload
+	sampler  *strategy.Sampler
+	recon    *linalg.Matrix // B (n×m)
+}
+
+// NewProtocol prepares a protocol for the given strategy and workload.
+func NewProtocol(s *strategy.Strategy, w workload.Workload) (*Protocol, error) {
+	if s.Domain() != w.Domain() {
+		return nil, fmt.Errorf("simulate: strategy domain %d != workload domain %d", s.Domain(), w.Domain())
+	}
+	sp, err := strategy.NewSampler(s)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.ReconFactor()
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{strategy: s, work: w, sampler: sp, recon: b}, nil
+}
+
+// Outcome is the result of one protocol execution.
+type Outcome struct {
+	// Y is the aggregated response vector (one randomized response per user).
+	Y []float64
+	// XEstimate is B·y, the unbiased estimate of the data vector in the
+	// workload's row space.
+	XEstimate []float64
+	// Estimates is V·y = W·XEstimate, the unbiased workload answers.
+	Estimates []float64
+}
+
+// Run simulates one execution on integer data vector x.
+func (p *Protocol) Run(x []float64, rng *rand.Rand) (*Outcome, error) {
+	y, err := p.sampler.ResponseVector(x, rng)
+	if err != nil {
+		return nil, err
+	}
+	xh := p.recon.MulVec(y)
+	return &Outcome{Y: y, XEstimate: xh, Estimates: p.work.MatVec(xh)}, nil
+}
+
+// RunConsistent simulates one execution and applies WNNLS post-processing
+// (Appendix A), returning consistent workload answers. totalCount > 0 also
+// projects onto the known respondent total.
+func (p *Protocol) RunConsistent(x []float64, rng *rand.Rand, totalCount float64) (*Outcome, *postprocess.Result, error) {
+	out, err := p.Run(x, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	pp, err := postprocess.Run(p.work, out.Estimates, postprocess.Options{TotalCount: totalCount})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, pp, nil
+}
+
+// ErrorStats summarizes Monte-Carlo error measurements.
+type ErrorStats struct {
+	// MeanTotalSquared is the Monte-Carlo mean of ‖Wx − estimate‖²₂ (the
+	// quantity whose expectation Theorem 3.4 predicts).
+	MeanTotalSquared float64
+	// Normalized is the Definition 5.2 normalized error:
+	// MeanTotalSquared / (p·N²).
+	Normalized float64
+	// Trials is the number of Monte-Carlo executions.
+	Trials int
+}
+
+// MonteCarlo measures the empirical error of the protocol over the given
+// number of trials. When consistent is true, WNNLS post-processing (with the
+// known total) is applied to each trial — the Figure 4 configuration.
+func (p *Protocol) MonteCarlo(x []float64, trials int, consistent bool, seed int64) (*ErrorStats, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("simulate: trials must be positive, got %d", trials)
+	}
+	truth := p.work.MatVec(x)
+	numUsers := linalg.Sum(x)
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		var est []float64
+		if consistent {
+			_, pp, err := p.RunConsistent(x, rng, numUsers)
+			if err != nil {
+				return nil, err
+			}
+			est = pp.Answers
+		} else {
+			out, err := p.Run(x, rng)
+			if err != nil {
+				return nil, err
+			}
+			est = out.Estimates
+		}
+		sum += squaredDistance(truth, est)
+	}
+	mean := sum / float64(trials)
+	p64 := float64(p.work.Queries())
+	return &ErrorStats{
+		MeanTotalSquared: mean,
+		Normalized:       mean / (p64 * numUsers * numUsers),
+		Trials:           trials,
+	}, nil
+}
+
+// TheoreticalTotalSquared returns the Theorem 3.4 prediction of the expected
+// total squared error on data vector x, for cross-checking MonteCarlo.
+func (p *Protocol) TheoreticalTotalSquared(x []float64) (float64, error) {
+	vp, err := p.strategy.VariancesWithRecon(p.work.Gram(), p.work.Queries(), p.recon)
+	if err != nil {
+		return 0, err
+	}
+	return vp.OnData(x), nil
+}
+
+func squaredDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

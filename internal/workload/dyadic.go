@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/linalg"
+)
+
+// Dyadic is the workload of all dyadic-interval queries over a domain of size
+// n = 2^k: for every level ℓ = 0..k and every aligned cell of width 2^{k−ℓ},
+// the count of users in that cell — the classical B-tree / hierarchical
+// decomposition (2n − 1 queries). It is both a useful workload in its own
+// right (streaming quantile sketches, hierarchical dashboards) and the
+// query set the Hierarchical baseline implicitly targets.
+type Dyadic struct {
+	k int
+	gramCache
+}
+
+// NewDyadic returns the dyadic-interval workload over a domain of size 2^k.
+func NewDyadic(k int) *Dyadic {
+	if k < 0 {
+		panic(fmt.Sprintf("workload: Dyadic depth %d must be non-negative", k))
+	}
+	return &Dyadic{k: k}
+}
+
+func (d *Dyadic) Name() string { return "Dyadic" }
+
+// Depth returns k (the tree depth).
+func (d *Dyadic) Depth() int { return d.k }
+
+// Domain returns 2^k.
+func (d *Dyadic) Domain() int { return 1 << d.k }
+
+// Queries returns 2^{k+1} − 1 (a complete binary tree of cells).
+func (d *Dyadic) Queries() int { return 2*d.Domain() - 1 }
+
+// Gram returns WᵀW with the closed form (WᵀW)_{uv} = k + 1 − bitlen(u⊕v):
+// u and v share a level-ℓ cell iff u⊕v < 2^{k−ℓ}, so the number of dyadic
+// intervals containing both is the number of common ancestors in the tree.
+func (d *Dyadic) Gram() *linalg.Matrix {
+	return d.cached(func() *linalg.Matrix {
+		n := d.Domain()
+		g := linalg.New(n, n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				g.Set(u, v, float64(d.k+1-bits.Len(uint(u^v))))
+			}
+		}
+		return g
+	})
+}
+
+// FrobNorm2 returns n·(k+1): every point lies in exactly one cell per level.
+func (d *Dyadic) FrobNorm2() float64 { return float64(d.Domain() * (d.k + 1)) }
+
+// MatVec computes all 2n−1 cell sums bottom-up in O(n). Rows are ordered
+// level 0 (the whole domain) to level k (singletons), cells left to right.
+func (d *Dyadic) MatVec(x []float64) []float64 {
+	n := d.Domain()
+	checkLen(len(x), n)
+	out := make([]float64, d.Queries())
+	// Level k occupies the trailing n slots.
+	copy(out[d.Queries()-n:], x)
+	// Each coarser level sums pairs of the finer one.
+	fineStart := d.Queries() - n
+	for ell := d.k - 1; ell >= 0; ell-- {
+		cells := 1 << ell
+		start := fineStart - cells
+		for c := 0; c < cells; c++ {
+			out[start+c] = out[fineStart+2*c] + out[fineStart+2*c+1]
+		}
+		fineStart = start
+	}
+	return out
+}
+
+// TMatVec computes Wᵀy in O(n log n): each point accumulates the y-values of
+// its ancestors.
+func (d *Dyadic) TMatVec(y []float64) []float64 {
+	n := d.Domain()
+	checkLen(len(y), d.Queries())
+	out := make([]float64, n)
+	start := 0
+	for ell := 0; ell <= d.k; ell++ {
+		width := 1 << (d.k - ell)
+		cells := 1 << ell
+		for c := 0; c < cells; c++ {
+			v := y[start+c]
+			if v == 0 {
+				continue
+			}
+			for u := c * width; u < (c+1)*width; u++ {
+				out[u] += v
+			}
+		}
+		start += cells
+	}
+	return out
+}
+
+// Matrix materializes the 2n−1 × n indicator matrix.
+func (d *Dyadic) Matrix() *linalg.Matrix {
+	n := d.Domain()
+	w := linalg.New(d.Queries(), n)
+	start := 0
+	for ell := 0; ell <= d.k; ell++ {
+		width := 1 << (d.k - ell)
+		cells := 1 << ell
+		for c := 0; c < cells; c++ {
+			row := w.Row(start + c)
+			for u := c * width; u < (c+1)*width; u++ {
+				row[u] = 1
+			}
+		}
+		start += cells
+	}
+	return w
+}

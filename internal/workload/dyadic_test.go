@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestDyadicShapes(t *testing.T) {
+	d := NewDyadic(3)
+	if d.Domain() != 8 || d.Queries() != 15 || d.Depth() != 3 {
+		t.Fatalf("shape: n=%d p=%d k=%d", d.Domain(), d.Queries(), d.Depth())
+	}
+	// k = 0: single total-count query.
+	d0 := NewDyadic(0)
+	if d0.Domain() != 1 || d0.Queries() != 1 {
+		t.Fatal("Dyadic(0) wrong")
+	}
+}
+
+func TestDyadicGramMatchesExplicit(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 4} {
+		d := NewDyadic(k)
+		explicit := linalg.Gram(d.Matrix())
+		if !linalg.ApproxEqual(d.Gram(), explicit, 1e-9) {
+			t.Fatalf("k=%d: closed-form Gram != explicit", k)
+		}
+		if math.Abs(d.FrobNorm2()-d.Gram().Trace()) > 1e-9 {
+			t.Fatalf("k=%d: FrobNorm2 mismatch", k)
+		}
+	}
+}
+
+func TestDyadicMatVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDyadic(4)
+	x := randVec(rng, d.Domain())
+	got := d.MatVec(x)
+	want := d.Matrix().MulVec(x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	y := randVec(rng, d.Queries())
+	gotT := d.TMatVec(y)
+	wantT := d.Matrix().MulVecT(y)
+	for i := range wantT {
+		if math.Abs(gotT[i]-wantT[i]) > 1e-9 {
+			t.Fatalf("TMatVec[%d] = %v, want %v", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestDyadicSemantics(t *testing.T) {
+	d := NewDyadic(2) // domain 4, queries: [0,3], [0,1], [2,3], {0},{1},{2},{3}
+	x := []float64{1, 2, 3, 4}
+	got := d.MatVec(x)
+	want := []float64{10, 3, 7, 1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dyadic sums = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDyadicRowsAreIndicators(t *testing.T) {
+	w := NewDyadic(3).Matrix()
+	for i := 0; i < w.Rows(); i++ {
+		sum := 0.0
+		for j := 0; j < w.Cols(); j++ {
+			v := w.At(i, j)
+			if v != 0 && v != 1 {
+				t.Fatalf("non-indicator value %v", v)
+			}
+			sum += v
+		}
+		// Every dyadic cell has power-of-two width.
+		if sum == 0 || (int(sum)&(int(sum)-1)) != 0 {
+			t.Fatalf("row %d covers %v cells (not a power of two)", i, sum)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestProductShapes(t *testing.T) {
+	p := NewProduct(NewAllRange(4), NewPrefix(3))
+	if p.Domain() != 12 {
+		t.Fatalf("domain = %d, want 12", p.Domain())
+	}
+	if p.Queries() != 10*3 {
+		t.Fatalf("queries = %d, want 30", p.Queries())
+	}
+	if p.Name() != "AllRange⊗Prefix" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	a, b := p.Parts()
+	if a.Name() != "AllRange" || b.Name() != "Prefix" {
+		t.Fatal("Parts wrong")
+	}
+}
+
+func TestProductGramMatchesExplicit(t *testing.T) {
+	p := NewProduct(NewPrefix(3), NewHistogram(4))
+	explicit := linalg.Gram(p.Matrix())
+	if !linalg.ApproxEqual(p.Gram(), explicit, 1e-9) {
+		t.Fatal("Kronecker Gram != explicit WᵀW")
+	}
+	if math.Abs(p.FrobNorm2()-p.Gram().Trace()) > 1e-9 {
+		t.Fatalf("FrobNorm2 %v != tr(Gram) %v", p.FrobNorm2(), p.Gram().Trace())
+	}
+}
+
+func TestProductMatVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	combos := []*Product{
+		NewProduct(NewPrefix(3), NewPrefix(4)),
+		NewProduct(NewAllRange(3), NewHistogram(3)),
+		NewProduct(NewHistogram(2), NewAllRange(4)),
+		NewProduct(NewWidthRange(5, 2), NewPrefix(2)),
+	}
+	for _, p := range combos {
+		x := randVec(rng, p.Domain())
+		got := p.MatVec(x)
+		want := p.Matrix().MulVec(x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: MatVec[%d] = %v, want %v", p.Name(), i, got[i], want[i])
+			}
+		}
+		y := randVec(rng, p.Queries())
+		gotT := p.TMatVec(y)
+		wantT := p.Matrix().MulVecT(y)
+		for i := range wantT {
+			if math.Abs(gotT[i]-wantT[i]) > 1e-9*(1+math.Abs(wantT[i])) {
+				t.Fatalf("%s: TMatVec[%d] = %v, want %v", p.Name(), i, gotT[i], wantT[i])
+			}
+		}
+	}
+}
+
+// Property: adjoint identity for random product workloads.
+func TestProductAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProduct(NewPrefix(1+rng.Intn(4)), NewAllRange(1+rng.Intn(4)))
+		x := randVec(rng, p.Domain())
+		y := randVec(rng, p.Queries())
+		lhs := linalg.Dot(p.MatVec(x), y)
+		rhs := linalg.Dot(x, p.TMatVec(y))
+		return math.Abs(lhs-rhs) <= 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// 2-D range queries: semantic check that the flattened query set answers a
+// rectangle sum correctly.
+func TestProduct2DRangeSemantics(t *testing.T) {
+	n := 4
+	p := NewProduct(NewAllRange(n), NewAllRange(n))
+	// Data: a single user at grid cell (1, 2) → flattened index 1*4+2.
+	x := make([]float64, n*n)
+	x[1*n+2] = 1
+	ans := p.MatVec(x)
+	a := NewAllRange(n)
+	// Query (rows [r1,r2]) × (cols [c1,c2]) counts the cell iff the rectangle
+	// contains (1,2).
+	idx := func(i, j int) int { return i*n - i*(i-1)/2 + (j - i) }
+	for r1 := 0; r1 < n; r1++ {
+		for r2 := r1; r2 < n; r2++ {
+			for c1 := 0; c1 < n; c1++ {
+				for c2 := c1; c2 < n; c2++ {
+					q := idx(r1, r2)*a.Queries() + idx(c1, c2)
+					want := 0.0
+					if r1 <= 1 && 1 <= r2 && c1 <= 2 && 2 <= c2 {
+						want = 1
+					}
+					if math.Abs(ans[q]-want) > 1e-12 {
+						t.Fatalf("rectangle [%d,%d]x[%d,%d]: got %v, want %v", r1, r2, c1, c2, ans[q], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nuclear norm multiplicativity: σ(A⊗B) = σ(A)·σ(B) pairwise, so the SVD
+// lower bound of a product workload is the product of the parts' bounds
+// (up to the e^ε factor).
+func TestProductNuclearNorm(t *testing.T) {
+	a, b := NewPrefix(3), NewHistogram(4)
+	p := NewProduct(a, b)
+	na, err := NuclearNorm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NuclearNorm(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := NuclearNorm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(np-na*nb) > 1e-6*(1+na*nb) {
+		t.Fatalf("nuclear norm %v, want product %v", np, na*nb)
+	}
+}

@@ -1,0 +1,364 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// allWorkloads returns instances of every workload family at small sizes.
+func allWorkloads() []Workload {
+	return []Workload{
+		NewHistogram(7),
+		NewPrefix(6),
+		NewAllRange(5),
+		NewAllMarginals(3),
+		NewKWayMarginals(4, 2),
+		NewKWayMarginals(4, 3),
+		NewParity(3),
+		NewWidthRange(8, 3),
+		NewStacked("Mix", []Workload{NewHistogram(6), NewPrefix(6)}, []float64{1, 2}),
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestGramMatchesExplicit is the central consistency test: every closed-form
+// Gram matrix must equal WᵀW of the materialized workload.
+func TestGramMatchesExplicit(t *testing.T) {
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			explicit := w.Matrix()
+			if explicit.Rows() != w.Queries() || explicit.Cols() != w.Domain() {
+				t.Fatalf("Matrix() shape %dx%d, want %dx%d",
+					explicit.Rows(), explicit.Cols(), w.Queries(), w.Domain())
+			}
+			gram := linalg.Gram(explicit)
+			if !linalg.ApproxEqual(gram, w.Gram(), 1e-9) {
+				t.Fatalf("closed-form Gram != WᵀW\nclosed:%v\nexplicit:%v", w.Gram(), gram)
+			}
+		})
+	}
+}
+
+func TestFrobNorm2MatchesExplicit(t *testing.T) {
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			want := w.Matrix().FrobNorm2()
+			if math.Abs(w.FrobNorm2()-want) > 1e-9*(1+want) {
+				t.Fatalf("FrobNorm2 = %v, want %v", w.FrobNorm2(), want)
+			}
+			// FrobNorm2 must equal tr(Gram).
+			if math.Abs(w.FrobNorm2()-w.Gram().Trace()) > 1e-9*(1+want) {
+				t.Fatalf("FrobNorm2 = %v != tr(Gram) = %v", w.FrobNorm2(), w.Gram().Trace())
+			}
+		})
+	}
+}
+
+func TestMatVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			x := randVec(rng, w.Domain())
+			got := w.MatVec(x)
+			want := w.Matrix().MulVec(x)
+			if len(got) != w.Queries() {
+				t.Fatalf("MatVec length %d, want %d", len(got), w.Queries())
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTMatVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			y := randVec(rng, w.Queries())
+			got := w.TMatVec(y)
+			want := w.Matrix().MulVecT(y)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("TMatVec[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Property: ⟨Wx, y⟩ = ⟨x, Wᵀy⟩ (adjoint identity) for all workloads.
+func TestAdjointProperty(t *testing.T) {
+	ws := allWorkloads()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := ws[rng.Intn(len(ws))]
+		x := randVec(rng, w.Domain())
+		y := randVec(rng, w.Queries())
+		lhs := linalg.Dot(w.MatVec(x), y)
+		rhs := linalg.Dot(x, w.TMatVec(y))
+		return math.Abs(lhs-rhs) <= 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixExample(t *testing.T) {
+	// Example 2.2/2.4 of the paper: student grades.
+	x := []float64{10, 20, 5, 0, 0}
+	p := NewPrefix(5)
+	got := p.MatVec(x)
+	want := []float64{10, 30, 35, 35, 35}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix answers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllRangeQueries(t *testing.T) {
+	a := NewAllRange(4)
+	if a.Queries() != 10 {
+		t.Fatalf("AllRange(4) queries = %d, want 10", a.Queries())
+	}
+	// Check rangeIndex covers 0..p-1 bijectively.
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			idx := a.rangeIndex(i, j)
+			if idx < 0 || idx >= 10 || seen[idx] {
+				t.Fatalf("rangeIndex(%d,%d) = %d invalid or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestMarginalsCounts(t *testing.T) {
+	m := NewAllMarginals(3)
+	if m.Domain() != 8 {
+		t.Fatalf("domain = %d, want 8", m.Domain())
+	}
+	if m.Queries() != 27 {
+		t.Fatalf("AllMarginals(3) queries = %d, want 3^3 = 27", m.Queries())
+	}
+	k := NewKWayMarginals(4, 2)
+	if k.Queries() != 6*4 {
+		t.Fatalf("2-way marginals over d=4: queries = %d, want 24", k.Queries())
+	}
+}
+
+func TestMarginalsRowsAreIndicators(t *testing.T) {
+	m := NewAllMarginals(3)
+	w := m.Matrix()
+	// Every row must be 0/1 valued, and the rows for each subset must
+	// partition the domain (column sums within a subset block = 1).
+	for i := 0; i < w.Rows(); i++ {
+		for j := 0; j < w.Cols(); j++ {
+			v := w.At(i, j)
+			if v != 0 && v != 1 {
+				t.Fatalf("marginal row %d has non-indicator value %v", i, v)
+			}
+		}
+	}
+	// Total of all entries: each of the 2^d subsets covers every user once.
+	total := 0.0
+	for _, v := range w.Data() {
+		total += v
+	}
+	if total != float64(8*8) {
+		t.Fatalf("total incidences = %v, want 64", total)
+	}
+}
+
+func TestParityIsHadamard(t *testing.T) {
+	p := NewParity(3)
+	w := p.Matrix()
+	// Rows orthogonal: WᵀW = n·I.
+	gram := linalg.Gram(w)
+	if !linalg.ApproxEqual(gram, linalg.Identity(8).Scale(8), 1e-9) {
+		t.Fatal("Parity workload is not a Hadamard matrix")
+	}
+	// First row (S=0) is all ones.
+	for j := 0; j < 8; j++ {
+		if w.At(0, j) != 1 {
+			t.Fatal("Parity row for S=∅ should be all ones")
+		}
+	}
+}
+
+func TestFWHTMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewParity(4)
+	x := randVec(rng, 16)
+	got := p.MatVec(x)
+	want := p.Matrix().MulVec(x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("FWHT[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWidthRange(t *testing.T) {
+	r := NewWidthRange(5, 2)
+	if r.Queries() != 4 {
+		t.Fatalf("queries = %d, want 4", r.Queries())
+	}
+	x := []float64{1, 2, 3, 4, 5}
+	got := r.MatVec(x)
+	want := []float64{3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window sums = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStackedWeights(t *testing.T) {
+	s := NewStacked("Mix", []Workload{NewHistogram(3), NewHistogram(3)}, []float64{1, 3})
+	x := []float64{1, 2, 3}
+	got := s.MatVec(x)
+	want := []float64{1, 2, 3, 3, 6, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stacked answers = %v, want %v", got, want)
+		}
+	}
+	// Gram = (1 + 9) I.
+	if !linalg.ApproxEqual(s.Gram(), linalg.Identity(3).Scale(10), 1e-12) {
+		t.Fatal("stacked Gram wrong")
+	}
+}
+
+func TestExplicitWorkload(t *testing.T) {
+	m := linalg.NewFrom(2, 3, []float64{1, 0, 1, 0, 1, 0})
+	e := NewExplicit("custom", m)
+	if e.Queries() != 2 || e.Domain() != 3 {
+		t.Fatal("explicit shape wrong")
+	}
+	if e.FrobNorm2() != 3 {
+		t.Fatalf("FrobNorm2 = %v, want 3", e.FrobNorm2())
+	}
+	got := e.MatVec([]float64{1, 2, 3})
+	if got[0] != 4 || got[1] != 2 {
+		t.Fatalf("MatVec = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range PaperWorkloads {
+		w, err := ByName(name, 8)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if w.Domain() != 8 {
+			t.Fatalf("ByName(%q) domain = %d", name, w.Domain())
+		}
+		if w.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, w.Name())
+		}
+	}
+	if _, err := ByName("AllMarginals", 10); err == nil {
+		t.Fatal("expected error for non-power-of-two marginals domain")
+	}
+	if _, err := ByName("nope", 8); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestByNameSmallDomain3Way(t *testing.T) {
+	// 3-way marginals over d=2 should degrade to k=d.
+	w, err := ByName("3-WayMarginals", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Queries() != 4 { // C(2,2)·2² = 4
+		t.Fatalf("queries = %d, want 4", w.Queries())
+	}
+}
+
+func TestNuclearNorm(t *testing.T) {
+	// Histogram: all singular values are 1 → nuclear norm = n.
+	nn, err := NuclearNorm(NewHistogram(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nn-6) > 1e-9 {
+		t.Fatalf("nuclear norm = %v, want 6", nn)
+	}
+	// Parity over d bits: n singular values of √n → nuclear norm = n^1.5.
+	nn, err = NuclearNorm(NewParity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * math.Sqrt(8)
+	if math.Abs(nn-want) > 1e-8 {
+		t.Fatalf("Parity nuclear norm = %v, want %v", nn, want)
+	}
+}
+
+// The hardness ordering implied by Theorem 5.6: Parity has larger nuclear
+// norm than Histogram at the same domain size (paper's "hardest workload").
+func TestHardnessOrdering(t *testing.T) {
+	h, _ := NuclearNorm(NewHistogram(8))
+	p, _ := NuclearNorm(NewParity(3))
+	if p <= h {
+		t.Fatalf("expected Parity (%v) harder than Histogram (%v)", p, h)
+	}
+}
+
+func TestGramCached(t *testing.T) {
+	w := NewPrefix(5)
+	g1 := w.Gram()
+	g2 := w.Gram()
+	if g1 != g2 {
+		t.Fatal("Gram not cached (different pointers)")
+	}
+}
+
+func TestCompress(t *testing.T) {
+	// u = 0b1011, s = 0b1010 selects bits 1 and 3 → values 1 and 1 → 0b11.
+	if got := compress(0b1011, 0b1010, 4); got != 0b11 {
+		t.Fatalf("compress = %b, want 11", got)
+	}
+	if got := compress(0b0001, 0b1010, 4); got != 0 {
+		t.Fatalf("compress = %b, want 0", got)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {9, 3, 84}, {3, 4, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Fatalf("binom(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestAnswerAlias(t *testing.T) {
+	w := NewHistogram(3)
+	x := []float64{1, 2, 3}
+	got := Answer(w, x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatal("Answer != MatVec for histogram")
+		}
+	}
+}

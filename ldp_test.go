@@ -1,0 +1,306 @@
+package ldp_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	ldp "repro"
+)
+
+func TestWorkloadConstructors(t *testing.T) {
+	cases := []struct {
+		w       ldp.Workload
+		n, p    int
+		hasName string
+	}{
+		{ldp.Histogram(8), 8, 8, "Histogram"},
+		{ldp.Prefix(8), 8, 8, "Prefix"},
+		{ldp.AllRange(8), 8, 36, "AllRange"},
+		{ldp.AllMarginals(3), 8, 27, "AllMarginals"},
+		{ldp.KWayMarginals(4, 2), 16, 24, "2-WayMarginals"},
+		{ldp.Parity(3), 8, 8, "Parity"},
+		{ldp.WidthRange(8, 3), 8, 6, "Width3Range"},
+	}
+	for _, c := range cases {
+		if c.w.Domain() != c.n || c.w.Queries() != c.p || c.w.Name() != c.hasName {
+			t.Fatalf("%s: got (%d, %d, %q), want (%d, %d, %q)",
+				c.hasName, c.w.Domain(), c.w.Queries(), c.w.Name(), c.n, c.p, c.hasName)
+		}
+	}
+}
+
+func TestNewWorkload(t *testing.T) {
+	w, err := ldp.NewWorkload("custom", [][]float64{{1, 0, 1}, {0, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Domain() != 3 || w.Queries() != 2 {
+		t.Fatal("custom workload shape wrong")
+	}
+	if _, err := ldp.NewWorkload("bad", [][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := ldp.NewWorkload("empty", nil); err == nil {
+		t.Fatal("expected error for empty workload")
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	w := ldp.Prefix(8)
+	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.Name() != "Optimized" {
+		t.Fatalf("name = %q", mech.Name())
+	}
+	if mech.Objective <= 0 || mech.Iterations == 0 || len(mech.History) == 0 {
+		t.Fatal("diagnostics missing")
+	}
+	sc, err := ldp.SampleComplexity(mech, w, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc <= 0 || math.IsInf(sc, 0) {
+		t.Fatalf("sample complexity = %v", sc)
+	}
+	// The lower bound must hold.
+	lb, err := ldp.LowerBoundObjective(w, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.Objective < lb*(1-1e-9) {
+		t.Fatalf("objective %v below lower bound %v", mech.Objective, lb)
+	}
+}
+
+func TestBaselineConstructorsViaFacade(t *testing.T) {
+	n, eps := 8, 1.0
+	w := ldp.Histogram(n)
+	mechs := []ldp.Mechanism{
+		ldp.RandomizedResponse(n, eps),
+		ldp.HadamardResponse(n, eps),
+		ldp.Gaussian(n, eps),
+	}
+	h, err := ldp.Hierarchical(n, eps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ldp.Fourier(3, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ldp.SubsetSelection(n, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ldp.RAPPOR(n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := ldp.MatrixMechanismL1(w, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ldp.MatrixMechanismL2(w, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mechs = append(mechs, h, f, ss, rp, l1, l2)
+	for _, m := range mechs {
+		vp, err := ldp.Evaluate(m, w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if vp.Worst(1) <= 0 {
+			t.Fatalf("%s: non-positive variance", m.Name())
+		}
+	}
+}
+
+func TestClientServerProtocol(t *testing.T) {
+	n := 6
+	w := ldp.Prefix(n)
+	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ldp.NewClient(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Domain() != n || client.Epsilon() != 2.0 {
+		t.Fatal("client metadata wrong")
+	}
+	server, err := ldp.NewServer(mech.Strategy(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// 3000 users, types drawn from a fixed histogram.
+	x := []float64{900, 600, 500, 400, 350, 250}
+	truth := w.MatVec(x)
+	for u, cnt := range x {
+		for j := 0; j < int(cnt); j++ {
+			if err := server.Add(client.Respond(u, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if server.Count() != 3000 {
+		t.Fatalf("count = %v", server.Count())
+	}
+	answers := server.Answers()
+	for i := range truth {
+		if math.Abs(answers[i]-truth[i]) > 0.25*3000 {
+			t.Fatalf("answer[%d] = %v, truth %v — far beyond plausible noise", i, answers[i], truth[i])
+		}
+	}
+	consistent, err := server.ConsistentAnswers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency: answers derive from a non-negative x̂ with Σx̂ = N, so the
+	// last prefix (total count) must equal N exactly.
+	if math.Abs(consistent[n-1]-3000) > 1e-6 {
+		t.Fatalf("consistent total = %v, want 3000", consistent[n-1])
+	}
+	// Out-of-range response rejected.
+	if err := server.Add(99999); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestClientRefusesInvalidStrategy(t *testing.T) {
+	// A strategy claiming more privacy than it provides must be rejected.
+	w := ldp.Histogram(4)
+	mech, err := ldp.Optimize(w, 3.0, &ldp.OptimizeOptions{Iters: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mech.Strategy()
+	s.Eps = 0.1 // lie about the guarantee
+	if _, err := ldp.NewClient(s); err == nil {
+		t.Fatal("client must refuse a strategy that violates its declared ε")
+	}
+}
+
+func TestStrategySaveLoad(t *testing.T) {
+	w := ldp.Histogram(5)
+	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ldp.SaveStrategy(&buf, mech.Strategy()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ldp.LoadStrategy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Eps != 1.0 || loaded.Domain() != 5 || loaded.Outputs() != mech.Strategy().Outputs() {
+		t.Fatal("round-trip lost metadata")
+	}
+	// Corrupt stream rejected.
+	if _, err := ldp.LoadStrategy(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSimulateProtocolFacade(t *testing.T) {
+	w := ldp.Histogram(4)
+	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{100, 200, 300, 400}
+	est, err := ldp.SimulateProtocol(mech.Strategy(), w, x, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 4 {
+		t.Fatal("estimate length wrong")
+	}
+	total := 0.0
+	for _, v := range est {
+		total += v
+	}
+	// Unbiased histogram estimates approximately preserve the total.
+	if math.Abs(total-1000) > 300 {
+		t.Fatalf("estimated total = %v, want ≈1000", total)
+	}
+}
+
+func TestCompetitorsFacade(t *testing.T) {
+	w := ldp.Prefix(8)
+	ms, err := ldp.Competitors(w, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no competitors")
+	}
+	// The headline comparison at small scale: Optimized ≤ all competitors.
+	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSC, err := ldp.SampleComplexity(mech, w, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		sc, err := ldp.SampleComplexity(m, w, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if optSC > sc*1.05 {
+			t.Fatalf("Optimized (%v) worse than %s (%v) on Prefix", optSC, m.Name(), sc)
+		}
+	}
+}
+
+func TestLowerBoundFacade(t *testing.T) {
+	lb, err := ldp.LowerBoundSampleComplexity(ldp.Parity(3), 1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Fatalf("Parity lower bound = %v, want positive", lb)
+	}
+}
+
+func TestFrequencyOracleFacade(t *testing.T) {
+	n := 2048 // far beyond any explicit strategy matrix
+	olh, err := ldp.NewOLH(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	x[7], x[100], x[2000] = 1000, 700, 500
+	est, err := ldp.RunFrequencyOracle(olh, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three heavy cells must stand far above the noise floor
+	// (per-cell std here is ≈ √(2200·3.7) ≈ 90).
+	for _, v := range []int{7, 100, 2000} {
+		if est[v] < 200 {
+			t.Fatalf("cell %d estimate %v too low", v, est[v])
+		}
+	}
+	oue, err := ldp.NewOUE(64, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ldp.NewRAPPOROracle(64, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oue.VariancePerUser() >= rp.VariancePerUser() {
+		t.Fatal("OUE should beat RAPPOR in variance")
+	}
+}

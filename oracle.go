@@ -1,0 +1,29 @@
+package ldp
+
+import "repro/internal/freqoracle"
+
+// FrequencyOracle is a practical histogram-estimation protocol (unary
+// encoding or local hashing) that scales to domains far beyond what an
+// explicit strategy matrix allows. These are the mechanisms of Wang et al.
+// the paper cites as histogram state of the art; they answer point queries
+// only, whereas Optimize adapts to arbitrary workloads.
+type FrequencyOracle = freqoracle.Oracle
+
+// NewOUE returns the Optimized Unary Encoding frequency oracle.
+func NewOUE(n int, eps float64) (FrequencyOracle, error) { return freqoracle.NewOUE(n, eps) }
+
+// NewOLH returns the Optimized Local Hashing frequency oracle
+// (O(log g)-bit reports, any domain size).
+func NewOLH(n int, eps float64) (FrequencyOracle, error) { return freqoracle.NewOLH(n, eps) }
+
+// NewRAPPOROracle returns the basic symmetric RAPPOR frequency oracle without
+// materializing its 2^n-row strategy matrix.
+func NewRAPPOROracle(n int, eps float64) (FrequencyOracle, error) {
+	return freqoracle.NewRAPPOR(n, eps)
+}
+
+// RunFrequencyOracle executes a full oracle protocol on an integer data
+// vector and returns the estimated counts.
+func RunFrequencyOracle(o FrequencyOracle, x []float64, seed int64) ([]float64, error) {
+	return freqoracle.Run(o, x, seed)
+}

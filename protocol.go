@@ -1,0 +1,172 @@
+package ldp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/postprocess"
+	"repro/internal/simulate"
+	"repro/internal/strategy"
+)
+
+// Client is the user-side randomizer of the LDP protocol: it holds a strategy
+// matrix and produces one randomized response per user. Respond is the only
+// thing that ever touches a user's true type, and its output is safe to send
+// to an untrusted collector — that is the LDP guarantee.
+type Client struct {
+	sampler *strategy.Sampler
+	eps     float64
+}
+
+// NewClient prepares a client for the given strategy. The strategy is
+// validated against its declared ε before use: a client must never randomize
+// through a matrix that does not actually provide the promised privacy.
+func NewClient(s *Strategy) (*Client, error) {
+	if err := s.Validate(1e-7); err != nil {
+		return nil, fmt.Errorf("ldp: refusing to build client: %w", err)
+	}
+	sp, err := strategy.NewSampler(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{sampler: sp, eps: s.Eps}, nil
+}
+
+// Respond randomizes user type u (0 ≤ u < Domain) into an output index using
+// the supplied randomness source.
+func (c *Client) Respond(u int, rng *rand.Rand) int {
+	return c.sampler.Sample(u, rng)
+}
+
+// Epsilon returns the privacy budget the client's responses satisfy.
+func (c *Client) Epsilon() float64 { return c.eps }
+
+// Domain returns the number of user types the client accepts.
+func (c *Client) Domain() int { return c.sampler.Domain() }
+
+// Outputs returns the size of the response range.
+func (c *Client) Outputs() int { return c.sampler.Outputs() }
+
+// Server is the collector side: it aggregates randomized responses into the
+// response vector y and reconstructs workload answers.
+type Server struct {
+	strategy *Strategy
+	work     Workload
+	recon    *linalg.Matrix // B = (QᵀD⁻¹Q)⁺QᵀD⁻¹
+	y        []float64
+	count    float64
+}
+
+// NewServer prepares a collector for the given strategy and workload.
+func NewServer(s *Strategy, w Workload) (*Server, error) {
+	if s.Domain() != w.Domain() {
+		return nil, fmt.Errorf("ldp: strategy domain %d != workload domain %d", s.Domain(), w.Domain())
+	}
+	b, err := s.ReconFactor()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{strategy: s, work: w, recon: b, y: make([]float64, s.Outputs())}, nil
+}
+
+// Add records one client response.
+func (sv *Server) Add(response int) error {
+	if response < 0 || response >= len(sv.y) {
+		return fmt.Errorf("ldp: response %d out of range [0, %d)", response, len(sv.y))
+	}
+	sv.y[response]++
+	sv.count++
+	return nil
+}
+
+// AddAll records a batch of client responses.
+func (sv *Server) AddAll(responses []int) error {
+	for _, r := range responses {
+		if err := sv.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of responses collected so far.
+func (sv *Server) Count() float64 { return sv.count }
+
+// ResponseVector returns a copy of the aggregated response histogram y.
+func (sv *Server) ResponseVector() []float64 { return linalg.CloneVec(sv.y) }
+
+// DataEstimate returns B·y, the unbiased estimate of the data vector within
+// the workload's row space.
+func (sv *Server) DataEstimate() []float64 { return sv.recon.MulVec(sv.y) }
+
+// Answers returns the unbiased workload answer estimates V·y = W·(B·y).
+func (sv *Server) Answers() []float64 {
+	return sv.work.MatVec(sv.DataEstimate())
+}
+
+// ConsistentAnswers applies WNNLS post-processing (Appendix A): it returns
+// workload answers derived from the non-negative data vector closest to the
+// unbiased estimate, additionally scaled to the known respondent count.
+// Post-processing never weakens the privacy guarantee.
+func (sv *Server) ConsistentAnswers() ([]float64, error) {
+	res, err := postprocess.Run(sv.work, sv.Answers(), postprocess.Options{TotalCount: sv.count})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers, nil
+}
+
+// Protocol simulation — used by examples, the experiment harness, and tests.
+
+// SimulateProtocol runs the complete protocol on an integer data vector x
+// (each count is a user) and returns the unbiased workload estimates.
+func SimulateProtocol(s *Strategy, w Workload, x []float64, seed int64) ([]float64, error) {
+	p, err := simulate.NewProtocol(s, w)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Run(x, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return out.Estimates, nil
+}
+
+// strategyWire is the gob wire format for strategies.
+type strategyWire struct {
+	Rows, Cols int
+	Eps        float64
+	Data       []float64
+}
+
+// SaveStrategy serializes an optimized strategy (gob encoding), so the
+// expensive offline optimization can be done once and shipped to clients.
+func SaveStrategy(w io.Writer, s *Strategy) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(strategyWire{
+		Rows: s.Q.Rows(),
+		Cols: s.Q.Cols(),
+		Eps:  s.Eps,
+		Data: s.Q.Data(),
+	})
+}
+
+// LoadStrategy deserializes a strategy written by SaveStrategy and validates
+// its LDP guarantee before returning it.
+func LoadStrategy(r io.Reader) (*Strategy, error) {
+	var wire strategyWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ldp: decode strategy: %w", err)
+	}
+	if wire.Rows <= 0 || wire.Cols <= 0 || len(wire.Data) != wire.Rows*wire.Cols {
+		return nil, fmt.Errorf("ldp: corrupt strategy: %dx%d with %d values", wire.Rows, wire.Cols, len(wire.Data))
+	}
+	s := strategy.New(linalg.NewFrom(wire.Rows, wire.Cols, wire.Data), wire.Eps)
+	if err := s.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("ldp: loaded strategy invalid: %w", err)
+	}
+	return s, nil
+}
