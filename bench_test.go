@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	ldp "repro"
+	"repro/internal/benchfix"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
@@ -272,17 +273,41 @@ func BenchmarkAblationStepSize(b *testing.B) {
 
 // --- micro benchmarks -------------------------------------------------------
 
-// BenchmarkOptimizeEndToEnd times complete strategy optimization.
+// BenchmarkOptimizeEndToEnd times complete strategy optimization. The
+// allocation report is the headline number for the workspace refactor: the
+// seed burned 135,571 allocs / 357 MB per n=64 call; the workspace-based
+// loop allocates only at setup. The body is shared with
+// `cmd/ldpbench -exp bench` via internal/benchfix.
 func BenchmarkOptimizeEndToEnd(b *testing.B) {
 	for _, n := range []int{16, 64} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			w := workload.NewPrefix(n)
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Optimize(w, 1.0, core.Options{Iters: 100, Seed: 2}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(fmt.Sprintf("n=%d", n), benchfix.Optimize(n))
+	}
+}
+
+// BenchmarkObjectiveGrad times one objective + analytic gradient evaluation
+// through the reusable workspace (the optimizer's per-iteration linear
+// algebra). Steady state must report 0 allocs/op.
+func BenchmarkObjectiveGrad(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), benchfix.ObjectiveGrad(n))
+	}
+}
+
+// BenchmarkProjectMatrixInto times Algorithm 1 over a full strategy matrix
+// through the reusable projection buffers. Steady state must report
+// 0 allocs/op.
+func BenchmarkProjectMatrixInto(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), benchfix.Projection(n))
+	}
+}
+
+// BenchmarkParallelMatMul times the shared goroutine-parallel matmul kernel
+// backing Mul/MulAtB/MulABt at the optimizer's shapes (it fans out above a
+// flop threshold; at GOMAXPROCS=1 it reports the serial kernel).
+func BenchmarkParallelMatMul(b *testing.B) {
+	for _, sh := range [][2]int{{256, 64}, {1024, 256}} {
+		b.Run(fmt.Sprintf("m=%d,n=%d", sh[0], sh[1]), benchfix.MulAtB(sh[0], sh[1]))
 	}
 }
 

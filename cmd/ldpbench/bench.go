@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchfix"
+)
+
+// BenchResult is one micro-benchmark's measurement in BENCH_optimizer.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchFile is the schema of BENCH_optimizer.json. Successive PRs append
+// nothing — each run overwrites the file; the git history is the trajectory.
+type BenchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// runBenchSuite measures the optimizer hot path with testing.Benchmark and
+// writes the results to path as JSON (and a human-readable table to out).
+// The benchmark bodies live in internal/benchfix, shared with bench_test.go,
+// so the JSON trajectory and `go test -bench` always measure the same code.
+func runBenchSuite(out io.Writer, path string) error {
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"OptimizeEndToEnd/n=16", benchfix.Optimize(16)},
+		{"OptimizeEndToEnd/n=64", benchfix.Optimize(64)},
+		{"ObjectiveGrad/n=64", benchfix.ObjectiveGrad(64)},
+		{"ProjectMatrixInto/n=64", benchfix.Projection(64)},
+		{"MulAtB/m=256_n=64", benchfix.MulAtB(256, 64)},
+	}
+	file := BenchFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(out, "%-28s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, bm := range suite {
+		r := testing.Benchmark(bm.fn)
+		res := BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		file.Benchmarks = append(file.Benchmarks, res)
+		fmt.Fprintf(out, "%-28s %14.0f %12d %12d\n", res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package benchfix holds the optimizer hot-path benchmark bodies shared by
+// the repository benchmark suite (bench_test.go) and the machine-readable
+// perf tracker (cmd/ldpbench -exp bench), so the two always measure the same
+// code with the same fixtures and cannot drift apart.
+package benchfix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+// Fixture builds the shared (Q, gram, z) fixture the hot-path benchmarks
+// use: a projected random strategy at m = 4n on the Prefix workload.
+func Fixture(n int) (q, gram *linalg.Matrix, z []float64) {
+	m := 4 * n
+	rng := rand.New(rand.NewSource(1))
+	gram = workload.NewPrefix(n).Gram()
+	z = linalg.Constant(m, (1+math.Exp(-1.0))/(2*float64(m)))
+	r := linalg.New(m, n)
+	for i := range r.Data() {
+		r.Data()[i] = rng.Float64()
+	}
+	proj, err := opt.ProjectMatrix(r, z, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	return proj.Q, gram, z
+}
+
+// Optimize benchmarks complete strategy optimization (Algorithm 2
+// end-to-end) on Prefix at the given domain size.
+func Optimize(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w := workload.NewPrefix(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Optimize(w, 1.0, core.Options{Iters: 100, Seed: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ObjectiveGrad benchmarks one objective + analytic gradient evaluation
+// through a reused core.Workspace. Steady state must report 0 allocs/op.
+func ObjectiveGrad(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		q, gram, _ := Fixture(n)
+		ws := core.NewWorkspace(q.Rows(), q.Cols())
+		grad := linalg.New(q.Rows(), q.Cols())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.ObjectiveGrad(q, gram, nil, grad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Projection benchmarks Algorithm 1 over a full strategy matrix through
+// reused projection buffers. Steady state must report 0 allocs/op.
+func Projection(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		q, _, z := Fixture(n)
+		var out opt.MatrixProjection
+		var ws opt.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := opt.ProjectMatrixInto(&out, &ws, q, z, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MulAtB benchmarks the goroutine-parallel matmul kernel at the optimizer's
+// Gram-product shape M = QᵀQ (it fans out above a flop threshold; at
+// GOMAXPROCS=1 it measures the serial kernel).
+func MulAtB(m, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(8))
+		a := linalg.New(m, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		dst := linalg.New(n, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			linalg.MulAtBTo(dst, a, a)
+		}
+	}
+}

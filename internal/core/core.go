@@ -169,7 +169,9 @@ func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error
 	return best, nil
 }
 
-// run executes the projected gradient descent loop.
+// run executes the projected gradient descent loop. All per-iteration state
+// lives in a Workspace sized once up front, so steady-state iterations
+// allocate nothing (see Workspace for the scratch contract).
 func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (*Result, error) {
 	n := gram.Rows()
 	m := o.Outputs
@@ -180,26 +182,29 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 	// (1+e^−ε)/(8n) at the default m = 4n, and keeping Σz strictly inside
 	// (e^−ε, 1) for any m — and Q = Π_{z,ε}(R) with R ~ U[0,1]^{m×n}; or a
 	// caller-provided warm start.
-	z := linalg.Constant(m, (1+math.Exp(-eps))/(2*float64(m)))
 	var r *linalg.Matrix
 	if o.Init != nil {
 		if o.Init.Domain() != n {
 			return nil, fmt.Errorf("core: init strategy domain %d, want %d", o.Init.Domain(), n)
 		}
-		if o.Init.Outputs() != m {
-			m = o.Init.Outputs()
-			z = linalg.Constant(m, (1+math.Exp(-eps))/(2*float64(m)))
-		}
+		m = o.Init.Outputs()
 		r = o.Init.Q.Clone()
-		// Warm start z at the row minima of the init strategy so the init is
-		// (close to) a fixed point of the projection.
-		for i := 0; i < m; i++ {
-			z[i] = linalg.MinVec(r.Row(i))
-		}
 	} else {
 		r = linalg.New(m, n)
 		for i := range r.Data() {
 			r.Data()[i] = rng.Float64()
+		}
+	}
+	ws := NewWorkspace(m, n)
+	z := ws.z
+	for i := range z {
+		z[i] = (1 + math.Exp(-eps)) / (2 * float64(m))
+	}
+	if o.Init != nil {
+		// Warm start z at the row minima of the init strategy so the init is
+		// (close to) a fixed point of the projection.
+		for i := 0; i < m; i++ {
+			z[i] = linalg.MinVec(r.Row(i))
 		}
 	}
 	prior, err := normalizePrior(o.Prior, n)
@@ -209,15 +214,14 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 
 	zFloor := 1e-12
 	opt.FeasibleZ(z, eps, zFloor)
-	proj, err := opt.ProjectMatrix(r, z, eps)
-	if err != nil {
+	proj, projNext := &ws.proj, &ws.projNext
+	if err := opt.ProjectMatrixInto(proj, &ws.scratch, r, z, eps); err != nil {
 		return nil, fmt.Errorf("core: initial projection: %w", err)
 	}
 	q := proj.Q
-	state := proj.State
-	numFree := proj.NumFree
 
-	obj, grad, err := objectiveGrad(q, gram, prior)
+	grad, gradNext := ws.grad, ws.gradNext
+	obj, err := ws.ObjectiveGrad(q, gram, prior, grad)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial objective: %w", err)
 	}
@@ -240,17 +244,18 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 	res := &Result{History: make([]float64, 0, iters+1)}
 	res.History = append(res.History, obj)
 
-	bestQ := q.Clone()
+	bestQ := ws.bestQ
+	bestQ.CopyFrom(q)
 	bestObj := obj
 
-	gz := make([]float64, m)
-	newZ := make([]float64, m)
+	gz := ws.gz
+	newZ := ws.newZ
 	// Heavy-ball momentum accelerates traversal of the long, flat valleys the
 	// projected objective exhibits; the best-iterate tracking keeps the
 	// returned strategy monotone in quality even when momentum overshoots.
 	const momentum = 0.9
-	velQ := linalg.New(m, n)
-	velZ := make([]float64, m)
+	velQ := ws.velQ
+	velZ := ws.velZ
 	const checkEvery = 50
 	lastCheck := bestObj
 	failures := 0
@@ -258,7 +263,7 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 
 	for t := 0; t < iters; t++ {
 		// ∇z via back-propagation through the projection that produced q.
-		gradZ(gz, grad, state, numFree, e)
+		gradZ(gz, grad, proj.State, proj.NumFree, e)
 
 		// One projected-gradient step with constant step sizes, exactly as in
 		// Algorithm 2: the objective is allowed to fluctuate (no line search),
@@ -275,22 +280,20 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 		opt.FeasibleZ(newZ, eps, zFloor)
 
 		velQ.Scale(momentum).AddScaled(1, grad)
-		cand := q.Clone()
+		cand := ws.cand
+		cand.CopyFrom(q)
 		cand.AddScaled(-beta, velQ)
-		p2, err := opt.ProjectMatrix(cand, newZ, eps)
+		err := opt.ProjectMatrixInto(projNext, &ws.scratch, cand, newZ, eps)
 		var newObj float64
-		var newGrad *linalg.Matrix
 		if err == nil {
-			newObj, newGrad, err = objectiveGrad(p2.Q, gram, prior)
+			newObj, err = ws.ObjectiveGrad(projNext.Q, gram, prior, gradNext)
 		}
 		if err != nil || math.IsNaN(newObj) || newObj > 50*bestObj {
 			// Blow-up safeguard: shrink the step, drop momentum, and retry
 			// from the current iterate. Give up after repeated failures.
 			beta /= 2
 			velQ.Scale(0)
-			for i := range velZ {
-				velZ[i] = 0
-			}
+			clear(velZ)
 			failures++
 			if failures > 60 {
 				break
@@ -300,9 +303,11 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 			continue
 		}
 		failures = 0
-		q, state, numFree = p2.Q, p2.State, p2.NumFree
+		proj, projNext = projNext, proj
+		grad, gradNext = gradNext, grad
+		q = proj.Q
 		copy(z, newZ)
-		obj, grad = newObj, newGrad
+		obj = newObj
 		if obj < bestObj {
 			bestObj = obj
 			bestQ.CopyFrom(q)
@@ -379,54 +384,16 @@ func OptimizeBest(w workload.Workload, eps float64, o Options, candidates ...*st
 	return best, nil
 }
 
-// objectiveGrad evaluates L(Q) = tr[(QᵀD_p⁻¹Q)⁻¹ G] and its gradient, where
-// D_p = Diag(Q·p); a nil prior means p = 1 (the paper's uniform objective).
-// It returns an error when QᵀD_p⁻¹Q is numerically singular (the strategy
-// cannot express a full-rank workload).
+// objectiveGrad evaluates L(Q) = tr[(QᵀD_p⁻¹Q)⁻¹ G] and its gradient with a
+// freshly allocated workspace and gradient; it backs the one-shot public
+// entry points. The hot loop in run uses Workspace.ObjectiveGrad directly so
+// steady-state iterations allocate nothing.
 func objectiveGrad(q, gram *linalg.Matrix, prior []float64) (float64, *linalg.Matrix, error) {
-	m, n := q.Rows(), q.Cols()
-	var d []float64
-	if prior == nil {
-		d = q.RowSums()
-	} else {
-		d = q.MulVec(prior)
-	}
-	dinv := make([]float64, m)
-	for i, v := range d {
-		if v <= 0 {
-			return 0, nil, fmt.Errorf("core: output %d has zero mass", i)
-		}
-		dinv[i] = 1 / v
-	}
-	qs := q.Clone().ScaleRows(dinv) // D⁻¹Q
-	msym := linalg.MulAtB(q, qs)    // M = QᵀD⁻¹Q
-	msym.Symmetrize()
-
-	ch, err := linalg.FactorCholesky(msym)
+	ws := NewWorkspace(q.Rows(), q.Cols())
+	grad := linalg.New(q.Rows(), q.Cols())
+	obj, err := ws.ObjectiveGrad(q, gram, prior, grad)
 	if err != nil {
-		return 0, nil, fmt.Errorf("core: M = QᵀD⁻¹Q singular: %w", err)
-	}
-	y := ch.Solve(gram) // M⁻¹G
-	obj := y.Trace()
-	s := ch.Solve(y.T()) // M⁻¹GᵀM⁻¹ = S (G symmetric)
-	s.Symmetrize()
-
-	gamma := linalg.Mul(qs, s) // Γ = D⁻¹QS (m×n)
-	grad := linalg.New(m, n)
-	for o := 0; o < m; o++ {
-		h := linalg.Dot(gamma.Row(o), qs.Row(o)) // diag(Qs S Qsᵀ)_o
-		gRow := grad.Row(o)
-		gaRow := gamma.Row(o)
-		if prior == nil {
-			for u := 0; u < n; u++ {
-				gRow[u] = -2*gaRow[u] + h
-			}
-		} else {
-			// dD_p = Diag(dQ·p): the h term picks up the prior weight.
-			for u := 0; u < n; u++ {
-				gRow[u] = -2*gaRow[u] + h*prior[u]
-			}
-		}
+		return 0, nil, err
 	}
 	return obj, grad, nil
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+func workspaceFixture(t *testing.T, n int) (q, gram *linalg.Matrix) {
+	t.Helper()
+	m := 4 * n
+	rng := rand.New(rand.NewSource(21))
+	gram = workload.NewPrefix(n).Gram()
+	z := linalg.Constant(m, 0.7/float64(m))
+	r := linalg.New(m, n)
+	for i := range r.Data() {
+		r.Data()[i] = rng.Float64()
+	}
+	proj, err := opt.ProjectMatrix(r, z, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj.Q, gram
+}
+
+// TestWorkspaceObjectiveGradMatchesOneShot checks that repeated evaluations
+// through a reused Workspace are bit-identical to the one-shot public entry
+// point, with and without a prior, including after the workspace was used for
+// a different Q.
+func TestWorkspaceObjectiveGradMatchesOneShot(t *testing.T) {
+	for _, n := range []int{4, 16, 32} {
+		q, gram := workspaceFixture(t, n)
+		ws := NewWorkspace(q.Rows(), q.Cols())
+		grad := linalg.New(q.Rows(), q.Cols())
+
+		prior := make([]float64, n)
+		for u := range prior {
+			prior[u] = 1 + float64(u%3)
+		}
+		for _, p := range [][]float64{nil, prior} {
+			wantObj, wantGrad, err := objectiveGrad(q, gram, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				obj, err := ws.ObjectiveGrad(q, gram, p, grad)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if obj != wantObj {
+					t.Fatalf("n=%d rep=%d: workspace obj %v, one-shot %v", n, rep, obj, wantObj)
+				}
+				if !linalg.ApproxEqual(grad, wantGrad, 0) {
+					t.Fatalf("n=%d rep=%d: workspace gradient differs bit-for-bit", n, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkspaceShapeMismatch(t *testing.T) {
+	q, gram := workspaceFixture(t, 8)
+	ws := NewWorkspace(q.Rows()+1, q.Cols())
+	grad := linalg.New(q.Rows(), q.Cols())
+	if _, err := ws.ObjectiveGrad(q, gram, nil, grad); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+// TestWorkspaceSteadyStateAllocFree pins the tentpole property: after warmup,
+// objective+gradient evaluation allocates nothing (measured at GOMAXPROCS=1
+// where no fan-out goroutines are spawned).
+func TestWorkspaceSteadyStateAllocFree(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	q, gram := workspaceFixture(t, 32)
+	ws := NewWorkspace(q.Rows(), q.Cols())
+	grad := linalg.New(q.Rows(), q.Cols())
+	if _, err := ws.ObjectiveGrad(q, gram, nil, grad); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ws.ObjectiveGrad(q, gram, nil, grad); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state ObjectiveGrad allocates %v times per call", allocs)
+	}
+}
+
+// TestOptimizeUnderParallelKernels runs a full optimization at an elevated
+// GOMAXPROCS so the goroutine-parallel kernels actually fan out, and checks
+// the result matches the serial run bit-for-bit (the kernels promise
+// split-independent accumulation order).
+func TestOptimizeUnderParallelKernels(t *testing.T) {
+	w := workload.NewPrefix(16)
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := Optimize(w, 1.0, Options{Iters: 60, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial.Objective != parallel.Objective {
+		t.Fatalf("objective differs across GOMAXPROCS: %v vs %v", serial.Objective, parallel.Objective)
+	}
+	if !linalg.ApproxEqual(serial.Strategy.Q, parallel.Strategy.Q, 0) {
+		t.Fatal("optimized strategy differs across GOMAXPROCS")
+	}
+	if len(serial.History) != len(parallel.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(serial.History), len(parallel.History))
+	}
+	for i := range serial.History {
+		if serial.History[i] != parallel.History[i] {
+			t.Fatalf("history[%d] differs: %v vs %v", i, serial.History[i], parallel.History[i])
+		}
+	}
+}

@@ -8,6 +8,12 @@
 // requests paper-scale parameters. The paper's qualitative findings — which
 // mechanism wins, the slopes in log-log space, the crossovers — hold at both
 // scales; EXPERIMENTS.md records the comparison.
+//
+// Sweep grids fan out across a bounded worker pool (Config.Workers; default
+// one worker per CPU). Every cell of a grid derives its random seed from the
+// base seed and the cell's coordinates rather than from iteration order, so
+// parallel and serial sweeps — and any two worker counts — produce
+// byte-identical figures.
 package experiments
 
 import (
@@ -34,10 +40,16 @@ type Config struct {
 	// Full requests paper-scale parameters (n = 512 etc.); default is a
 	// reduced scale that completes in minutes.
 	Full bool
-	// Seed drives all randomness.
+	// Seed drives all randomness. Every sweep cell derives its own seed from
+	// Seed and the cell's grid coordinates (cellSeed), so results are
+	// reproducible cell-by-cell at any Workers setting.
 	Seed int64
 	// Iters overrides the optimizer iteration budget (0 = default).
 	Iters int
+	// Workers bounds the sweep worker pool: sweep cells fan out across this
+	// many goroutines (0 = one per CPU, 1 = serial). Figure outputs are
+	// byte-identical at every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +127,60 @@ func sampleComplexityRow(ms []mechanism.Mechanism, w workload.Workload, alpha fl
 	return out
 }
 
+// figureTag namespaces cellSeed coordinates so different figures never share
+// per-cell seeds.
+const (
+	tagEpsilon = 1
+	tagDomain  = 2
+	tagInit    = 3
+	tagWNNLS   = 4
+)
+
+// sweepGrid runs the (workload × point) grid shared by Figures 1 and 2:
+// every cell builds its workload, optimizes at its derived seed, and
+// evaluates sample complexity; cells fan out across cfg.Workers goroutines
+// and are assembled in grid order, so the result is identical at any worker
+// count.
+func sweepGrid(cfg Config, tag int, points []float64, domainFor func(p float64) int, epsFor func(p float64) float64) ([]Sweep, error) {
+	names := workload.PaperWorkloads
+	rows := make([]map[string]float64, len(names)*len(points))
+	err := forEachCell(len(rows), cfg.Workers, func(i int) error {
+		wi, pi := i/len(points), i%len(points)
+		w, err := workload.ByName(names[wi], domainFor(points[pi]))
+		if err != nil {
+			return err
+		}
+		cell := cfg
+		cell.Seed = cellSeed(cfg.Seed, tag, wi, pi)
+		ms, err := mechanismsFor(w, epsFor(points[pi]), cell)
+		if err != nil {
+			return err
+		}
+		rows[i] = sampleComplexityRow(ms, w, cfg.Alpha)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sweep, 0, len(names))
+	for wi, name := range names {
+		sweep := Sweep{Workload: name, Points: points}
+		for _, mn := range MechanismNames {
+			values := make([]float64, len(points))
+			for pi := range points {
+				v, ok := rows[wi*len(points)+pi][mn]
+				if !ok {
+					v = math.Inf(1)
+				}
+				values[pi] = v
+			}
+			sweep.Series = append(sweep.Series, Series{Mechanism: mn, Values: values})
+		}
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
 // FigureEpsilon reproduces Figure 1: sample complexity of the seven
 // mechanisms on the six workloads as ε varies, at a fixed domain size
 // (512 at paper scale, 32 reduced).
@@ -126,74 +192,22 @@ func FigureEpsilon(cfg Config) ([]Sweep, error) {
 		n = 512
 		epsilons = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
 	}
-	var out []Sweep
-	for _, name := range workload.PaperWorkloads {
-		w, err := workload.ByName(name, n)
-		if err != nil {
-			return nil, err
-		}
-		sweep := Sweep{Workload: name, Points: epsilons}
-		values := make(map[string][]float64)
-		for _, eps := range epsilons {
-			ms, err := mechanismsFor(w, eps, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := sampleComplexityRow(ms, w, cfg.Alpha)
-			for _, mn := range MechanismNames {
-				v, ok := row[mn]
-				if !ok {
-					v = math.Inf(1)
-				}
-				values[mn] = append(values[mn], v)
-			}
-		}
-		for _, mn := range MechanismNames {
-			sweep.Series = append(sweep.Series, Series{Mechanism: mn, Values: values[mn]})
-		}
-		out = append(out, sweep)
-	}
-	return out, nil
+	return sweepGrid(cfg, tagEpsilon, epsilons,
+		func(float64) int { return n },
+		func(p float64) float64 { return p })
 }
 
 // FigureDomain reproduces Figure 2: sample complexity as the domain size n
 // varies at ε = 1 (n up to 1024 at paper scale, 64 reduced).
 func FigureDomain(cfg Config) ([]Sweep, error) {
 	cfg = cfg.withDefaults()
-	domains := []int{8, 16, 32, 64}
+	domains := []float64{8, 16, 32, 64}
 	if cfg.Full {
-		domains = []int{8, 16, 32, 64, 128, 256, 512, 1024}
+		domains = []float64{8, 16, 32, 64, 128, 256, 512, 1024}
 	}
-	const eps = 1.0
-	var out []Sweep
-	for _, name := range workload.PaperWorkloads {
-		sweep := Sweep{Workload: name}
-		values := make(map[string][]float64)
-		for _, n := range domains {
-			w, err := workload.ByName(name, n)
-			if err != nil {
-				return nil, err
-			}
-			sweep.Points = append(sweep.Points, float64(n))
-			ms, err := mechanismsFor(w, eps, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := sampleComplexityRow(ms, w, cfg.Alpha)
-			for _, mn := range MechanismNames {
-				v, ok := row[mn]
-				if !ok {
-					v = math.Inf(1)
-				}
-				values[mn] = append(values[mn], v)
-			}
-		}
-		for _, mn := range MechanismNames {
-			sweep.Series = append(sweep.Series, Series{Mechanism: mn, Values: values[mn]})
-		}
-		out = append(out, sweep)
-	}
-	return out, nil
+	return sweepGrid(cfg, tagDomain, domains,
+		func(p float64) int { return int(p) },
+		func(float64) float64 { return 1.0 })
 }
 
 // DatasetRow is one bar group of Figure 3a: a dataset with the sample
@@ -220,6 +234,19 @@ func FigureDatasets(cfg Config) ([]DatasetRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One variance profile per mechanism, computed once (the seed recomputed
+	// it per dataset) and in parallel.
+	profiles := make([]*strategy.VarianceProfile, len(ms))
+	if err := forEachCell(len(ms), cfg.Workers, func(i int) error {
+		vp, err := ms[i].Profile(w)
+		if err != nil {
+			return nil // inapplicable mechanism: leave profile nil → +Inf below
+		}
+		profiles[i] = vp
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	total := 100000
 	var rows []DatasetRow
 	for _, ds := range dataset.Names {
@@ -228,24 +255,22 @@ func FigureDatasets(cfg Config) ([]DatasetRow, error) {
 			return nil, err
 		}
 		row := DatasetRow{Dataset: ds, Values: map[string]float64{}}
-		for _, m := range ms {
-			vp, err := m.Profile(w)
-			if err != nil {
+		for i, m := range ms {
+			if profiles[i] == nil {
 				row.Values[m.Name()] = math.Inf(1)
 				continue
 			}
-			row.Values[m.Name()] = vp.SampleComplexityOnData(x, cfg.Alpha)
+			row.Values[m.Name()] = profiles[i].SampleComplexityOnData(x, cfg.Alpha)
 		}
 		rows = append(rows, row)
 	}
 	worst := DatasetRow{Dataset: "Worst-case", Values: map[string]float64{}}
-	for _, m := range ms {
-		vp, err := m.Profile(w)
-		if err != nil {
+	for i, m := range ms {
+		if profiles[i] == nil {
 			worst.Values[m.Name()] = math.Inf(1)
 			continue
 		}
-		worst.Values[m.Name()] = vp.SampleComplexity(cfg.Alpha)
+		worst.Values[m.Name()] = profiles[i].SampleComplexity(cfg.Alpha)
 	}
 	rows = append(rows, worst)
 	return rows, nil
@@ -274,37 +299,49 @@ func FigureInit(cfg Config) ([]InitPoint, error) {
 		factors = []int{1, 4, 8, 12, 16}
 	}
 	const eps = 1.0
-	var out []InitPoint
-	for _, name := range workload.PaperWorkloads {
-		w, err := workload.ByName(name, n)
+	names := workload.PaperWorkloads
+	// One cell per (workload, m-factor, trial) restart; each runs its own
+	// optimization at a coordinate-derived seed.
+	vars := make([]float64, len(names)*len(factors)*trials)
+	err := forEachCell(len(vars), cfg.Workers, func(i int) error {
+		wi := i / (len(factors) * trials)
+		fi := i / trials % len(factors)
+		trial := i % trials
+		w, err := workload.ByName(names[wi], n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		variances := make(map[int][]float64)
+		// The seed keeps the seed repo's formula — already derived from the
+		// cell coordinates (m-factor, trial), not iteration order.
+		res, err := core.Optimize(w, eps, core.Options{
+			Iters:        cfg.Iters,
+			Seed:         cfg.Seed + int64(1000*factors[fi]+trial),
+			OutputFactor: factors[fi],
+		})
+		if err != nil {
+			return err
+		}
+		vp, err := res.Strategy.Variances(w.Gram(), w.Queries())
+		if err != nil {
+			return err
+		}
+		vars[i] = vp.Worst(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []InitPoint
+	for wi, name := range names {
+		block := vars[wi*len(factors)*trials : (wi+1)*len(factors)*trials]
 		best := math.Inf(1)
-		for _, f := range factors {
-			for trial := 0; trial < trials; trial++ {
-				res, err := core.Optimize(w, eps, core.Options{
-					Iters:        cfg.Iters,
-					Seed:         cfg.Seed + int64(1000*f+trial),
-					OutputFactor: f,
-				})
-				if err != nil {
-					return nil, err
-				}
-				vp, err := res.Strategy.Variances(w.Gram(), w.Queries())
-				if err != nil {
-					return nil, err
-				}
-				v := vp.Worst(1)
-				variances[f] = append(variances[f], v)
-				if v < best {
-					best = v
-				}
+		for _, v := range block {
+			if v < best {
+				best = v
 			}
 		}
-		for _, f := range factors {
-			vs := variances[f]
+		for fi, f := range factors {
+			vs := block[fi*trials : (fi+1)*trials]
 			mn, md, mx := minMedianMax(vs)
 			out = append(out, InitPoint{
 				Workload: name, MFactor: f,
@@ -325,7 +362,10 @@ type ScalePoint struct {
 
 // FigureScalability reproduces Figure 3c: per-iteration optimization time
 // versus domain size, with W = I (the per-iteration cost depends on WᵀW only
-// through its size; Section 6.6).
+// through its size; Section 6.6). It deliberately stays serial — it is a
+// timing measurement, and concurrent cells would contend for cores and skew
+// the readings (the optimizer itself still uses the parallel kernels, which
+// is exactly what the figure should measure).
 func FigureScalability(cfg Config) ([]ScalePoint, error) {
 	cfg = cfg.withDefaults()
 	domains := []int{16, 32, 64, 128}
@@ -395,34 +435,40 @@ func FigureWNNLS(cfg Config) ([]WNNLSRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []WNNLSRow
-	for _, name := range workload.PaperWorkloads {
-		w, err := workload.ByName(name, n)
+	names := workload.PaperWorkloads
+	out := make([]WNNLSRow, len(names))
+	err = forEachCell(len(names), cfg.Workers, func(wi int) error {
+		w, err := workload.ByName(names[wi], n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := core.Optimize(w, eps, core.Options{Iters: cfg.Iters, Seed: cfg.Seed})
+		res, err := core.Optimize(w, eps, core.Options{Iters: cfg.Iters, Seed: cellSeed(cfg.Seed, tagWNNLS, wi, 0)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := simulate.NewProtocol(res.Strategy, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		raw, err := p.MonteCarlo(x, trials, false, cfg.Seed+1)
+		mcSeed := cellSeed(cfg.Seed, tagWNNLS, wi, 1)
+		raw, err := p.MonteCarlo(x, trials, false, mcSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cons, err := p.MonteCarlo(x, trials, true, cfg.Seed+1)
+		cons, err := p.MonteCarlo(x, trials, true, mcSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, WNNLSRow{
-			Workload:    name,
+		out[wi] = WNNLSRow{
+			Workload:    names[wi],
 			Default:     raw.Normalized,
 			WNNLS:       cons.Normalized,
 			Improvement: raw.Normalized / cons.Normalized,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep grids of Figures 1–4 are embarrassingly parallel: every
+// (workload, sweep-point) cell is an independent optimization + evaluation.
+// forEachCell fans the cells out across a bounded worker pool; cellSeed gives
+// every cell a seed derived from its grid coordinates, not from iteration
+// order, so a parallel sweep produces byte-identical figures to a serial one
+// (and to any other worker count or scheduling).
+
+// forEachCell runs fn(i) for every i in [0, total) on a pool of the given
+// number of workers (0 or less means one per CPU). fn must only write state
+// owned by cell i. On failure the pool stops dispatching further cells and
+// the first error by cell index is returned — deterministically, regardless
+// of completion order (cells are dispatched in index order, so the
+// lowest-index failure is always among the dispatched cells).
+func forEachCell(total, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, total)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Stop picking up new cells once any cell has failed —
+				// sweep cells cost seconds each, and the caller only wants
+				// the (deterministic, lowest-index) error. In-flight cells
+				// finish; their results are simply discarded by the caller.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellSeed derives a decorrelated per-cell seed from the base seed and the
+// cell's grid coordinates using splitmix64 steps. Equal coordinates always
+// give equal seeds, so figures are reproducible cell-by-cell no matter how
+// the grid is ordered or scheduled.
+func cellSeed(base int64, coords ...int) int64 {
+	h := uint64(base) ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		h += v + 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	for _, c := range coords {
+		mix(uint64(c) + 1)
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

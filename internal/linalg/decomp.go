@@ -147,11 +147,28 @@ type Cholesky struct {
 // definite matrix. It returns ErrSingular if a non-positive pivot is
 // encountered (the matrix is not numerically positive definite).
 func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	c := new(Cholesky)
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factor computes the Cholesky factorization of a into c, reusing c's storage
+// when the shape matches (so repeated factorizations at a fixed size
+// allocate nothing). See FactorCholesky for the error contract.
+func (c *Cholesky) Factor(a *Matrix) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+		return fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
 	}
 	n := a.rows
-	l := New(n, n)
+	l := c.l
+	if l == nil || l.rows != n || l.cols != n {
+		l = New(n, n)
+		c.l = l
+	} else {
+		clear(l.data)
+	}
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		lj := l.Row(j)
@@ -159,7 +176,7 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 			d -= lj[k] * lj[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
@@ -172,7 +189,7 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 			l.Set(i, j, s/ljj)
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // L returns the lower-triangular factor (aliasing internal storage).
@@ -207,19 +224,81 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 
 // Solve solves A X = B given A = L Lᵀ.
 func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	out := New(c.l.rows, b.cols)
+	c.SolveTo(out, b)
+	return out
+}
+
+// SolveTo solves A X = B into dst given A = L Lᵀ, reusing dst's storage. dst
+// must have b's shape and must not alias b or the factor. Columns are
+// independent triangular solves, processed in blocks that fan out across
+// GOMAXPROCS goroutines for large right-hand sides; each element accumulates
+// in the same order as SolveVec, so results are bit-identical to the serial
+// column-at-a-time solve at any worker count.
+func (c *Cholesky) SolveTo(dst, b *Matrix) {
 	n := c.l.rows
 	if b.rows != n {
-		panic("linalg: Cholesky Solve shape mismatch")
+		panic("linalg: Cholesky SolveTo shape mismatch")
 	}
-	out := New(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
+	if dst.rows != n || dst.cols != b.cols {
+		panic("linalg: Cholesky SolveTo dst shape mismatch")
+	}
+	w := b.cols
+	if !ShouldParallel(w, 2*n*n*w) {
+		c.solveToCols(dst, b, 0, w)
+		return
+	}
+	ParallelRange(w, 2*n*n*w, func(_, lo, hi int) {
+		c.solveToCols(dst, b, lo, hi)
+	})
+}
+
+// solveToCols solves the column block [lo, hi) of A X = B into dst in place:
+// copy B in, then run the forward and back substitutions row-wise so L
+// streams row-major once per block.
+func (c *Cholesky) solveToCols(dst, b *Matrix, lo, hi int) {
+	n := c.l.rows
+	w := b.cols
+	for i := 0; i < n; i++ {
+		copy(dst.data[i*w+lo:i*w+hi], b.data[i*w+lo:i*w+hi])
+	}
+	// Forward: L Y = B.
+	for i := 0; i < n; i++ {
+		ri := c.l.Row(i)
+		drow := dst.data[i*w : (i+1)*w]
+		for k := 0; k < i; k++ {
+			lik := ri[k]
+			if lik == 0 {
+				continue
+			}
+			krow := dst.data[k*w : (k+1)*w]
+			for j := lo; j < hi; j++ {
+				drow[j] -= lik * krow[j]
+			}
 		}
-		out.SetCol(j, c.SolveVec(col))
+		lii := ri[i]
+		for j := lo; j < hi; j++ {
+			drow[j] /= lii
+		}
 	}
-	return out
+	// Back: Lᵀ X = Y.
+	for i := n - 1; i >= 0; i-- {
+		drow := dst.data[i*w : (i+1)*w]
+		for k := i + 1; k < n; k++ {
+			lki := c.l.At(k, i)
+			if lki == 0 {
+				continue
+			}
+			krow := dst.data[k*w : (k+1)*w]
+			for j := lo; j < hi; j++ {
+				drow[j] -= lki * krow[j]
+			}
+		}
+		lii := c.l.At(i, i)
+		for j := lo; j < hi; j++ {
+			drow[j] /= lii
+		}
+	}
 }
 
 // LogDet returns log det(A) = 2 Σ log L_ii for the factored matrix.

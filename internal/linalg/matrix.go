@@ -4,10 +4,27 @@
 //
 // Everything is implemented on top of the standard library only. Matrices are
 // dense, row-major, and sized for the problem scales of the paper (domains up
-// to a few thousand). The package favors clarity and numerical robustness over
-// squeezing the last constant factor: the optimization loop in internal/core
-// is the only hot path, and it is dominated by O(n^2 m) matrix products that
-// use cache-friendly ikj loops below.
+// to a few thousand).
+//
+// # Destination-passing (*To) variants and aliasing rules
+//
+// The hot path in internal/core runs thousands of iterations at a fixed
+// shape, so every allocating operation used there has a destination-passing
+// variant (MulTo, MulAtBTo, MulABtTo, MulVecTo, RowSumsTo, ScaleRowsTo,
+// TransposeTo, Cholesky.Factor, Cholesky.SolveTo) that writes into
+// caller-owned storage and allocates nothing in steady state. Unless a
+// variant documents otherwise, dst must not alias any input: results are
+// written incrementally, so an aliased destination would be read after being
+// partially overwritten.
+//
+// # Parallelism and reproducibility
+//
+// Matrix products and multi-column triangular solves above a flop threshold
+// fan out over contiguous row (or column) blocks across GOMAXPROCS
+// goroutines (ParallelRange). Every kernel accumulates each output element
+// in a fixed order independent of the block split, so results are
+// bit-identical to the serial kernel at any GOMAXPROCS — experiment outputs
+// stay reproducible across machines and worker counts.
 package linalg
 
 import (
@@ -126,13 +143,22 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 // T returns the transpose as a new matrix.
 func (m *Matrix) T() *Matrix {
 	out := New(m.cols, m.rows)
+	m.TransposeTo(out)
+	return out
+}
+
+// TransposeTo computes dst = mᵀ into dst, which must have shape
+// m.Cols x m.Rows and must not alias m.
+func (m *Matrix) TransposeTo(dst *Matrix) {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic("linalg: TransposeTo shape mismatch")
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out.data[j*m.rows+i] = v
+			dst.data[j*m.rows+i] = v
 		}
 	}
-	return out
 }
 
 // Scale multiplies every element by s in place and returns m.
@@ -183,67 +209,66 @@ func Mul(a, b *Matrix) *Matrix {
 }
 
 // MulTo computes dst = a*b, reusing dst's storage. dst must have shape
-// a.Rows x b.Cols and must not alias a or b.
+// a.Rows x b.Cols and must not alias a or b. Large products fan out over row
+// blocks across GOMAXPROCS goroutines; results are bit-identical at any
+// worker count (each element accumulates in a fixed order).
 func MulTo(dst, a, b *Matrix) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic("linalg: MulTo shape mismatch")
 	}
-	n := b.cols
-	for i := range dst.data {
-		dst.data[i] = 0
+	if !ShouldParallel(a.rows, a.rows*a.cols*b.cols) {
+		mulToRows(dst, a, b, 0, a.rows)
+		return
 	}
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	ParallelRange(a.rows, a.rows*a.cols*b.cols, func(_, lo, hi int) {
+		mulToRows(dst, a, b, lo, hi)
+	})
 }
 
 // MulAtB returns aᵀ*b without materializing the transpose.
 func MulAtB(a, b *Matrix) *Matrix {
-	if a.rows != b.rows {
-		panic("linalg: MulAtB shape mismatch")
-	}
 	out := New(a.cols, b.cols)
-	n := b.cols
-	for k := 0; k < a.rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	MulAtBTo(out, a, b)
 	return out
+}
+
+// MulAtBTo computes dst = aᵀ*b without materializing the transpose, reusing
+// dst's storage. dst must have shape a.Cols x b.Cols and must not alias a or
+// b. Parallel and bit-reproducible like MulTo.
+func MulAtBTo(dst, a, b *Matrix) {
+	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
+		panic("linalg: MulAtBTo shape mismatch")
+	}
+	if !ShouldParallel(a.cols, a.rows*a.cols*b.cols) {
+		mulAtBToRows(dst, a, b, 0, a.cols)
+		return
+	}
+	ParallelRange(a.cols, a.rows*a.cols*b.cols, func(_, lo, hi int) {
+		mulAtBToRows(dst, a, b, lo, hi)
+	})
 }
 
 // MulABt returns a*bᵀ without materializing the transpose.
 func MulABt(a, b *Matrix) *Matrix {
-	if a.cols != b.cols {
-		panic("linalg: MulABt shape mismatch")
-	}
 	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		drow := out.Row(i)
-		for j := 0; j < b.rows; j++ {
-			drow[j] = Dot(arow, b.Row(j))
-		}
-	}
+	MulABtTo(out, a, b)
 	return out
+}
+
+// MulABtTo computes dst = a*bᵀ without materializing the transpose, reusing
+// dst's storage. dst must have shape a.Rows x b.Rows and must not alias a or
+// b. Parallel and bit-reproducible like MulTo.
+func MulABtTo(dst, a, b *Matrix) {
+	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
+		panic("linalg: MulABtTo shape mismatch")
+	}
+	if !ShouldParallel(a.rows, a.rows*a.cols*b.rows) {
+		mulABtToRows(dst, a, b, 0, a.rows)
+		return
+	}
+	ParallelRange(a.rows, a.rows*a.cols*b.rows, func(_, lo, hi int) {
+		mulABtToRows(dst, a, b, lo, hi)
+	})
 }
 
 // Gram returns aᵀ*a (the Gram matrix of a's columns).
@@ -251,14 +276,23 @@ func Gram(a *Matrix) *Matrix { return MulAtB(a, a) }
 
 // MulVec returns m*x.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	if len(x) != m.cols {
-		panic("linalg: MulVec length mismatch")
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	m.MulVecTo(out, x)
 	return out
+}
+
+// MulVecTo computes dst = m*x, reusing dst (length m.Rows). dst must not
+// alias x.
+func (m *Matrix) MulVecTo(dst, x []float64) {
+	if len(x) != m.cols {
+		panic("linalg: MulVecTo length mismatch")
+	}
+	if len(dst) != m.rows {
+		panic("linalg: MulVecTo dst length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
 }
 
 // MulVecT returns mᵀ*x.
@@ -326,6 +360,26 @@ func (m *Matrix) ScaleRows(s []float64) *Matrix {
 	return m
 }
 
+// ScaleRowsTo computes dst = Diag(s)·m (row i of m scaled by s[i]) into dst,
+// which must share m's shape. dst may alias m (the operation is element-wise).
+func (m *Matrix) ScaleRowsTo(dst *Matrix, s []float64) *Matrix {
+	if len(s) != m.rows {
+		panic("linalg: ScaleRowsTo length mismatch")
+	}
+	if dst.rows != m.rows || dst.cols != m.cols {
+		panic("linalg: ScaleRowsTo shape mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		out := dst.Row(i)
+		si := s[i]
+		for j, v := range src {
+			out[j] = v * si
+		}
+	}
+	return dst
+}
+
 // ScaleCols multiplies column j by s[j] in place and returns m.
 func (m *Matrix) ScaleCols(s []float64) *Matrix {
 	if len(s) != m.cols {
@@ -343,10 +397,18 @@ func (m *Matrix) ScaleCols(s []float64) *Matrix {
 // RowSums returns the vector of row sums (m * 1).
 func (m *Matrix) RowSums() []float64 {
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Sum(m.Row(i))
-	}
+	m.RowSumsTo(out)
 	return out
+}
+
+// RowSumsTo computes the row sums into dst (length m.Rows).
+func (m *Matrix) RowSumsTo(dst []float64) {
+	if len(dst) != m.rows {
+		panic("linalg: RowSumsTo length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Sum(m.Row(i))
+	}
 }
 
 // ColSums returns the vector of column sums (mᵀ * 1).

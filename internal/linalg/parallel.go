@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinFlops is the approximate work (floating-point operations) below
+// which a kernel runs serially: fanning goroutines out costs a few
+// microseconds, so small products are faster single-threaded.
+const parallelMinFlops = 1 << 17
+
+// MaxWorkers returns the fan-out width parallel kernels use: one worker per
+// available CPU (runtime.GOMAXPROCS). Callers that keep per-worker scratch
+// (e.g. opt.Scratch) size it with this.
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ShouldParallel reports whether a kernel over n independent units of the
+// given total cost will fan out. Callers with allocation-free serial paths
+// check it first and only build the fan-out closure when it returns true
+// (constructing a capturing closure heap-allocates, which the serial hot
+// path must avoid).
+func ShouldParallel(n, cost int) bool {
+	return n > 1 && cost >= parallelMinFlops && MaxWorkers() > 1
+}
+
+// ParallelRange splits [0, n) into at most MaxWorkers contiguous blocks and
+// invokes fn(worker, lo, hi) for each, concurrently when cost (an approximate
+// flop count for the whole range) is large enough to amortize the fan-out.
+// Worker indices are dense in [0, MaxWorkers()), so fn may index per-worker
+// scratch with them; each index is in flight at most once per call.
+//
+// fn must only write state disjoint across blocks. Block boundaries depend on
+// GOMAXPROCS, so bit-reproducible callers must make each element's result
+// independent of the split (all kernels in this package accumulate each
+// output element in a fixed order, making them bit-identical to their serial
+// counterparts at any worker count).
+func ParallelRange(n, cost int, fn func(worker, lo, hi int)) {
+	if !ShouldParallel(n, cost) {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulToRows computes rows [lo, hi) of dst = a*b with the cache-friendly ikj
+// loop. Each dst element accumulates over k in ascending order, so any row
+// partition yields bit-identical results.
+func mulToRows(dst, a, b *Matrix, lo, hi int) {
+	n := b.cols
+	clear(dst.data[lo*n : hi*n])
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulAtBToRows computes rows [lo, hi) of dst = aᵀ*b (row i of dst is column i
+// of a against b). The k loop is outermost so a and b stream row-major; each
+// dst element still accumulates over k in ascending order.
+func mulAtBToRows(dst, a, b *Matrix, lo, hi int) {
+	n := b.cols
+	clear(dst.data[lo*n : hi*n])
+	for k := 0; k < a.rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulABtToRows computes rows [lo, hi) of dst = a*bᵀ.
+func mulABtToRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// sweepLambda is the O(m log m) sorted-sweep reference for the breakpoint
+// search (the seed implementation), kept as an oracle for the
+// quickselect-style solveLambda.
+func sweepLambda(r, z []float64, e float64) float64 {
+	type breakpoint struct {
+		lam   float64
+		slope float64
+	}
+	m := len(r)
+	bps := make([]breakpoint, 0, 2*m)
+	sumZ := 0.0
+	for o := 0; o < m; o++ {
+		sumZ += z[o]
+		bps = append(bps,
+			breakpoint{lam: z[o] - r[o], slope: +1},
+			breakpoint{lam: e*z[o] - r[o], slope: -1},
+		)
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].lam < bps[j].lam })
+	total := sumZ
+	slope := 0.0
+	prev := math.Inf(-1)
+	for _, bp := range bps {
+		if slope > 0 {
+			needed := (1 - total) / slope
+			if prev+needed <= bp.lam {
+				return prev + needed
+			}
+			total += slope * (bp.lam - prev)
+		}
+		slope += bp.slope
+		prev = bp.lam
+	}
+	return prev
+}
+
+func clipSum(r, z []float64, e, lam float64) float64 {
+	s := 0.0
+	for o := range r {
+		v := r[o] + lam
+		if v < z[o] {
+			v = z[o]
+		} else if v > e*z[o] {
+			v = e * z[o]
+		}
+		s += v
+	}
+	return s
+}
+
+// TestSolveLambdaMatchesSweep fuzzes the pivoting solver against the sorted
+// sweep it replaced: the shifts must agree to round-off, and both must
+// satisfy the sum constraint Σ clip(r+λ, z, ez) = 1.
+func TestSolveLambdaMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		m := 1 + rng.Intn(80)
+		eps := 0.2 + 3*rng.Float64()
+		e := math.Exp(eps)
+		z := make([]float64, m)
+		// Feasible z: Σz uniform in (e^-eps, 1).
+		target := math.Exp(-eps) + rng.Float64()*(1-math.Exp(-eps))
+		s := 0.0
+		for o := range z {
+			z[o] = rng.Float64()
+			s += z[o]
+		}
+		for o := range z {
+			z[o] *= target / s
+		}
+		r := make([]float64, m)
+		for o := range r {
+			r[o] = rng.NormFloat64()
+		}
+		got := solveLambda(make([]int32, m), r, z, e)
+		want := sweepLambda(r, z, e)
+		scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+		if math.Abs(got-want) > 1e-9*scale {
+			t.Fatalf("trial %d (m=%d, eps=%g): solveLambda = %v, sweep = %v", trial, m, eps, got, want)
+		}
+		if f := clipSum(r, z, e, got); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("trial %d: Σ clip = %v at λ = %v, want 1", trial, f, got)
+		}
+	}
+}
+
+// TestSolveLambdaNonFiniteTerminates is the regression test for the
+// narrowing loop hanging on non-finite input: a NaN or Inf coordinate never
+// retires from the active set, so solveLambda must detect it up front and
+// return NaN (which downstream turns into a NaN column the optimizer's
+// blow-up safeguard absorbs) rather than spin forever like an unguarded
+// quickselect would.
+func TestSolveLambdaNonFiniteTerminates(t *testing.T) {
+	z := []float64{0.2, 0.2, 0.2, 0.2}
+	for _, r := range [][]float64{
+		{0.1, math.NaN(), 0.3, 0.2},
+		{0.1, math.Inf(1), 0.3, 0.2},
+		{0.1, math.Inf(-1), 0.3, 0.2},
+	} {
+		done := make(chan float64, 1)
+		go func() {
+			done <- solveLambda(make([]int32, len(r)), r, z, math.E)
+		}()
+		select {
+		case lam := <-done:
+			if !math.IsNaN(lam) {
+				t.Errorf("r=%v: got λ=%v, want NaN", r, lam)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("r=%v: solveLambda did not terminate", r)
+		}
+	}
+	// The matrix-level entry point must terminate too (and the NaN column it
+	// produces is what core's blow-up safeguard handles).
+	rm := linalg.New(4, 2)
+	rm.Set(1, 0, math.NaN())
+	var out MatrixProjection
+	var ws Scratch
+	if err := ProjectMatrixInto(&out, &ws, rm, z, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.Q.At(0, 0)) {
+		t.Errorf("NaN column 0 projected to %v, want NaN propagation", out.Q.At(0, 0))
+	}
+	if math.IsNaN(out.Q.At(0, 1)) {
+		t.Error("finite column 1 was polluted by column 0's NaN")
+	}
+}
+
+// TestSolveLambdaConstantZ exercises the heavily tied regime (all z equal —
+// the optimizer's first iteration) where breakpoint ties are systematic.
+func TestSolveLambdaConstantZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, m := range []int{1, 2, 16, 256} {
+		eps := 1.0
+		e := math.Exp(eps)
+		z := make([]float64, m)
+		for o := range z {
+			z[o] = 0.7 / float64(m)
+		}
+		r := make([]float64, m)
+		for o := range r {
+			r[o] = rng.Float64()
+		}
+		got := solveLambda(make([]int32, m), r, z, e)
+		want := sweepLambda(r, z, e)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("m=%d: solveLambda = %v, sweep = %v", m, got, want)
+		}
+		if f := clipSum(r, z, e, got); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("m=%d: Σ clip = %v, want 1", m, f)
+		}
+	}
+}

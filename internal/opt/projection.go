@@ -3,13 +3,20 @@
 // for projected gradient methods, a power-iteration spectral-norm estimator,
 // and an accelerated projected-gradient non-negative least squares solver used
 // by the WNNLS post-processing step (Appendix A).
+//
+// The projection is the optimizer's per-iteration hot spot, so it comes in
+// two forms: the allocating ProjectColumn/ProjectMatrix, and the
+// destination-passing ProjectMatrixInto which reuses a caller-owned
+// MatrixProjection plus a Scratch of per-worker buffers and allocates nothing
+// in steady state. Columns are independent, so ProjectMatrixInto fans them
+// out across GOMAXPROCS goroutines; results are bit-identical to the serial
+// path at any worker count.
 package opt
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/linalg"
 )
@@ -31,6 +38,146 @@ const (
 // {q : z ≤ q ≤ e^ε z, 1ᵀq = 1} is empty, i.e. Σz > 1 or e^ε Σz < 1.
 var ErrInfeasible = errors.New("opt: bounded simplex is empty for the given z and ε")
 
+// The kinks of the piecewise-linear sum f(λ) = Σ clip(r+λ, z, ez) come in two
+// families: λ = z_o − r_o where a coordinate becomes free (slope +1) and
+// λ = e·z_o − r_o where it clips high (slope −1).
+
+// validateZ checks non-negativity and feasibility of the bound vector.
+func validateZ(z []float64, e float64) error {
+	sumZ := 0.0
+	for _, v := range z {
+		if v < 0 {
+			return fmt.Errorf("opt: z must be non-negative, got %g", v)
+		}
+		sumZ += v
+	}
+	const tol = 1e-12
+	if sumZ > 1+tol || e*sumZ < 1-tol {
+		return fmt.Errorf("%w: Σz = %g, e^ε Σz = %g", ErrInfeasible, sumZ, e*sumZ)
+	}
+	return nil
+}
+
+// pivotIn returns a breakpoint of coordinate o that lies strictly inside
+// (a, b). Every active coordinate has one (that is what active means).
+func pivotIn(o int32, r, z []float64, e, a, b float64) float64 {
+	lo := z[o] - r[o]
+	if lo > a && lo < b {
+		return lo
+	}
+	return e*z[o] - r[o]
+}
+
+// solveLambda finds the leftmost shift λ with f(λ) = Σ clip(r + λ, z, e·z) = 1
+// (Proposition 4.2 / Algorithm 1) by deterministic quickselect-style pivoting
+// over the 2m breakpoints — the standard expected-O(m) simplex-projection
+// narrowing (no sort): keep an interval (a, b) bracketing the crossing, pick a
+// median-of-three breakpoint inside it, evaluate f there in one pass over the
+// still-active coordinates, and discard every coordinate whose clip status is
+// decided for the whole interval. act is caller-owned scratch of length m.
+//
+// Pivots are chosen deterministically from the data, so the result is a pure
+// function of (r, z, e) — parallel and serial projections agree bit-for-bit.
+func solveLambda(act []int32, r, z []float64, e float64) float64 {
+	m := len(r)
+	act = act[:m]
+	for o := range act {
+		act[o] = int32(o)
+		// A non-finite coordinate would never retire (NaN fails every
+		// comparison) and would stall the narrowing loop. Bail out with NaN:
+		// the caller's projection then yields a NaN column, which the
+		// optimizer's blow-up safeguard already handles (the seed's sorted
+		// sweep likewise returned garbage for non-finite input, but
+		// terminated).
+		if lo := z[o] - r[o]; math.IsNaN(lo) || math.IsInf(lo, 0) {
+			return math.NaN()
+		}
+		// e*z can overflow for extreme ε even with feasible (bounded) z.
+		if hi := e*z[o] - r[o]; math.IsNaN(hi) || math.IsInf(hi, 0) {
+			return math.NaN()
+		}
+	}
+	a, b := math.Inf(-1), math.Inf(1)
+	// f(λ) restricted to λ ∈ (a, b) is base + nfree·λ plus the active
+	// coordinates' clip terms: base accumulates the decided contributions
+	// (z_o for clipped-low, e·z_o for clipped-high, r_o for free).
+	base := 0.0
+	nfree := 0
+	for len(act) > 0 {
+		// Median-of-three deterministic pivot, strictly inside (a, b).
+		p := pivotIn(act[0], r, z, e, a, b)
+		if len(act) > 2 {
+			p1 := pivotIn(act[len(act)/2], r, z, e, a, b)
+			p2 := pivotIn(act[len(act)-1], r, z, e, a, b)
+			// Median of p, p1, p2.
+			if p > p1 {
+				p, p1 = p1, p
+			}
+			if p1 > p2 {
+				p1 = p2
+			}
+			if p < p1 {
+				p = p1
+			}
+		}
+		// Evaluate f(p) over the active coordinates.
+		f := base + float64(nfree)*p
+		for _, o := range act {
+			v := r[o] + p
+			if zo := z[o]; v < zo {
+				v = zo
+			} else if hi := e * zo; v > hi {
+				v = hi
+			}
+			f += v
+		}
+		// f is nondecreasing: the leftmost crossing is ≤ p iff f(p) ≥ 1.
+		if f >= 1 {
+			b = p
+		} else {
+			a = p
+		}
+		// Retire coordinates with no breakpoint left inside (a, b): their
+		// clip status is constant across the remaining interval.
+		w := 0
+		for _, o := range act {
+			lo := z[o] - r[o]
+			hi := e*z[o] - r[o]
+			switch {
+			case lo >= b: // clipped low for every λ ≤ b
+				base += z[o]
+			case hi <= a: // clipped high for every λ > a
+				base += e * z[o]
+			case lo <= a && hi >= b: // free on the whole interval
+				base += r[o]
+				nfree++
+			default:
+				act[w] = o
+				w++
+			}
+		}
+		act = act[:w]
+	}
+	// No breakpoints left in (a, b): f is linear there with slope nfree,
+	// f(λ) = base + nfree·λ, and the crossing is bracketed by construction.
+	if nfree > 0 {
+		lam := (1 - base) / float64(nfree)
+		// Round-off guard: keep λ inside the bracket.
+		if lam < a {
+			lam = a
+		} else if lam > b {
+			lam = b
+		}
+		return lam
+	}
+	// Degenerate flat interval (only reachable when Σz or e^ε Σz round to 1):
+	// any λ in the bracket projects identically.
+	if !math.IsInf(a, -1) {
+		return a
+	}
+	return b
+}
+
 // ColumnProjection is the result of projecting one column onto the bounded
 // probability simplex.
 type ColumnProjection struct {
@@ -46,9 +193,7 @@ type ColumnProjection struct {
 
 // ProjectColumn solves Problem 4.1 for a single column (Proposition 4.2 /
 // Algorithm 1): it returns the Euclidean projection of r onto
-// {q : z ≤ q ≤ e^ε z, 1ᵀq = 1} by finding the shift λ with
-// Σ clip(r + λ, z, e^ε z) = 1 via a sorted sweep over the 2m breakpoints,
-// O(m log m) total.
+// {q : z ≤ q ≤ e^ε z, 1ᵀq = 1}.
 //
 // z must be coordinate-wise non-negative with Σz ≤ 1 ≤ e^ε Σz (otherwise the
 // set is empty and ErrInfeasible is returned).
@@ -58,59 +203,10 @@ func ProjectColumn(r, z []float64, eps float64) (*ColumnProjection, error) {
 		return nil, fmt.Errorf("opt: r has %d entries, z has %d", m, len(z))
 	}
 	e := math.Exp(eps)
-	sumZ := 0.0
-	for _, v := range z {
-		if v < 0 {
-			return nil, fmt.Errorf("opt: z must be non-negative, got %g", v)
-		}
-		sumZ += v
+	if err := validateZ(z, e); err != nil {
+		return nil, err
 	}
-	const tol = 1e-12
-	if sumZ > 1+tol || e*sumZ < 1-tol {
-		return nil, fmt.Errorf("%w: Σz = %g, e^ε Σz = %g", ErrInfeasible, sumZ, e*sumZ)
-	}
-
-	// Breakpoints: coordinate o leaves its lower clip when λ > z_o − r_o and
-	// enters its upper clip when λ > e^ε z_o − r_o. f(λ) = Σ clip(r+λ, z, ez)
-	// is piecewise linear and nondecreasing, starting at Σz (slope 0) and
-	// saturating at e^ε Σz.
-	type breakpoint struct {
-		lam   float64
-		slope float64 // +1 when a coordinate becomes free, −1 when it clips high
-	}
-	bps := make([]breakpoint, 0, 2*m)
-	for o := 0; o < m; o++ {
-		bps = append(bps,
-			breakpoint{lam: z[o] - r[o], slope: +1},
-			breakpoint{lam: e*z[o] - r[o], slope: -1},
-		)
-	}
-	sort.Slice(bps, func(i, j int) bool { return bps[i].lam < bps[j].lam })
-
-	var lambda float64
-	total := sumZ
-	slope := 0.0
-	found := false
-	prev := math.Inf(-1)
-	for _, bp := range bps {
-		if slope > 0 {
-			needed := (1 - total) / slope
-			if prev+needed <= bp.lam {
-				lambda = prev + needed
-				found = true
-				break
-			}
-			total += slope * (bp.lam - prev)
-		}
-		slope += bp.slope
-		prev = bp.lam
-	}
-	if !found {
-		// All breakpoints passed: f saturates at e^ε Σz ≥ 1, so the crossing is
-		// at or beyond the last breakpoint; since f is constant afterwards this
-		// can only happen through round-off when e^ε Σz ≈ 1. Use the last λ.
-		lambda = prev
-	}
+	lambda := solveLambda(make([]int32, m), r, z, e)
 
 	q := make([]float64, m)
 	state := make([]ClipState, m)
@@ -155,34 +251,131 @@ type MatrixProjection struct {
 	NumFree []int
 }
 
+// reshape (re)sizes the projection buffers for an m×n problem, reusing
+// existing storage when the shape already matches.
+func (p *MatrixProjection) reshape(m, n int) {
+	if p.Q == nil || p.Q.Rows() != m || p.Q.Cols() != n {
+		p.Q = linalg.New(m, n)
+	}
+	if cap(p.State) < m*n {
+		p.State = make([]ClipState, m*n)
+	}
+	p.State = p.State[:m*n]
+	if cap(p.NumFree) < n {
+		p.NumFree = make([]int, n)
+	}
+	p.NumFree = p.NumFree[:n]
+}
+
+// projWorker is one worker's scratch for ProjectMatrixInto.
+type projWorker struct {
+	col []float64
+	act []int32
+}
+
+func (w *projWorker) grow(m int) {
+	if cap(w.col) < m {
+		w.col = make([]float64, m)
+		w.act = make([]int32, m)
+	}
+	w.col = w.col[:m]
+	w.act = w.act[:m]
+}
+
+// Scratch holds the per-worker buffers ProjectMatrixInto needs. The zero
+// value is ready to use; buffers grow on demand and are reused across calls,
+// so steady-state projections at a fixed shape allocate nothing. A Scratch
+// must not be shared by concurrent ProjectMatrixInto calls (the call itself
+// parallelizes internally).
+type Scratch struct {
+	workers []projWorker
+}
+
 // ProjectMatrix applies ProjectColumn to every column of r: the operator
 // Π_{z,ε}(R) of Problem 4.1.
 func ProjectMatrix(r *linalg.Matrix, z []float64, eps float64) (*MatrixProjection, error) {
-	m, n := r.Rows(), r.Cols()
-	if len(z) != m {
-		return nil, fmt.Errorf("opt: z has %d entries, R has %d rows", len(z), m)
-	}
-	out := &MatrixProjection{
-		Q:       linalg.New(m, n),
-		State:   make([]ClipState, m*n),
-		NumFree: make([]int, n),
-	}
-	col := make([]float64, m)
-	for u := 0; u < n; u++ {
-		for o := 0; o < m; o++ {
-			col[o] = r.At(o, u)
-		}
-		cp, err := ProjectColumn(col, z, eps)
-		if err != nil {
-			return nil, fmt.Errorf("opt: column %d: %w", u, err)
-		}
-		for o := 0; o < m; o++ {
-			out.Q.Set(o, u, cp.Q[o])
-			out.State[o*n+u] = cp.State[o]
-		}
-		out.NumFree[u] = cp.NumFree
+	out := &MatrixProjection{}
+	var ws Scratch
+	if err := ProjectMatrixInto(out, &ws, r, z, eps); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ProjectMatrixInto is ProjectMatrix writing into a caller-owned out and
+// scratch ws, both reused (and resized on demand) across calls. Columns fan
+// out across GOMAXPROCS goroutines above a work threshold; each column's
+// result is independent of the split, so the output is bit-identical to the
+// serial projection at any worker count. out.Q must not alias r.
+func ProjectMatrixInto(out *MatrixProjection, ws *Scratch, r *linalg.Matrix, z []float64, eps float64) error {
+	m, n := r.Rows(), r.Cols()
+	if len(z) != m {
+		return fmt.Errorf("opt: z has %d entries, R has %d rows", len(z), m)
+	}
+	e := math.Exp(eps)
+	if err := validateZ(z, e); err != nil {
+		return err
+	}
+	out.reshape(m, n)
+	if w := linalg.MaxWorkers(); len(ws.workers) < w {
+		ws.workers = append(ws.workers, make([]projWorker, w-len(ws.workers))...)
+	}
+
+	// ~m log(2m) comparisons per column dominate; weight them like flops.
+	cost := n * m * 24
+	if !linalg.ShouldParallel(n, cost) {
+		ws.workers[0].projectCols(out, r, z, e, 0, n)
+		return nil
+	}
+	linalg.ParallelRange(n, cost, func(worker, lo, hi int) {
+		ws.workers[worker].projectCols(out, r, z, e, lo, hi)
+	})
+	return nil
+}
+
+// projectCols projects the column block [lo, hi) of r into out, using the
+// worker's scratch buffers.
+func (sc *projWorker) projectCols(out *MatrixProjection, r *linalg.Matrix, z []float64, e float64, lo, hi int) {
+	m, n := r.Rows(), r.Cols()
+	rd, qd := r.Data(), out.Q.Data()
+	sc.grow(m)
+	for u := lo; u < hi; u++ {
+		for o := 0; o < m; o++ {
+			sc.col[o] = rd[o*n+u]
+		}
+		lambda := solveLambda(sc.act, sc.col, z, e)
+		free := 0
+		sum := 0.0
+		for o := 0; o < m; o++ {
+			v := sc.col[o] + lambda
+			var q float64
+			switch {
+			case v <= z[o]:
+				q = z[o]
+				out.State[o*n+u] = ClipLow
+			case v >= e*z[o]:
+				q = e * z[o]
+				out.State[o*n+u] = ClipHigh
+			default:
+				q = v
+				out.State[o*n+u] = Free
+				free++
+			}
+			qd[o*n+u] = q
+			sum += q
+		}
+		// Absorb residual round-off into the free coordinates so the column
+		// sums to one exactly.
+		if free > 0 {
+			adj := (1 - sum) / float64(free)
+			for o := 0; o < m; o++ {
+				if out.State[o*n+u] == Free {
+					qd[o*n+u] += adj
+				}
+			}
+		}
+		out.NumFree[u] = free
+	}
 }
 
 // FeasibleZ rescales z in place so the bounded simplex is non-empty:
