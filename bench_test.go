@@ -346,18 +346,36 @@ func BenchmarkVarianceProfile(b *testing.B) {
 	}
 }
 
-// BenchmarkClientRespond times the per-user randomizer (alias sampling).
-func BenchmarkClientRespond(b *testing.B) {
+// BenchmarkClientRandomize times the per-user randomizer (alias sampling
+// through the streaming protocol's report path).
+func BenchmarkClientRandomize(b *testing.B) {
 	n := 256
-	rr := rrStrategyBench(n, 1.0)
-	client, err := ldp.NewClient(rr)
+	rz, err := ldp.NewRandomizer(rrStrategyBench(n, 1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := ldp.NewClient(rz)
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		client.Respond(i%n, rng)
+		if _, err := client.Randomize(i%n, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectorIngest measures concurrent ingest throughput: the sharded
+// collector against the single-mutex configuration (shards=1) it replaced, at
+// 1, 4 and 8 ingesting goroutines. The headline claim: sharded ingest scales
+// with goroutines where the single mutex serializes them. The body is shared
+// with `cmd/ldpbench -exp bench` via internal/benchfix.
+func BenchmarkCollectorIngest(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-g=%d", g), benchfix.CollectorIngest(g, 0))
+		b.Run(fmt.Sprintf("mutex-g=%d", g), benchfix.CollectorIngest(g, 1))
 	}
 }
 
@@ -396,17 +414,5 @@ func BenchmarkSingularValues(b *testing.B) {
 }
 
 func rrStrategyBench(n int, eps float64) *strategy.Strategy {
-	e := math.Exp(eps)
-	q := linalg.New(n, n)
-	denom := e + float64(n) - 1
-	for o := 0; o < n; o++ {
-		for u := 0; u < n; u++ {
-			if o == u {
-				q.Set(o, u, e/denom)
-			} else {
-				q.Set(o, u, 1/denom)
-			}
-		}
-	}
-	return strategy.New(q, eps)
+	return benchfix.RRStrategy(n, eps)
 }

@@ -44,6 +44,12 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"ObjectiveGrad/n=64", benchfix.ObjectiveGrad(64)},
 		{"ProjectMatrixInto/n=64", benchfix.Projection(64)},
 		{"MulAtB/m=256_n=64", benchfix.MulAtB(256, 64)},
+		{"CollectorIngest/sharded-g=1", benchfix.CollectorIngest(1, 0)},
+		{"CollectorIngest/sharded-g=4", benchfix.CollectorIngest(4, 0)},
+		{"CollectorIngest/sharded-g=8", benchfix.CollectorIngest(8, 0)},
+		{"CollectorIngest/mutex-g=1", benchfix.CollectorIngest(1, 1)},
+		{"CollectorIngest/mutex-g=4", benchfix.CollectorIngest(4, 1)},
+		{"CollectorIngest/mutex-g=8", benchfix.CollectorIngest(8, 1)},
 	}
 	file := BenchFile{
 		GoVersion:  runtime.Version(),

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,8 @@ func main() {
 	}
 	fmt.Printf("optimizing %s workload, n=%d, ε=%g ...\n", w.Name(), *n, *eps)
 	start := time.Now()
-	mech, err := ldp.Optimize(w, *eps, &ldp.OptimizeOptions{Iters: *iters, Seed: *seed})
+	mech, err := ldp.Optimize(context.Background(), w, *eps,
+		ldp.WithIterations(*iters), ldp.WithSeed(*seed))
 	if err != nil {
 		fatal(err)
 	}

@@ -1,20 +1,26 @@
-// Command ldprun demonstrates the full LDP protocol end to end: it loads (or
-// optimizes) a strategy, simulates a population of users randomizing their
-// data through it, aggregates the reports, and prints true vs estimated
-// workload answers — with and without consistency post-processing.
+// Command ldprun demonstrates the full LDP protocol end to end: it builds a
+// mechanism (an optimized strategy — loaded or optimized on the spot — or one
+// of the frequency oracles), simulates a population of users randomizing
+// their data through it, aggregates the reports through the sharded
+// collector, and prints true vs estimated workload answers — with and without
+// consistency post-processing. Every mechanism family runs through the same
+// streaming Client/Collector pipeline.
 //
 // Usage:
 //
 //	ldprun -workload Prefix -n 64 -eps 1.0 -users 50000
+//	ldprun -mech olh -workload Prefix -n 256 -users 100000
 //	ldprun -strategy prefix256.strategy -workload Prefix -n 256 -dataset MEDCOST
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	ldp "repro"
 	"repro/internal/dataset"
@@ -26,6 +32,7 @@ func main() {
 	eps := flag.Float64("eps", 1.0, "privacy budget ε")
 	users := flag.Int("users", 50000, "number of simulated users")
 	ds := flag.String("dataset", "HEPTH", "data shape: HEPTH, MEDCOST, NETTRACE, UNIFORM")
+	mech := flag.String("mech", "optimize", "mechanism: optimize, oue, olh, rappor")
 	stratPath := flag.String("strategy", "", "load a precomputed strategy instead of optimizing")
 	iters := flag.Int("iters", 300, "optimizer iterations when optimizing")
 	seed := flag.Int64("seed", 0, "random seed")
@@ -36,26 +43,51 @@ func main() {
 		fatal(err)
 	}
 
-	var strat *ldp.Strategy
-	if *stratPath != "" {
-		f, err := os.Open(*stratPath)
+	// Build the mechanism's two protocol halves. Strategy mechanisms adapt a
+	// matrix; oracles are their own Randomizer and Aggregator.
+	var (
+		rz  ldp.Randomizer
+		agg ldp.Aggregator
+	)
+	switch strings.ToLower(*mech) {
+	case "optimize", "optimized":
+		var strat *ldp.Strategy
+		if *stratPath != "" {
+			f, err := os.Open(*stratPath)
+			if err != nil {
+				fatal(err)
+			}
+			strat, err = ldp.LoadStrategy(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded strategy %dx%d (ε=%g) from %s\n",
+				strat.Outputs(), strat.Domain(), strat.Eps, *stratPath)
+		} else {
+			fmt.Printf("optimizing strategy for %s (n=%d, ε=%g)...\n", w.Name(), *n, *eps)
+			m, err := ldp.Optimize(context.Background(), w, *eps,
+				ldp.WithIterations(*iters), ldp.WithSeed(*seed))
+			if err != nil {
+				fatal(err)
+			}
+			strat = m.Strategy()
+		}
+		if rz, err = ldp.NewRandomizer(strat); err != nil {
+			fatal(err)
+		}
+		if agg, err = ldp.NewAggregator(strat); err != nil {
+			fatal(err)
+		}
+	case "oue", "olh", "rappor":
+		o, err := ldp.OracleByName(strings.ToUpper(*mech), *n, *eps)
 		if err != nil {
 			fatal(err)
 		}
-		strat, err = ldp.LoadStrategy(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded strategy %dx%d (ε=%g) from %s\n",
-			strat.Outputs(), strat.Domain(), strat.Eps, *stratPath)
-	} else {
-		fmt.Printf("optimizing strategy for %s (n=%d, ε=%g)...\n", w.Name(), *n, *eps)
-		mech, err := ldp.Optimize(w, *eps, &ldp.OptimizeOptions{Iters: *iters, Seed: *seed})
-		if err != nil {
-			fatal(err)
-		}
-		strat = mech.Strategy()
+		fmt.Printf("frequency oracle %s (n=%d, ε=%g)\n", o.Name(), *n, *eps)
+		rz, agg = o, o
+	default:
+		fatal(fmt.Errorf("unknown mechanism %q", *mech))
 	}
 
 	x, err := dataset.ByName(*ds, *n, *users, *seed+1)
@@ -64,27 +96,33 @@ func main() {
 	}
 	truth := w.MatVec(x)
 
-	// Client side: every user randomizes locally.
-	client, err := ldp.NewClient(strat)
+	// Client side: every user randomizes locally; the sharded collector
+	// absorbs the reports.
+	client, err := ldp.NewClient(rz)
 	if err != nil {
 		fatal(err)
 	}
-	server, err := ldp.NewServer(strat, w)
+	col, err := ldp.NewCollector(agg, w, 0)
 	if err != nil {
 		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed + 2))
 	for u, cnt := range x {
 		for j := 0; j < int(cnt); j++ {
-			if err := server.Add(client.Respond(u, rng)); err != nil {
+			rep, err := client.Randomize(u, rng)
+			if err != nil {
+				fatal(err)
+			}
+			if err := col.Ingest(rep); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	fmt.Printf("collected %d randomized reports (ε=%g each)\n", int(server.Count()), client.Epsilon())
+	fmt.Printf("collected %d randomized reports (ε=%g each, %d shards)\n",
+		int(col.Count()), client.Epsilon(), col.Shards())
 
-	unbiased := server.Answers()
-	consistent, err := server.ConsistentAnswers()
+	unbiased := col.Answers()
+	consistent, err := col.ConsistentAnswers()
 	if err != nil {
 		fatal(err)
 	}

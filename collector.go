@@ -1,63 +1,246 @@
 package ldp
 
 import (
+	"errors"
 	"fmt"
+	randv2 "math/rand/v2"
+	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/postprocess"
 )
 
-// Collector is a goroutine-safe aggregation front-end for Server, for
-// deployments where many handler goroutines ingest client responses
-// concurrently. Aggregation is a single histogram increment, so a mutex (not
-// a channel pipeline) is the right tool; reconstruction methods take the same
-// lock and see a consistent snapshot.
+// Collector is the goroutine-safe aggregation front-end for deployments where
+// many handler goroutines ingest client reports concurrently. Instead of
+// serializing every arrival behind one mutex, the accumulator is sharded:
+// each shard owns a private, cache-line-padded copy of the mechanism's
+// aggregation state behind its own lock, ingestion spreads across shards, and
+// the read path merges shards into one consistent snapshot (the protocol
+// accumulator contract makes the merge a plain element-wise sum). Throughput
+// therefore scales with cores; see BenchmarkCollectorIngest.
+//
+// Two ingestion paths are offered: Ingest/IngestBatch pick a shard at random
+// through math/rand/v2's per-goroutine generator (no shared state touched, so
+// unrelated goroutines never bounce a cache line choosing shards), and Handle
+// pins an ingesting goroutine to one shard so even the shard lock stays
+// core-local.
 type Collector struct {
-	mu     sync.Mutex
-	server *Server
+	agg    Aggregator
+	work   Workload
+	shards []collectorShard
+	mask   uint64
+	pinned atomic.Uint64 // round-robin cursor for Handle assignment
 }
 
-// NewCollector wraps a Server for concurrent use. The Server must not be
-// used directly afterwards.
-func NewCollector(server *Server) *Collector {
-	return &Collector{server: server}
+// collectorShard is one lock-protected slice of the aggregation state. The
+// trailing pad keeps the shards' mutexes and counts on distinct cache lines
+// (the accumulator slices are separate heap allocations already), so two
+// goroutines on different shards never write-share a line.
+type collectorShard struct {
+	mu    sync.Mutex
+	count float64
+	acc   []float64
+	_     [88]byte // sizeof(mutex+count+slice) = 40; pad to 128
 }
 
-// Add records one client response; safe for concurrent use.
-func (c *Collector) Add(response int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.server.Add(response)
+// NewCollector prepares a concurrent collector for the given mechanism
+// aggregator and workload. shards is rounded up to a power of two; shards ≤ 0
+// picks 2×GOMAXPROCS, enough that ingesting goroutines rarely collide.
+func NewCollector(agg Aggregator, w Workload, shards int) (*Collector, error) {
+	if agg == nil {
+		return nil, errors.New("ldp: nil aggregator")
+	}
+	if agg.Domain() != w.Domain() {
+		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
+	}
+	if shards <= 0 {
+		shards = 2 * runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Collector{agg: agg, work: w, shards: make([]collectorShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].acc = make([]float64, agg.StateLen())
+	}
+	return c, nil
 }
 
-// AddBatch records a batch of responses under one lock acquisition.
-func (c *Collector) AddBatch(responses []int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, r := range responses {
-		if err := c.server.Add(r); err != nil {
-			return fmt.Errorf("ldp: batch element %d: %w", i, err)
-		}
+// NewStrategyCollector is NewAggregator + NewCollector in one step.
+//
+// Deprecated: kept for pre-streaming-API callers; new code should build the
+// Aggregator explicitly so it can be shared with a Server or the simulator.
+func NewStrategyCollector(s *Strategy, w Workload, shards int) (*Collector, error) {
+	agg, err := NewAggregator(s)
+	if err != nil {
+		return nil, err
+	}
+	return NewCollector(agg, w, shards)
+}
+
+// Shards returns the number of shards the accumulator is split across.
+func (c *Collector) Shards() int { return len(c.shards) }
+
+// Ingest records one client report; safe for concurrent use from any
+// goroutine. Long-lived ingestion goroutines should prefer a Handle, which
+// keeps even the shard lock core-local.
+func (c *Collector) Ingest(r Report) error {
+	return c.ingestInto(&c.shards[randv2.Uint64()&c.mask], r)
+}
+
+// IngestBatch records a batch of reports atomically under one shard lock: the
+// whole batch is validated before any state changes, so a malformed element
+// leaves the collector exactly as it was (and the snapshot never exposes a
+// half-applied batch).
+func (c *Collector) IngestBatch(reports []Report) error {
+	return c.ingestBatchInto(&c.shards[randv2.Uint64()&c.mask], reports)
+}
+
+func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
+	sh.mu.Lock()
+	err := c.agg.Absorb(sh.acc, r)
+	if err == nil {
+		sh.count++
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("ldp: %w", err)
 	}
 	return nil
 }
 
-// Count returns the number of responses collected so far.
+func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report) error {
+	for i, r := range reports {
+		if err := c.agg.Check(r); err != nil {
+			return fmt.Errorf("ldp: batch element %d: %w", i, err)
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, r := range reports {
+		// Check passed, so Absorb cannot fail (the Aggregator contract).
+		if err := c.agg.Absorb(sh.acc, r); err != nil {
+			return fmt.Errorf("ldp: validated report failed to absorb: %w", err)
+		}
+		sh.count++
+	}
+	return nil
+}
+
+// Add records one bare output index.
+//
+// Deprecated: index-carrying mechanisms only; use Ingest.
+func (c *Collector) Add(response int) error {
+	return c.Ingest(Report{Index: response})
+}
+
+// AddBatch records a batch of bare output indices with the same
+// all-or-nothing validation as IngestBatch.
+//
+// Deprecated: index-carrying mechanisms only; use IngestBatch.
+func (c *Collector) AddBatch(responses []int) error {
+	reports := make([]Report, len(responses))
+	for i, r := range responses {
+		reports[i] = Report{Index: r}
+	}
+	return c.IngestBatch(reports)
+}
+
+// Handle is an ingestion endpoint pinned to one shard: its hot path takes an
+// uncontended lock and touches no cache line shared with other shards'
+// handles. Create one per long-lived ingestion goroutine. A Handle is itself
+// safe for concurrent use — concurrent users merely contend on its shard.
+type Handle struct {
+	c  *Collector
+	sh *collectorShard
+}
+
+// Handle returns an ingestion endpoint pinned to the next shard round-robin.
+// With at least as many shards as ingestion goroutines (the default), every
+// goroutine gets a shard of its own.
+func (c *Collector) Handle() *Handle {
+	return &Handle{c: c, sh: &c.shards[c.pinned.Add(1)&c.mask]}
+}
+
+// Ingest records one client report on the handle's shard.
+func (h *Handle) Ingest(r Report) error {
+	return h.c.ingestInto(h.sh, r)
+}
+
+// IngestBatch records a batch atomically on the handle's shard, with the same
+// all-or-nothing validation as Collector.IngestBatch.
+func (h *Handle) IngestBatch(reports []Report) error {
+	return h.c.ingestBatchInto(h.sh, reports)
+}
+
+// snapshot locks every shard (ascending order, so concurrent snapshots cannot
+// deadlock), merges the per-shard accumulators by element-wise sum, and
+// releases. The result is a linearizable point-in-time view: no concurrent
+// Ingest is half-visible.
+func (c *Collector) snapshot() (acc []float64, count float64) {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	acc = make([]float64, c.agg.StateLen())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for j, v := range sh.acc {
+			acc[j] += v
+		}
+		count += sh.count
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+	return acc, count
+}
+
+// Count returns the number of reports collected so far. Only the per-shard
+// counters are read (under the same lock-all discipline as snapshot), so
+// polling Count never pays for an accumulator merge.
 func (c *Collector) Count() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.server.Count()
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	count := 0.0
+	for i := range c.shards {
+		count += c.shards[i].count
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+	return count
 }
 
-// Answers returns unbiased workload estimates from the current snapshot.
+// State returns the merged aggregation accumulator (for strategy mechanisms,
+// the response histogram y) from a consistent snapshot.
+func (c *Collector) State() []float64 {
+	acc, _ := c.snapshot()
+	return acc
+}
+
+// DataEstimate returns the unbiased estimate of the data vector from a
+// consistent snapshot.
+func (c *Collector) DataEstimate() []float64 {
+	acc, count := c.snapshot()
+	return c.agg.EstimateCounts(acc, count)
+}
+
+// Answers returns unbiased workload estimates from a consistent snapshot.
 func (c *Collector) Answers() []float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.server.Answers()
+	return c.work.MatVec(c.DataEstimate())
 }
 
-// ConsistentAnswers returns WNNLS-post-processed estimates from the current
+// ConsistentAnswers returns WNNLS-post-processed estimates from a consistent
 // snapshot.
 func (c *Collector) ConsistentAnswers() ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.server.ConsistentAnswers()
+	acc, count := c.snapshot()
+	answers := c.work.MatVec(c.agg.EstimateCounts(acc, count))
+	res, err := postprocess.Run(c.work, answers, postprocess.Options{TotalCount: count})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers, nil
 }

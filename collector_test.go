@@ -1,6 +1,7 @@
 package ldp_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -9,19 +10,35 @@ import (
 	ldp "repro"
 )
 
-func TestCollectorConcurrentAdds(t *testing.T) {
-	n := 8
+// buildStrategyPipeline optimizes a small mechanism and returns its two
+// protocol halves.
+func buildStrategyPipeline(t *testing.T, n int, eps float64, seed int64) (ldp.Randomizer, ldp.Aggregator, ldp.Workload) {
+	t.Helper()
 	w := ldp.Histogram(n)
-	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 40, Seed: 21})
+	mech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithIterations(40), ldp.WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	rz, err := ldp.NewRandomizer(mech.Strategy())
 	if err != nil {
 		t.Fatal(err)
 	}
-	col := ldp.NewCollector(server)
-	client, err := ldp.NewClient(mech.Strategy())
+	agg, err := ldp.NewAggregator(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rz, agg, w
+}
+
+func TestCollectorConcurrentIngest(t *testing.T) {
+	n := 8
+	rz, agg, w := buildStrategyPipeline(t, n, 2.0, 21)
+	col, err := ldp.NewCollector(agg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ldp.NewClient(rz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +51,19 @@ func TestCollectorConcurrentAdds(t *testing.T) {
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
+			h := col.Handle() // half pinned, half round-robin
 			for i := 0; i < perG; i++ {
-				if err := col.Add(client.Respond(rng.Intn(n), rng)); err != nil {
+				rep, err := client.Randomize(rng.Intn(n), rng)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					err = h.Ingest(rep)
+				} else {
+					err = col.Ingest(rep)
+				}
+				if err != nil {
 					t.Error(err)
 					return
 				}
@@ -65,26 +93,238 @@ func TestCollectorConcurrentAdds(t *testing.T) {
 	}
 }
 
-func TestCollectorAddBatch(t *testing.T) {
+// TestShardedMatchesSerial feeds the identical report stream to a
+// single-goroutine Server and to a sharded Collector under heavy concurrency;
+// the merged shard state must equal the serial state exactly (accumulator
+// entries are integer counts, so float addition commutes without error).
+func TestShardedMatchesSerial(t *testing.T) {
+	n := 16
+	rz, agg, w := buildStrategyPipeline(t, n, 1.0, 31)
+
+	rng := rand.New(rand.NewSource(99))
+	const total = 6000
+	reports := make([]ldp.Report, total)
+	for i := range reports {
+		rep, err := rz.Randomize(rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+
+	server, err := ldp.NewServer(agg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if err := server.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	col, err := ldp.NewCollector(agg, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := col.Handle()
+			for i := g; i < total; i += goroutines {
+				if err := h.Ingest(reports[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if col.Count() != server.Count() {
+		t.Fatalf("count: sharded %v, serial %v", col.Count(), server.Count())
+	}
+	ss, cs := server.State(), col.State()
+	for i := range ss {
+		if ss[i] != cs[i] {
+			t.Fatalf("state[%d]: sharded %v, serial %v", i, cs[i], ss[i])
+		}
+	}
+	sd, cd := server.DataEstimate(), col.DataEstimate()
+	for i := range sd {
+		if math.Abs(sd[i]-cd[i]) > 1e-9 {
+			t.Fatalf("estimate[%d]: sharded %v, serial %v", i, cd[i], sd[i])
+		}
+	}
+}
+
+// TestCollectorBatchAtomicity is the regression test for the partially
+// applied batch bug: a batch with an out-of-range element must leave the
+// collector (and server) state completely untouched.
+func TestCollectorBatchAtomicity(t *testing.T) {
 	n := 4
-	w := ldp.Histogram(n)
-	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 30, Seed: 22})
+	_, agg, w := buildStrategyPipeline(t, n, 2.0, 22)
+	col, err := ldp.NewCollector(agg, w, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
-	if err != nil {
-		t.Fatal(err)
-	}
-	col := ldp.NewCollector(server)
 	if err := col.AddBatch([]int{0, 1, 0, 1}); err != nil {
 		t.Fatal(err)
 	}
 	if col.Count() != 4 {
 		t.Fatalf("count = %v", col.Count())
 	}
-	if err := col.AddBatch([]int{0, 99999}); err == nil {
+	before := col.State()
+	// Valid prefix, invalid tail: nothing of the batch may be applied.
+	if err := col.AddBatch([]int{0, 1, 99999}); err == nil {
 		t.Fatal("expected error for out-of-range response in batch")
+	}
+	if col.Count() != 4 {
+		t.Fatalf("failed batch mutated count: %v", col.Count())
+	}
+	after := col.State()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("failed batch mutated state[%d]: %v -> %v", i, before[i], after[i])
+		}
+	}
+	// Same contract on the single-goroutine Server.
+	server, err := ldp.NewServer(agg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.AddAll([]int{1, 99999}); err == nil {
+		t.Fatal("expected error")
+	}
+	if server.Count() != 0 {
+		t.Fatalf("failed batch mutated server count: %v", server.Count())
+	}
+	// Handle batches share the validation path.
+	h := col.Handle()
+	if err := h.IngestBatch([]ldp.Report{{Index: 2}, {Index: -1}}); err == nil {
+		t.Fatal("expected error")
+	}
+	if col.Count() != 4 {
+		t.Fatalf("failed handle batch mutated count: %v", col.Count())
+	}
+	if err := h.IngestBatch([]ldp.Report{{Index: 2}, {Index: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 6 {
+		t.Fatalf("count = %v, want 6", col.Count())
+	}
+}
+
+// TestOraclesThroughPipeline is the acceptance test for the unified protocol:
+// OUE, OLH and RAPPOR each run through the same streaming
+// Client/Server/Collector pipeline as optimized strategies — concurrent
+// sharded ingestion included — and recover the histogram.
+func TestOraclesThroughPipeline(t *testing.T) {
+	n := 16
+	const users = 4000
+	x := make([]float64, n)
+	x[1], x[5], x[8] = 2000, 1500, 500
+	w := ldp.Histogram(n)
+	truth := w.MatVec(x)
+
+	oracles := make([]ldp.FrequencyOracle, 0, 3)
+	for _, mk := range []func(int, float64) (ldp.FrequencyOracle, error){
+		ldp.NewOUE, ldp.NewOLH, ldp.NewRAPPOROracle,
+	} {
+		o, err := mk(n, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+
+	for _, o := range oracles {
+		t.Run(o.Name(), func(t *testing.T) {
+			client, err := ldp.NewClient(o) // an oracle is its own Randomizer
+			if err != nil {
+				t.Fatal(err)
+			}
+			col, err := ldp.NewCollector(o, w, 0) // ... and its own Aggregator
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Users arrive over 4 concurrent handler goroutines.
+			const goroutines = 4
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					h := col.Handle()
+					for u := 0; u < n; u++ {
+						for j := g; j < int(x[u]); j += goroutines {
+							rep, err := client.Randomize(u, rng)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if err := h.Ingest(rep); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if col.Count() != users {
+				t.Fatalf("count = %v, want %d", col.Count(), users)
+			}
+			est := col.Answers()
+			// Noise floor at ε=4, N=4000: well under 300 per cell for every
+			// oracle here.
+			for i := range truth {
+				if math.Abs(est[i]-truth[i]) > 300 {
+					t.Fatalf("%s: answer[%d] = %v, truth %v", o.Name(), i, est[i], truth[i])
+				}
+			}
+			cons, err := col.ConsistentAnswers()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0.0
+			for _, v := range cons {
+				total += v
+			}
+			if math.Abs(total-users) > 1e-6 {
+				t.Fatalf("%s: consistent total %v, want %d", o.Name(), total, users)
+			}
+		})
+	}
+}
+
+// TestOracleBatchAtomicity covers validate-before-mutate for a non-index
+// mechanism: a malformed unary report in a batch leaves the state untouched.
+func TestOracleBatchAtomicity(t *testing.T) {
+	oue, err := ldp.NewOUE(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ldp.NewCollector(oue, ldp.Histogram(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ldp.Report{Bits: make([]bool, 8)}
+	good.Bits[3] = true
+	bad := ldp.Report{Bits: make([]bool, 5)}
+	if err := col.IngestBatch([]ldp.Report{good, bad}); err == nil {
+		t.Fatal("expected error for malformed report in batch")
+	}
+	if col.Count() != 0 {
+		t.Fatalf("failed batch mutated count: %v", col.Count())
+	}
+	for i, v := range col.State() {
+		if v != 0 {
+			t.Fatalf("failed batch mutated state[%d] = %v", i, v)
+		}
 	}
 }
 
@@ -93,7 +333,8 @@ func TestProductWorkloadFacade(t *testing.T) {
 	if p.Domain() != 16 || p.Queries() != 100 {
 		t.Fatalf("2-D range workload shape: n=%d p=%d", p.Domain(), p.Queries())
 	}
-	mech, err := ldp.Optimize(p, 1.0, &ldp.OptimizeOptions{Iters: 60, Seed: 23})
+	mech, err := ldp.Optimize(context.Background(), p, 1.0,
+		ldp.WithIterations(60), ldp.WithSeed(23))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +348,7 @@ func TestOptimizeForPriorFacade(t *testing.T) {
 	w := ldp.Histogram(n)
 	prior := make([]float64, n)
 	prior[0], prior[1] = 0.7, 0.3
+	// The deprecated wrapper must behave exactly like Optimize+WithPrior.
 	mech, err := ldp.OptimizeForPrior(w, 1.0, prior, &ldp.OptimizeOptions{Iters: 150, Seed: 24})
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +368,8 @@ func TestOptimizeForPriorFacade(t *testing.T) {
 
 func TestOptimizeBestFacade(t *testing.T) {
 	w := ldp.Prefix(8)
-	mech, err := ldp.OptimizeBest(w, 1.0, &ldp.OptimizeOptions{Iters: 80, Seed: 25})
+	mech, err := ldp.Optimize(context.Background(), w, 1.0,
+		ldp.WithIterations(80), ldp.WithSeed(25), ldp.WithWarmStarts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +378,7 @@ func TestOptimizeBestFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Must beat (or match) every factorization competitor even at this tiny
-	// iteration budget — that is OptimizeBest's contract.
+	// iteration budget — that is WithWarmStarts' contract.
 	ms, err := ldp.Competitors(w, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +392,7 @@ func TestOptimizeBestFacade(t *testing.T) {
 			t.Fatal(err)
 		}
 		if optSC > sc*1.05 {
-			t.Fatalf("OptimizeBest (%v) worse than %s (%v)", optSC, m.Name(), sc)
+			t.Fatalf("WithWarmStarts (%v) worse than %s (%v)", optSC, m.Name(), sc)
 		}
 	}
 }

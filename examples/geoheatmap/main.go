@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,11 +36,13 @@ func main() {
 		}
 	}
 
-	mech, err := ldp.OptimizeForPrior(w, eps, prior, &ldp.OptimizeOptions{Iters: 200, Seed: 11})
+	mech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithPrior(prior), ldp.WithIterations(200), ldp.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
-	uniformMech, err := ldp.Optimize(w, eps, &ldp.OptimizeOptions{Iters: 200, Seed: 11})
+	uniformMech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithIterations(200), ldp.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,17 +78,29 @@ func main() {
 		vu.OnData(x), vu.OnData(x)/vp.OnData(x))
 
 	// Run the protocol and read out a few rectangles.
-	client, err := ldp.NewClient(mech.Strategy())
+	rz, err := ldp.NewRandomizer(mech.Strategy())
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	client, err := ldp.NewClient(rz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := ldp.NewAggregator(mech.Strategy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := ldp.NewServer(agg, w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for u, cnt := range x {
 		for j := 0; j < int(cnt); j++ {
-			if err := server.Add(client.Respond(u, rng)); err != nil {
+			rep, err := client.Randomize(u, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := server.Ingest(rep); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,7 +31,8 @@ func main() {
 	)
 	fmt.Printf("workload: %d queries over %d latency buckets\n", w.Queries(), n)
 
-	mech, err := ldp.Optimize(w, eps, &ldp.OptimizeOptions{Iters: 250, Seed: 3})
+	mech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithIterations(250), ldp.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,18 +63,31 @@ func main() {
 		x[b]++
 	}
 
-	// Full protocol via the one-shot simulator, then WNNLS for consistency.
-	client, err := ldp.NewClient(mech.Strategy())
+	// Full protocol through the streaming pipeline, then WNNLS for
+	// consistency.
+	rz, err := ldp.NewRandomizer(mech.Strategy())
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	client, err := ldp.NewClient(rz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := ldp.NewAggregator(mech.Strategy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := ldp.NewServer(agg, w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for u, cnt := range x {
 		for j := 0; j < int(cnt); j++ {
-			if err := server.Add(client.Respond(u, rng)); err != nil {
+			rep, err := client.Randomize(u, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := server.Ingest(rep); err != nil {
 				log.Fatal(err)
 			}
 		}

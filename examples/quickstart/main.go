@@ -1,9 +1,12 @@
 // Quickstart: optimize an LDP mechanism for the queries you actually care
 // about, check how many users it needs compared to off-the-shelf mechanisms,
-// and run the full client/server protocol on simulated users.
+// and run the full client/collector protocol on simulated users. The same
+// streaming pipeline then runs a frequency oracle — one protocol API serves
+// both mechanism families.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,8 +23,10 @@ func main() {
 
 	// 2. Optimize a mechanism for exactly those queries at ε = 1.
 	//    This is a one-time offline cost; the strategy can be saved with
-	//    ldp.SaveStrategy and shipped to clients.
-	mech, err := ldp.Optimize(w, eps, &ldp.OptimizeOptions{Iters: 300, Seed: 42})
+	//    ldp.SaveStrategy and shipped to clients. The context cancels a run
+	//    that outlives its budget.
+	mech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithIterations(300), ldp.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,11 +56,22 @@ func main() {
 	}
 
 	// 4. Run the protocol: 30 000 users with a skewed type distribution.
-	client, err := ldp.NewClient(mech.Strategy())
+	//    Clients randomize locally through the strategy's Randomizer; the
+	//    collector absorbs the reports through its Aggregator — sharded, so
+	//    many handler goroutines can ingest concurrently.
+	rz, err := ldp.NewRandomizer(mech.Strategy())
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	client, err := ldp.NewClient(rz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := ldp.NewAggregator(mech.Strategy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := ldp.NewCollector(agg, w, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +82,11 @@ func main() {
 	}
 	for u, cnt := range truthX {
 		for i := 0; i < int(cnt); i++ {
-			if err := server.Add(client.Respond(u, rng)); err != nil {
+			rep, err := client.Randomize(u, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := col.Ingest(rep); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -75,12 +95,46 @@ func main() {
 	// 5. Reconstruct. Answers() is unbiased; ConsistentAnswers() additionally
 	//    enforces non-negativity and the known total (WNNLS, Appendix A).
 	truth := w.MatVec(truthX)
-	est, err := server.ConsistentAnswers()
+	est, err := col.ConsistentAnswers()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncollected %.0f reports; selected CDF estimates:\n", server.Count())
+	fmt.Printf("\ncollected %.0f reports; selected CDF estimates:\n", col.Count())
 	for _, q := range []int{0, n / 4, n / 2, n - 1} {
 		fmt.Printf("  P(X ≤ %2d): truth %7.0f, estimate %7.0f\n", q, truth[q], est[q])
+	}
+
+	// 6. The same pipeline, a different mechanism family: a frequency oracle
+	//    is its own Randomizer and Aggregator, so nothing else changes.
+	olh, err := ldp.NewOLH(n, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oclient, err := ldp.NewClient(olh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ocol, err := ldp.NewCollector(olh, w, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for u, cnt := range truthX {
+		for i := 0; i < int(cnt); i++ {
+			rep, err := oclient.Randomize(u, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := ocol.Ingest(rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	oest, err := ocol.ConsistentAnswers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame pipeline through OLH (%.0f reports):\n", ocol.Count())
+	for _, q := range []int{0, n / 4, n / 2, n - 1} {
+		fmt.Printf("  P(X ≤ %2d): truth %7.0f, estimate %7.0f\n", q, truth[q], oest[q])
 	}
 }

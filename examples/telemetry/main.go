@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 
 	ldp "repro"
 )
@@ -27,7 +29,8 @@ func main() {
 
 	// Optimize, and compare against the mechanism purpose-built for
 	// marginals (Fourier) and against randomized response.
-	mech, err := ldp.Optimize(w, eps, &ldp.OptimizeOptions{Iters: 300, Seed: 1})
+	mech, err := ldp.Optimize(context.Background(), w, eps,
+		ldp.WithIterations(300), ldp.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,22 +69,43 @@ func main() {
 		x[state]++
 	}
 
-	client, err := ldp.NewClient(mech.Strategy())
+	rz, err := ldp.NewRandomizer(mech.Strategy())
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	agg, err := ldp.NewAggregator(mech.Strategy())
 	if err != nil {
 		log.Fatal(err)
 	}
-	for state, cnt := range x {
-		for j := 0; j < int(cnt); j++ {
-			if err := server.Add(client.Respond(state, rng)); err != nil {
-				log.Fatal(err)
+	col, err := ldp.NewCollector(agg, w, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The fleet reports concurrently: each ingestion worker holds a Handle
+	// pinned to its own collector shard, so arrivals never contend.
+	const workers = 4
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			h := col.Handle()
+			wrng := rand.New(rand.NewSource(int64(100 + wk)))
+			for state := wk; state < n; state += workers {
+				for j := 0; j < int(x[state]); j++ {
+					rep, err := rz.Randomize(state, wrng)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if err := h.Ingest(rep); err != nil {
+						log.Fatal(err)
+					}
+				}
 			}
-		}
+		}(wk)
 	}
-	est, err := server.ConsistentAnswers()
+	wg.Wait()
+	est, err := col.ConsistentAnswers()
 	if err != nil {
 		log.Fatal(err)
 	}

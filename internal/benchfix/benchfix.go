@@ -7,11 +7,15 @@ package benchfix
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
+	ldp "repro"
 	"repro/internal/core"
 	"repro/internal/linalg"
 	"repro/internal/opt"
+	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -79,6 +83,79 @@ func Projection(n int) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// RRStrategy returns the n-ary randomized-response strategy matrix — the
+// standard cheap fixture for protocol benchmarks.
+func RRStrategy(n int, eps float64) *strategy.Strategy {
+	e := math.Exp(eps)
+	q := linalg.New(n, n)
+	denom := e + float64(n) - 1
+	for o := 0; o < n; o++ {
+		for u := 0; u < n; u++ {
+			if o == u {
+				q.Set(o, u, e/denom)
+			} else {
+				q.Set(o, u, 1/denom)
+			}
+		}
+	}
+	return strategy.New(q, eps)
+}
+
+// CollectorIngest benchmarks concurrent report ingestion through the
+// collector: shards ≤ 0 uses the sharded default, shards = 1 degenerates to
+// the single-mutex configuration the sharded design replaced, so the two
+// runs isolate the cost of lock contention. GOMAXPROCS is raised to the
+// goroutine count for the duration so the goroutines actually contend even
+// when the harness machine has fewer cores (on real multicore hardware this
+// is a no-op). The per-report critical section (one histogram increment) is
+// the worst case for a global lock — there is nothing to amortize it.
+func CollectorIngest(goroutines, shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(0)
+		if goroutines > prev {
+			runtime.GOMAXPROCS(goroutines)
+			defer runtime.GOMAXPROCS(prev)
+		}
+		const n = 64
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := ldp.NewCollector(agg, workload.NewHistogram(n), shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const pool = 1 << 14
+		rng := rand.New(rand.NewSource(9))
+		reports := make([]ldp.Report, pool)
+		for i := range reports {
+			reports[i] = ldp.Report{Index: rng.Intn(n)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per, extra := b.N/goroutines, b.N%goroutines
+		for g := 0; g < goroutines; g++ {
+			cnt := per
+			if g < extra {
+				cnt++
+			}
+			wg.Add(1)
+			go func(g, cnt int) {
+				defer wg.Done()
+				for i := 0; i < cnt; i++ {
+					if err := col.Ingest(reports[(g*7+i)&(pool-1)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g, cnt)
+		}
+		wg.Wait()
 	}
 }
 

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,10 @@ type Options struct {
 	// It is normalized internally and smoothed with a small uniform component
 	// so that no user type has exactly zero weight. Length must be n.
 	Prior []float64
+	// Ctx, when non-nil, cancels the optimization: the projected-gradient
+	// loop (and the step-size pilot runs) check it every iteration and return
+	// ctx.Err() promptly after cancellation or deadline expiry.
+	Ctx context.Context
 }
 
 func (o *Options) withDefaults(n int) Options {
@@ -153,7 +158,14 @@ func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error
 	best, bestObj := 0.0, math.Inf(1)
 	pilot := o
 	pilot.Tol = 1e-12
+	// Pilot iterations are an implementation detail: observers see only the
+	// main run's monotone iteration stream. Cancellation still applies — run
+	// checks Ctx every iteration.
+	pilot.OnIteration = nil
 	for _, g := range grid {
+		if err := ctxErr(o.Ctx); err != nil {
+			return 0, err
+		}
 		res, err := run(gram, eps, pilot, -g, 40)
 		if err != nil {
 			continue
@@ -162,6 +174,9 @@ func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error
 			bestObj = res.Objective
 			best = res.StepSize
 		}
+	}
+	if err := ctxErr(o.Ctx); err != nil {
+		return 0, err
 	}
 	if math.IsInf(bestObj, 1) {
 		return 0, errors.New("core: step-size search failed for every candidate")
@@ -262,6 +277,9 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 	decays := 0
 
 	for t := 0; t < iters; t++ {
+		if err := ctxErr(o.Ctx); err != nil {
+			return nil, err
+		}
 		// ∇z via back-propagation through the projection that produced q.
 		gradZ(gz, grad, proj.State, proj.NumFree, e)
 
@@ -372,6 +390,9 @@ func OptimizeBest(w workload.Workload, eps float64, o Options, candidates ...*st
 		}
 	}
 	if warmFrom != nil {
+		if err := ctxErr(o.Ctx); err != nil {
+			return nil, err
+		}
 		wo := o
 		wo.Init = warmFrom
 		warm, err := OptimizeGram(gram, eps, wo)
@@ -382,6 +403,19 @@ func OptimizeBest(w workload.Workload, eps float64, o Options, candidates ...*st
 		}
 	}
 	return best, nil
+}
+
+// ctxErr reports a cancelled or expired context (nil context = never).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // objectiveGrad evaluates L(Q) = tr[(QᵀD_p⁻¹Q)⁻¹ G] and its gradient with a

@@ -1,15 +1,58 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/opt"
 	"repro/internal/strategy"
 	"repro/internal/workload"
 )
+
+// TestOptimizeCancellation: a cancelled context aborts the projected-gradient
+// loop (and the pilot step-size search) with ctx.Err, and a pre-cancelled
+// context aborts before any iteration runs.
+func TestOptimizeCancellation(t *testing.T) {
+	w := workload.NewPrefix(8)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(w, 1.0, Options{Iters: 100, Ctx: pre}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	iters := 0
+	_, err := Optimize(w, 1.0, Options{
+		Iters: 100000,
+		Seed:  3,
+		Ctx:   ctx,
+		OnIteration: func(iter int, obj float64) {
+			iters++
+			if iter == 2 {
+				cancelMid()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: err = %v, want context.Canceled", err)
+	}
+	if iters > 10 {
+		t.Fatalf("cancellation took %d iterations to bite", iters)
+	}
+
+	// A deadline surfaces as DeadlineExceeded.
+	dl, cancelDl := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancelDl()
+	if _, err := Optimize(w, 1.0, Options{Iters: 100, Ctx: dl}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
 
 // rrStrategy builds the randomized response strategy matrix (Example 2.7).
 func rrStrategy(n int, eps float64) *strategy.Strategy {

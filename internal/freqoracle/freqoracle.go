@@ -6,10 +6,13 @@
 // matrix allows (their implicit output ranges are exponential or
 // hash-parameterized), at the cost of answering only point queries directly.
 //
-// Each oracle provides the client-side randomizer and the server-side
-// unbiased frequency estimator, plus the closed-form per-count variance from
-// Wang et al., so they can be compared against the factorization mechanisms
-// on the Histogram workload at any domain size.
+// Every oracle implements both sides of the streaming protocol contract
+// (internal/protocol): protocol.Randomizer on the client and
+// protocol.Aggregator on the server, so the same Client/Server/Collector
+// pipeline that serves strategy-matrix mechanisms serves these too. Each also
+// exposes the closed-form per-count variance from Wang et al., so they can be
+// compared against the factorization mechanisms on the Histogram workload at
+// any domain size.
 package freqoracle
 
 import (
@@ -18,38 +21,39 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+
+	"repro/internal/protocol"
+	"repro/internal/simulate"
+	"repro/internal/workload"
 )
 
-// Oracle is a frequency-estimation protocol: clients randomize their type,
-// the server aggregates and estimates the histogram.
+// Oracle is a frequency-estimation protocol: clients randomize their type
+// (protocol.Randomizer), the server aggregates reports and estimates the
+// histogram (protocol.Aggregator).
 type Oracle interface {
-	// Name identifies the protocol.
+	protocol.Randomizer
+	protocol.Aggregator
+	// Name identifies the protocol ("OUE", "OLH", "RAPPOR").
 	Name() string
-	// Domain returns the number of user types.
-	Domain() int
-	// Epsilon returns the privacy budget each report satisfies.
-	Epsilon() float64
-	// NewAggregate returns an empty aggregation state.
-	NewAggregate() Aggregate
-	// Randomize produces one client report for user type u.
-	Randomize(u int, rng *rand.Rand) Report
 	// VariancePerUser returns the estimator's variance contribution of one
 	// user to one count (the n·Var[ĉ_v]/N figure of merit, asymptotically
 	// independent of the true frequencies for these oracles).
 	VariancePerUser() float64
 }
 
-// Report is an opaque client report consumed by Aggregate.Add.
-type Report interface{}
-
-// Aggregate accumulates reports and produces histogram estimates.
-type Aggregate interface {
-	// Add ingests one report.
-	Add(r Report) error
-	// Count returns the number of reports ingested.
-	Count() int
-	// Estimate returns unbiased estimates of the per-type counts.
-	Estimate() []float64
+// ByName constructs the named oracle ("OUE", "OLH", "RAPPOR") for domain n at
+// privacy budget eps — the inverse of Oracle.Name, used by the versioned wire
+// format to rebuild a saved oracle configuration.
+func ByName(name string, n int, eps float64) (Oracle, error) {
+	switch name {
+	case "OUE":
+		return NewOUE(n, eps)
+	case "OLH":
+		return NewOLH(n, eps)
+	case "RAPPOR":
+		return NewRAPPOR(n, eps)
+	}
+	return nil, fmt.Errorf("freqoracle: unknown oracle %q", name)
 }
 
 // ---------------------------------------------------------------------------
@@ -95,10 +99,10 @@ func (u *Unary) Domain() int { return u.n }
 // Epsilon returns ε.
 func (u *Unary) Epsilon() float64 { return u.eps }
 
-// Randomize returns the perturbed bit vector as []bool.
-func (u *Unary) Randomize(v int, rng *rand.Rand) Report {
+// Randomize perturbs the one-hot encoding of v into the report's bit vector.
+func (u *Unary) Randomize(v int, rng *rand.Rand) (protocol.Report, error) {
 	if v < 0 || v >= u.n {
-		panic(fmt.Sprintf("freqoracle: type %d out of domain %d", v, u.n))
+		return protocol.Report{}, fmt.Errorf("freqoracle: type %d out of domain %d", v, u.n)
 	}
 	bits := make([]bool, u.n)
 	for i := range bits {
@@ -108,7 +112,7 @@ func (u *Unary) Randomize(v int, rng *rand.Rand) Report {
 			bits[i] = rng.Float64() < u.q
 		}
 	}
-	return bits
+	return protocol.Report{Bits: bits}, nil
 }
 
 // VariancePerUser returns q(1−q)/(p−q)² + [p(1−p) − q(1−q)]·f/(p−q)² with the
@@ -118,40 +122,36 @@ func (u *Unary) VariancePerUser() float64 {
 	return u.q * (1 - u.q) / (d * d)
 }
 
-// NewAggregate returns a bit-count accumulator.
-func (u *Unary) NewAggregate() Aggregate {
-	return &unaryAgg{oracle: u, ones: make([]float64, u.n)}
-}
+// StateLen returns n: the accumulator holds per-position one-counts.
+func (u *Unary) StateLen() int { return u.n }
 
-type unaryAgg struct {
-	oracle *Unary
-	ones   []float64
-	count  int
-}
-
-func (a *unaryAgg) Add(r Report) error {
-	bits, ok := r.([]bool)
-	if !ok || len(bits) != a.oracle.n {
-		return errors.New("freqoracle: malformed unary report")
+// Check validates the report's bit-vector shape without touching any state.
+func (u *Unary) Check(r protocol.Report) error {
+	if len(r.Bits) != u.n {
+		return fmt.Errorf("freqoracle: malformed unary report (%d bits, want %d)", len(r.Bits), u.n)
 	}
-	for i, b := range bits {
-		if b {
-			a.ones[i]++
-		}
-	}
-	a.count++
 	return nil
 }
 
-func (a *unaryAgg) Count() int { return a.count }
+// Absorb adds the report's set bits to the per-position one-counts.
+func (u *Unary) Absorb(acc []float64, r protocol.Report) error {
+	if err := u.Check(r); err != nil {
+		return err
+	}
+	for i, b := range r.Bits {
+		if b {
+			acc[i]++
+		}
+	}
+	return nil
+}
 
-// Estimate inverts the bit-flip channel: ĉ_v = (ones_v − q·N)/(p − q).
-func (a *unaryAgg) Estimate() []float64 {
-	o := a.oracle
-	out := make([]float64, o.n)
-	d := o.p - o.q
+// EstimateCounts inverts the bit-flip channel: ĉ_v = (ones_v − q·N)/(p − q).
+func (u *Unary) EstimateCounts(acc []float64, count float64) []float64 {
+	out := make([]float64, u.n)
+	d := u.p - u.q
 	for v := range out {
-		out[v] = (a.ones[v] - o.q*float64(a.count)) / d
+		out[v] = (acc[v] - u.q*count) / d
 	}
 	return out
 }
@@ -195,12 +195,6 @@ func (o *OLH) Epsilon() float64 { return o.eps }
 // HashRange returns g.
 func (o *OLH) HashRange() int { return o.g }
 
-// olhReport is (seed, perturbed hash value).
-type olhReport struct {
-	Seed  uint64
-	Value int
-}
-
 // hashTo hashes (seed, v) into [0, g). The value bytes are fed first so they
 // mix through the seed bytes' multiplications (feeding them last makes FNV's
 // output differ by a fixed additive offset between adjacent values — a real
@@ -225,22 +219,23 @@ func (o *OLH) hashTo(seed uint64, v int) int {
 }
 
 // Randomize hashes the user's type with a fresh seed and perturbs the hash
-// value with randomized response over [0, g).
-func (o *OLH) Randomize(v int, rng *rand.Rand) Report {
+// value with randomized response over [0, g). The report carries the seed and
+// the (perturbed) hash value.
+func (o *OLH) Randomize(v int, rng *rand.Rand) (protocol.Report, error) {
 	if v < 0 || v >= o.n {
-		panic(fmt.Sprintf("freqoracle: type %d out of domain %d", v, o.n))
+		return protocol.Report{}, fmt.Errorf("freqoracle: type %d out of domain %d", v, o.n)
 	}
 	seed := rng.Uint64()
 	true_ := o.hashTo(seed, v)
 	if rng.Float64() < o.p {
-		return olhReport{Seed: seed, Value: true_}
+		return protocol.Report{Seed: seed, Index: true_}, nil
 	}
 	// Report one of the other g−1 values uniformly.
 	alt := rng.Intn(o.g - 1)
 	if alt >= true_ {
 		alt++
 	}
-	return olhReport{Seed: seed, Value: alt}
+	return protocol.Report{Seed: seed, Index: alt}, nil
 }
 
 // VariancePerUser returns the Wang et al. OLH variance constant
@@ -254,70 +249,60 @@ func (o *OLH) VariancePerUser() float64 {
 	return qPrime * (1 - qPrime) / (d * d)
 }
 
-// NewAggregate returns an OLH support-count accumulator. Estimation must scan
-// each report against each candidate type, so Estimate costs O(N·n) — the
-// known trade-off of OLH (cheap communication, expensive aggregation).
-func (o *OLH) NewAggregate() Aggregate {
-	return &olhAgg{oracle: o, support: make([]float64, o.n)}
-}
+// StateLen returns n: the accumulator holds per-type support counts.
+// Absorbing must scan each report against each candidate type, so ingestion
+// costs O(n) per report — the known trade-off of OLH (cheap communication,
+// expensive aggregation).
+func (o *OLH) StateLen() int { return o.n }
 
-type olhAgg struct {
-	oracle  *OLH
-	support []float64
-	count   int
-}
-
-func (a *olhAgg) Add(r Report) error {
-	rep, ok := r.(olhReport)
-	if !ok {
-		return errors.New("freqoracle: malformed OLH report")
+// Check validates the report's hash value without touching any state.
+func (o *OLH) Check(r protocol.Report) error {
+	if r.Bits != nil {
+		return errors.New("freqoracle: unary-encoded report sent to an OLH aggregator")
 	}
-	if rep.Value < 0 || rep.Value >= a.oracle.g {
-		return errors.New("freqoracle: OLH report value out of range")
+	if r.Index < 0 || r.Index >= o.g {
+		return fmt.Errorf("freqoracle: OLH report value %d out of range [0, %d)", r.Index, o.g)
 	}
-	// A report supports type v when v hashes to the reported value.
-	for v := 0; v < a.oracle.n; v++ {
-		if a.oracle.hashTo(rep.Seed, v) == rep.Value {
-			a.support[v]++
-		}
-	}
-	a.count++
 	return nil
 }
 
-func (a *olhAgg) Count() int { return a.count }
+// Absorb adds the report's support: type v is supported when v hashes to the
+// reported value under the report's seed.
+func (o *OLH) Absorb(acc []float64, r protocol.Report) error {
+	if err := o.Check(r); err != nil {
+		return err
+	}
+	for v := 0; v < o.n; v++ {
+		if o.hashTo(r.Seed, v) == r.Index {
+			acc[v]++
+		}
+	}
+	return nil
+}
 
-// Estimate inverts the support channel: a true v is supported with
+// EstimateCounts inverts the support channel: a true v is supported with
 // probability p, any other with 1/g; ĉ_v = (support_v − N/g)/(p − 1/g).
-func (a *olhAgg) Estimate() []float64 {
-	o := a.oracle
+func (o *OLH) EstimateCounts(acc []float64, count float64) []float64 {
 	out := make([]float64, o.n)
 	q := 1 / float64(o.g)
 	d := o.p - q
 	for v := range out {
-		out[v] = (a.support[v] - q*float64(a.count)) / d
+		out[v] = (acc[v] - q*count) / d
 	}
 	return out
 }
 
 // Run executes a full protocol for integer data vector x and returns the
-// estimated counts.
+// estimated counts. It is the shared simulator (internal/simulate) driving
+// the oracle as both protocol halves, so the execution loop exists once.
 func Run(o Oracle, x []float64, seed int64) ([]float64, error) {
-	if len(x) != o.Domain() {
-		return nil, fmt.Errorf("freqoracle: data length %d, domain %d", len(x), o.Domain())
+	p, err := simulate.New(o, o, workload.NewHistogram(o.Domain()))
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	agg := o.NewAggregate()
-	for v, cnt := range x {
-		c := int(cnt)
-		if float64(c) != cnt || c < 0 {
-			return nil, fmt.Errorf("freqoracle: count x[%d] = %g is not a non-negative integer", v, cnt)
-		}
-		for j := 0; j < c; j++ {
-			if err := agg.Add(o.Randomize(v, rng)); err != nil {
-				return nil, err
-			}
-		}
+	out, err := p.Run(x, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
 	}
-	return agg.Estimate(), nil
+	return out.XEstimate, nil
 }

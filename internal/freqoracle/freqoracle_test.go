@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/linalg"
+	"repro/internal/protocol"
 )
 
 func oracles(t *testing.T, n int, eps float64) []Oracle {
@@ -134,22 +135,43 @@ func TestOUEBeatsRAPPOR(t *testing.T) {
 	}
 }
 
-func TestAggregateRejectsMalformed(t *testing.T) {
+func TestAbsorbRejectsMalformed(t *testing.T) {
 	oue, _ := NewOUE(4, 1)
-	agg := oue.NewAggregate()
-	if err := agg.Add("nonsense"); err == nil {
-		t.Fatal("expected error for malformed report")
+	acc := make([]float64, oue.StateLen())
+	if err := oue.Absorb(acc, protocol.Report{}); err == nil {
+		t.Fatal("expected error for report without bits")
 	}
-	if err := agg.Add(make([]bool, 3)); err == nil {
+	if err := oue.Absorb(acc, protocol.Report{Bits: make([]bool, 3)}); err == nil {
 		t.Fatal("expected error for wrong-length report")
 	}
 	olh, _ := NewOLH(4, 1)
-	oagg := olh.NewAggregate()
-	if err := oagg.Add(42); err == nil {
-		t.Fatal("expected error for malformed OLH report")
+	oacc := make([]float64, olh.StateLen())
+	if err := olh.Absorb(oacc, protocol.Report{Bits: make([]bool, 4)}); err == nil {
+		t.Fatal("expected error for unary report sent to OLH")
 	}
-	if err := oagg.Add(olhReport{Seed: 1, Value: 99}); err == nil {
+	if err := olh.Absorb(oacc, protocol.Report{Seed: 1, Index: 99}); err == nil {
 		t.Fatal("expected error for out-of-range OLH value")
+	}
+	// A rejected report must leave the accumulators untouched.
+	for _, v := range append(acc, oacc...) {
+		if v != 0 {
+			t.Fatal("rejected report mutated the accumulator")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"OUE", "OLH", "RAPPOR"} {
+		o, err := ByName(name, 16, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Name() != name || o.Domain() != 16 || o.Epsilon() != 1.0 {
+			t.Fatalf("%s: metadata wrong", name)
+		}
+	}
+	if _, err := ByName("bogus", 16, 1.0); err == nil {
+		t.Fatal("expected error for unknown oracle name")
 	}
 }
 
@@ -166,14 +188,15 @@ func TestRunValidatesData(t *testing.T) {
 	}
 }
 
-func TestRandomizePanicsOutOfDomain(t *testing.T) {
+func TestRandomizeRejectsOutOfDomain(t *testing.T) {
 	oue, _ := NewOUE(3, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	oue.Randomize(5, rand.New(rand.NewSource(1)))
+	if _, err := oue.Randomize(5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for out-of-domain type")
+	}
+	olh, _ := NewOLH(3, 1)
+	if _, err := olh.Randomize(-1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for out-of-domain type")
+	}
 }
 
 // The LDP guarantee of unary encoding, checked directly: the likelihood ratio

@@ -1,0 +1,76 @@
+// Package protocol defines the transport-agnostic client/collector contract
+// every LDP mechanism in this repository speaks: a Randomizer encodes one
+// user's type into a Report on the client, an Aggregator absorbs reports and
+// estimates per-type counts on the (untrusted) server. Strategy-matrix
+// mechanisms (the paper's factorization mechanisms) and the frequency oracles
+// of Wang et al. (OUE, OLH, RAPPOR) both implement it, so one
+// Client/Server/Collector pipeline, one simulator, and one wire format serve
+// the whole library.
+//
+// The aggregation state is deliberately a plain []float64 accumulator owned
+// by the caller, not by the Aggregator: states are mergeable by element-wise
+// addition, which is what makes contention-free sharded ingest (one
+// accumulator per shard, merge on snapshot) and distributed collection (one
+// accumulator per collector node) work without any mechanism-specific code.
+package protocol
+
+import "math/rand"
+
+// Report is the single wire format a client sends to the collector. Exactly
+// which fields carry information depends on the mechanism family:
+//
+//   - strategy-matrix mechanisms: Index is the sampled output o ∈ [0, m);
+//   - OLH: Seed is the per-report hash seed, Index the perturbed hash value;
+//   - unary encoding (OUE / RAPPOR): Bits is the perturbed one-hot vector.
+//
+// The zero-valued fields of the unused family cost nothing on the wire
+// (encoding/gob omits zero values) and the struct is flat, so any transport —
+// gob, JSON, protobuf-alike — can carry it.
+type Report struct {
+	// Index is an output index (strategy mechanisms) or the perturbed hash
+	// value (OLH).
+	Index int
+	// Seed is the per-report hash seed (OLH only).
+	Seed uint64
+	// Bits is the perturbed unary encoding (OUE / RAPPOR only).
+	Bits []bool
+}
+
+// Randomizer is the client side of the protocol: it encodes one user's true
+// type into a randomized Report. Randomize is the only operation in the whole
+// system that ever sees a true type, and its output satisfies ε-LDP — that is
+// the privacy boundary.
+type Randomizer interface {
+	// Domain returns the number of user types accepted.
+	Domain() int
+	// Epsilon returns the privacy budget each report satisfies.
+	Epsilon() float64
+	// Randomize encodes user type u (0 ≤ u < Domain) into one report using
+	// the supplied randomness source.
+	Randomize(u int, rng *rand.Rand) (Report, error)
+}
+
+// Aggregator is the server side of the protocol: it folds reports into a
+// mergeable accumulator vector and converts a (merged) accumulator into
+// unbiased per-type count estimates.
+//
+// Accumulator contract: a valid state is any []float64 of length StateLen
+// that is either all zeros (empty) or the element-wise sum of states produced
+// by Absorb. Summing two states yields the state of the concatenated report
+// streams — the property sharded and distributed collectors rely on.
+type Aggregator interface {
+	// Domain returns the number of user types estimated.
+	Domain() int
+	// StateLen returns the accumulator width.
+	StateLen() int
+	// Check fully validates a report without touching any state. A report
+	// that passes Check must be absorbable by Absorb without error.
+	Check(r Report) error
+	// Absorb validates r and folds it into acc (length StateLen). On error,
+	// acc is left exactly as it was — Absorb never applies a report
+	// partially.
+	Absorb(acc []float64, r Report) error
+	// EstimateCounts converts an accumulator holding count absorbed reports
+	// into unbiased estimates of the per-type counts. acc is not modified.
+	EstimateCounts(acc []float64, count float64) []float64
+}

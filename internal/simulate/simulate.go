@@ -1,13 +1,17 @@
-// Package simulate executes the full LDP protocol end-to-end: every user
-// randomizes their type through the strategy matrix, the server aggregates
-// the response vector y, and the analyst reconstructs workload answers —
-// unbiased (V·y) or consistent (WNNLS post-processing). It also provides
-// Monte-Carlo estimation of the mechanism's empirical error, used by the
-// Figure 4 reproduction where no closed-form variance exists for WNNLS.
+// Package simulate executes the full LDP protocol end-to-end for any
+// mechanism speaking the streaming protocol contract (internal/protocol):
+// every user randomizes their type through the mechanism's Randomizer, the
+// server absorbs the reports into the Aggregator's accumulator, and the
+// analyst reconstructs workload answers — unbiased (W·x̂) or consistent
+// (WNNLS post-processing). It also provides Monte-Carlo estimation of the
+// mechanism's empirical error, used by the Figure 4 reproduction where no
+// closed-form variance exists for WNNLS.
 //
-// The reconstruction never materializes V: V·y = W·(B·y) with
-// B = (QᵀD⁻¹Q)⁺QᵀD⁻¹ (Theorem 3.10), so only the n-vector B·y is formed and
-// the workload's fast MatVec does the rest.
+// For strategy-matrix mechanisms the reconstruction never materializes V:
+// V·y = W·(B·y) with B = (QᵀD⁻¹Q)⁺QᵀD⁻¹ (Theorem 3.10), so only the n-vector
+// B·y is formed and the workload's fast MatVec does the rest. Frequency
+// oracles estimate the histogram x̂ directly and the same W·x̂ serves any
+// workload over it.
 package simulate
 
 import (
@@ -16,54 +20,101 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/postprocess"
+	"repro/internal/protocol"
 	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
-// Protocol bundles a strategy with a workload and precomputes everything the
-// per-run simulation needs (alias samplers, reconstruction factor).
+// Protocol bundles a mechanism's two protocol halves with a workload and
+// precomputes everything the per-run simulation needs.
 type Protocol struct {
-	strategy *strategy.Strategy
-	work     workload.Workload
-	sampler  *strategy.Sampler
-	recon    *linalg.Matrix // B (n×m)
+	rnd  protocol.Randomizer
+	agg  protocol.Aggregator
+	work workload.Workload
+
+	// strat is set for strategy-matrix mechanisms only; it powers the
+	// closed-form variance cross-check (TheoreticalTotalSquared).
+	strat *strategy.Strategy
+	recon *linalg.Matrix // B (n×m), strategy mechanisms only
 }
 
-// NewProtocol prepares a protocol for the given strategy and workload.
+// New prepares a protocol simulation for any mechanism given as its
+// randomizer/aggregator pair.
+func New(r protocol.Randomizer, a protocol.Aggregator, w workload.Workload) (*Protocol, error) {
+	if r.Domain() != a.Domain() {
+		return nil, fmt.Errorf("simulate: randomizer domain %d != aggregator domain %d", r.Domain(), a.Domain())
+	}
+	if a.Domain() != w.Domain() {
+		return nil, fmt.Errorf("simulate: mechanism domain %d != workload domain %d", a.Domain(), w.Domain())
+	}
+	return &Protocol{rnd: r, agg: a, work: w}, nil
+}
+
+// NewProtocol prepares a protocol simulation for a strategy-matrix mechanism.
+// Unlike New, it retains the strategy so the Theorem 3.4 closed-form variance
+// remains available for cross-checking.
 func NewProtocol(s *strategy.Strategy, w workload.Workload) (*Protocol, error) {
 	if s.Domain() != w.Domain() {
 		return nil, fmt.Errorf("simulate: strategy domain %d != workload domain %d", s.Domain(), w.Domain())
 	}
-	sp, err := strategy.NewSampler(s)
+	r, err := strategy.NewRandomizer(s)
 	if err != nil {
 		return nil, err
 	}
+	a, err := strategy.NewAggregator(s)
+	if err != nil {
+		return nil, err
+	}
+	p, err := New(r, a, w)
+	if err != nil {
+		return nil, err
+	}
+	p.strat = s
 	b, err := s.ReconFactor()
 	if err != nil {
 		return nil, err
 	}
-	return &Protocol{strategy: s, work: w, sampler: sp, recon: b}, nil
+	p.recon = b
+	return p, nil
 }
 
 // Outcome is the result of one protocol execution.
 type Outcome struct {
-	// Y is the aggregated response vector (one randomized response per user).
+	// Y is the aggregated accumulator state (for strategy mechanisms, the
+	// response histogram with one randomized response per user).
 	Y []float64
-	// XEstimate is B·y, the unbiased estimate of the data vector in the
-	// workload's row space.
+	// XEstimate is the unbiased estimate of the data vector (B·y for
+	// strategy mechanisms, the channel-inverted histogram for oracles).
 	XEstimate []float64
-	// Estimates is V·y = W·XEstimate, the unbiased workload answers.
+	// Estimates is W·XEstimate, the unbiased workload answers.
 	Estimates []float64
 }
 
 // Run simulates one execution on integer data vector x.
 func (p *Protocol) Run(x []float64, rng *rand.Rand) (*Outcome, error) {
-	y, err := p.sampler.ResponseVector(x, rng)
-	if err != nil {
-		return nil, err
+	if len(x) != p.agg.Domain() {
+		return nil, fmt.Errorf("simulate: data vector length %d, want %d", len(x), p.agg.Domain())
 	}
-	xh := p.recon.MulVec(y)
-	return &Outcome{Y: y, XEstimate: xh, Estimates: p.work.MatVec(xh)}, nil
+	acc := make([]float64, p.agg.StateLen())
+	count := 0.0
+	for u, cnt := range x {
+		c := int(cnt)
+		if float64(c) != cnt || c < 0 {
+			return nil, fmt.Errorf("simulate: data vector entry %d = %g is not a non-negative integer", u, cnt)
+		}
+		for j := 0; j < c; j++ {
+			rep, err := p.rnd.Randomize(u, rng)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.agg.Absorb(acc, rep); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	}
+	xh := p.agg.EstimateCounts(acc, count)
+	return &Outcome{Y: acc, XEstimate: xh, Estimates: p.work.MatVec(xh)}, nil
 }
 
 // RunConsistent simulates one execution and applies WNNLS post-processing
@@ -131,9 +182,13 @@ func (p *Protocol) MonteCarlo(x []float64, trials int, consistent bool, seed int
 }
 
 // TheoreticalTotalSquared returns the Theorem 3.4 prediction of the expected
-// total squared error on data vector x, for cross-checking MonteCarlo.
+// total squared error on data vector x, for cross-checking MonteCarlo. It is
+// only available for strategy-matrix mechanisms (built with NewProtocol).
 func (p *Protocol) TheoreticalTotalSquared(x []float64) (float64, error) {
-	vp, err := p.strategy.VariancesWithRecon(p.work.Gram(), p.work.Queries(), p.recon)
+	if p.strat == nil {
+		return 0, fmt.Errorf("simulate: closed-form variance requires a strategy-matrix mechanism")
+	}
+	vp, err := p.strat.VariancesWithRecon(p.work.Gram(), p.work.Queries(), p.recon)
 	if err != nil {
 		return 0, err
 	}

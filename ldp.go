@@ -13,21 +13,34 @@
 //
 // # Quick start
 //
-//	w := ldp.Prefix(256)                      // the queries you care about
-//	mech, err := ldp.Optimize(w, 1.0, nil)    // ε = 1 mechanism tuned to them
+// Every mechanism — optimized strategy matrices and the frequency oracles
+// (OUE, OLH, RAPPOR) alike — speaks one streaming protocol: a Randomizer
+// encodes a user's type into a Report on the client, an Aggregator absorbs
+// reports on the collector.
+//
+//	w := ldp.Prefix(256)                          // the queries you care about
+//	mech, err := ldp.Optimize(ctx, w, 1.0)        // ε = 1 mechanism tuned to them
 //	...
-//	client, _ := ldp.NewClient(mech.Strategy())
-//	resp := client.Respond(userType, rng)     // each user runs this locally
+//	rz, _ := ldp.NewRandomizer(mech.Strategy())
+//	client, _ := ldp.NewClient(rz)
+//	rep, _ := client.Randomize(userType, rng)     // each user runs this locally
 //	...
-//	server, _ := ldp.NewServer(mech.Strategy(), w)
-//	server.Add(resp)                          // collector aggregates
-//	answers := server.Answers()               // unbiased workload estimates
+//	agg, _ := ldp.NewAggregator(mech.Strategy())
+//	col, _ := ldp.NewCollector(agg, w, 0)         // sharded, goroutine-safe
+//	col.Ingest(rep)                               // from any handler goroutine
+//	answers := col.Answers()                      // unbiased workload estimates
+//
+// A FrequencyOracle is its own Randomizer and Aggregator, so the same
+// pipeline runs with `ldp.NewOUE(n, eps)` in place of the two strategy
+// adapters. See README.md for the full tour and the migration table from the
+// pre-streaming API.
 //
 // All heavy computation is expressed against the workload's Gram matrix WᵀW,
 // so workloads with millions of rows (e.g. AllRange) remain cheap.
 package ldp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -115,9 +128,10 @@ func WorkloadByName(name string, n int) (Workload, error) { return workload.ByNa
 // order.
 var PaperWorkloads = workload.PaperWorkloads
 
-// OptimizeOptions configures the strategy optimizer; the zero value uses the
-// paper's defaults (m = 4n outputs, random init, automatic step size, 500
-// iterations). See internal/core for field documentation.
+// OptimizeOptions is the pre-functional-options configuration struct.
+//
+// Deprecated: new code should pass OptimizeOption values (WithIterations,
+// WithSeed, ...) to Optimize; this alias backs the deprecated wrappers only.
 type OptimizeOptions = core.Options
 
 // Optimized is the workload-adaptive mechanism produced by Optimize. It
@@ -134,89 +148,83 @@ type Optimized struct {
 }
 
 // Optimize runs the paper's strategy optimization (Algorithm 2) and returns
-// the mechanism tailored to workload w at privacy budget eps. opts may be
-// nil for defaults.
-func Optimize(w Workload, eps float64, opts *OptimizeOptions) (*Optimized, error) {
-	var o core.Options
-	if opts != nil {
-		o = *opts
-	}
-	res, err := core.Optimize(w, eps, o)
-	if err != nil {
-		return nil, err
-	}
-	return &Optimized{
-		Factorization: mechanism.NewFactorization("Optimized", res.Strategy),
-		Objective:     res.Objective,
-		Iterations:    res.Iters,
-		History:       res.History,
-	}, nil
-}
-
-// OptimizeForPrior optimizes the mechanism for a known (or estimated) prior
-// distribution over user types instead of the uniform average — the
-// data-dependent variant the paper sketches in footnote 2. Both the strategy
-// search and the reconstruction matrix are weighted by the prior, so the
-// mechanism concentrates its accuracy where the data actually lives. The
-// worst-case guarantees of the returned mechanism are still reported exactly.
-func OptimizeForPrior(w Workload, eps float64, prior []float64, opts *OptimizeOptions) (*Optimized, error) {
-	var o core.Options
-	if opts != nil {
-		o = *opts
-	}
-	o.Prior = prior
-	res, err := core.Optimize(w, eps, o)
-	if err != nil {
-		return nil, err
-	}
-	f, err := mechanism.NewFactorizationWithPrior("Optimized (prior)", res.Strategy, res.PriorWeights)
-	if err != nil {
-		return nil, err
-	}
-	return &Optimized{
-		Factorization: f,
-		Objective:     res.Objective,
-		Iterations:    res.Iters,
-		History:       res.History,
-	}, nil
-}
-
-// OptimizeBest is Optimize hardened with warm starts: after the paper's
-// random-init run it considers the standard baseline strategies as
-// alternative initializations and returns the best mechanism found, so the
-// result provably dominates every factorization baseline in average-case
-// variance. Costs up to 2× Optimize.
-func OptimizeBest(w Workload, eps float64, opts *OptimizeOptions) (*Optimized, error) {
-	var o core.Options
-	if opts != nil {
-		o = *opts
-	}
-	ms, err := baselines.Competitors(w, eps)
-	if err != nil {
-		return nil, err
-	}
-	var candidates []*strategy.Strategy
-	for _, m := range ms {
-		if f, ok := m.(*mechanism.Factorization); ok {
-			candidates = append(candidates, f.Strategy())
+// the mechanism tailored to workload w at privacy budget eps. The zero option
+// set uses the paper's defaults; see the With... options for iterations,
+// seeding, priors (footnote 2), warm starts, and progress observation. The
+// context is checked inside the projected-gradient loop (and the step-size
+// pilot runs), so cancellation and deadlines take effect within one
+// iteration.
+func Optimize(ctx context.Context, w Workload, eps float64, opts ...OptimizeOption) (*Optimized, error) {
+	var s optimizeSettings
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&s)
 		}
 	}
-	res, err := core.OptimizeBest(w, eps, o, candidates...)
-	if err != nil {
-		return nil, err
+	// A context carried in by the deprecated OptimizeOptions.Ctx (through the
+	// legacy wrappers) wins over the background context those wrappers pass.
+	if ctx != nil && s.core.Ctx == nil {
+		s.core.Ctx = ctx
+	}
+
+	var res *core.Result
+	if s.warmStarts {
+		ms, err := baselines.Competitors(w, eps)
+		if err != nil {
+			return nil, err
+		}
+		var candidates []*strategy.Strategy
+		for _, m := range ms {
+			if f, ok := m.(*mechanism.Factorization); ok {
+				candidates = append(candidates, f.Strategy())
+			}
+		}
+		res, err = core.OptimizeBest(w, eps, s.core, candidates...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		res, err = core.Optimize(w, eps, s.core)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fac := mechanism.NewFactorization("Optimized", res.Strategy)
+	if res.PriorWeights != nil {
+		var err error
+		fac, err = mechanism.NewFactorizationWithPrior("Optimized (prior)", res.Strategy, res.PriorWeights)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Optimized{
-		Factorization: mechanism.NewFactorization("Optimized", res.Strategy),
+		Factorization: fac,
 		Objective:     res.Objective,
 		Iterations:    res.Iters,
 		History:       res.History,
 	}, nil
+}
+
+// OptimizeForPrior optimizes for a prior distribution over user types.
+//
+// Deprecated: use Optimize with WithPrior.
+func OptimizeForPrior(w Workload, eps float64, prior []float64, opts *OptimizeOptions) (*Optimized, error) {
+	return Optimize(context.Background(), w, eps, withLegacyOptions(opts), WithPrior(prior))
+}
+
+// OptimizeBest is Optimize hardened with baseline warm starts.
+//
+// Deprecated: use Optimize with WithWarmStarts.
+func OptimizeBest(w Workload, eps float64, opts *OptimizeOptions) (*Optimized, error) {
+	return Optimize(context.Background(), w, eps, withLegacyOptions(opts), WithWarmStarts())
 }
 
 // OptimizeStrategy is Optimize returning the raw strategy matrix, for callers
 // that manage mechanisms themselves.
-func OptimizeStrategy(w Workload, eps float64, opts *OptimizeOptions) (*Strategy, error) {
-	m, err := Optimize(w, eps, opts)
+func OptimizeStrategy(ctx context.Context, w Workload, eps float64, opts ...OptimizeOption) (*Strategy, error) {
+	m, err := Optimize(ctx, w, eps, opts...)
 	if err != nil {
 		return nil, err
 	}

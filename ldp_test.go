@@ -2,6 +2,8 @@ package ldp_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +51,8 @@ func TestNewWorkload(t *testing.T) {
 
 func TestOptimizeEndToEnd(t *testing.T) {
 	w := ldp.Prefix(8)
-	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 80, Seed: 1})
+	mech, err := ldp.Optimize(context.Background(), w, 1.0,
+		ldp.WithIterations(80), ldp.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +76,72 @@ func TestOptimizeEndToEnd(t *testing.T) {
 	}
 	if mech.Objective < lb*(1-1e-9) {
 		t.Fatalf("objective %v below lower bound %v", mech.Objective, lb)
+	}
+}
+
+// TestOptimizeCancellation exercises the context checked inside the
+// projected-gradient loop: cancelling mid-run must abort promptly with the
+// context's error, cancelling up-front must abort before any iteration.
+func TestOptimizeCancellation(t *testing.T) {
+	w := ldp.Prefix(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	_, err := ldp.Optimize(ctx, w, 1.0,
+		ldp.WithIterations(5000), ldp.WithSeed(2),
+		ldp.WithProgress(func(iter int, obj float64) {
+			seen++
+			if iter == 3 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen == 0 || seen > 10 {
+		t.Fatalf("observed %d iterations before cancellation took effect", seen)
+	}
+
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := ldp.Optimize(done, w, 1.0, ldp.WithIterations(100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v", err)
+	}
+
+	// The deprecated wrappers must honor a context carried in through the
+	// legacy OptimizeOptions.Ctx field.
+	legacy, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	if _, err := ldp.OptimizeBest(w, 1.0, &ldp.OptimizeOptions{Iters: 50, Ctx: legacy}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("legacy Ctx ignored by wrapper: err = %v", err)
+	}
+}
+
+// TestOptimizeProgress verifies the observer sees the monotone iteration
+// stream the optimizer actually ran.
+func TestOptimizeProgress(t *testing.T) {
+	w := ldp.Histogram(6)
+	var iters []int
+	mech, err := ldp.Optimize(context.Background(), w, 1.0,
+		ldp.WithIterations(30), ldp.WithSeed(3),
+		ldp.WithProgress(func(iter int, obj float64) {
+			if obj <= 0 {
+				t.Errorf("iteration %d: non-positive objective %v", iter, obj)
+			}
+			iters = append(iters, iter)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 {
+		t.Fatal("progress observer never called")
+	}
+	for i := 1; i < len(iters); i++ {
+		if iters[i] <= iters[i-1] {
+			t.Fatalf("iteration stream not increasing: %v", iters)
+		}
+	}
+	if mech.Iterations == 0 {
+		t.Fatal("diagnostics missing")
 	}
 }
 
@@ -123,18 +192,27 @@ func TestBaselineConstructorsViaFacade(t *testing.T) {
 func TestClientServerProtocol(t *testing.T) {
 	n := 6
 	w := ldp.Prefix(n)
-	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 60, Seed: 2})
+	mech, err := ldp.Optimize(context.Background(), w, 2.0,
+		ldp.WithIterations(60), ldp.WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := ldp.NewClient(mech.Strategy())
+	rz, err := ldp.NewRandomizer(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ldp.NewClient(rz)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if client.Domain() != n || client.Epsilon() != 2.0 {
 		t.Fatal("client metadata wrong")
 	}
-	server, err := ldp.NewServer(mech.Strategy(), w)
+	agg, err := ldp.NewAggregator(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ldp.NewServer(agg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +222,11 @@ func TestClientServerProtocol(t *testing.T) {
 	truth := w.MatVec(x)
 	for u, cnt := range x {
 		for j := 0; j < int(cnt); j++ {
-			if err := server.Add(client.Respond(u, rng)); err != nil {
+			rep, err := client.Randomize(u, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := server.Ingest(rep); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -167,29 +249,75 @@ func TestClientServerProtocol(t *testing.T) {
 	if math.Abs(consistent[n-1]-3000) > 1e-6 {
 		t.Fatalf("consistent total = %v, want 3000", consistent[n-1])
 	}
-	// Out-of-range response rejected.
+	// Out-of-range report rejected.
+	if err := server.Ingest(ldp.Report{Index: 99999}); err == nil {
+		t.Fatal("expected range error")
+	}
+	// Family confusion rejected: a unary report has no meaning here.
+	if err := server.Ingest(ldp.Report{Bits: make([]bool, n)}); err == nil {
+		t.Fatal("expected family error")
+	}
+}
+
+// TestDeprecatedStrategyWrappers keeps the pre-streaming entry points
+// working: NewStrategyClient/Respond and NewStrategyServer/Add must behave
+// like the explicit pipeline.
+func TestDeprecatedStrategyWrappers(t *testing.T) {
+	n := 4
+	w := ldp.Histogram(n)
+	mech, err := ldp.Optimize(context.Background(), w, 2.0,
+		ldp.WithIterations(30), ldp.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ldp.NewStrategyClient(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ldp.NewStrategyServer(mech.Strategy(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if err := server.Add(client.Respond(i%n, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if server.Count() != 100 {
+		t.Fatalf("count = %v", server.Count())
+	}
 	if err := server.Add(99999); err == nil {
 		t.Fatal("expected range error")
+	}
+	if got := len(server.ResponseVector()); got != mech.Strategy().Outputs() {
+		t.Fatalf("response vector length %d", got)
 	}
 }
 
 func TestClientRefusesInvalidStrategy(t *testing.T) {
 	// A strategy claiming more privacy than it provides must be rejected.
 	w := ldp.Histogram(4)
-	mech, err := ldp.Optimize(w, 3.0, &ldp.OptimizeOptions{Iters: 30, Seed: 4})
+	mech, err := ldp.Optimize(context.Background(), w, 3.0,
+		ldp.WithIterations(30), ldp.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := mech.Strategy()
 	s.Eps = 0.1 // lie about the guarantee
-	if _, err := ldp.NewClient(s); err == nil {
-		t.Fatal("client must refuse a strategy that violates its declared ε")
+	if _, err := ldp.NewRandomizer(s); err == nil {
+		t.Fatal("randomizer must refuse a strategy that violates its declared ε")
 	}
 }
 
-func TestStrategySaveLoad(t *testing.T) {
+// TestValidationToleranceUnified is the regression test for the split
+// tolerance bug (NewClient at 1e-7 vs LoadStrategy at 1e-6): any strategy
+// that loads must be accepted by the randomizer, because both gates share
+// EpsValidationTol.
+func TestValidationToleranceUnified(t *testing.T) {
 	w := ldp.Histogram(5)
-	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 40, Seed: 5})
+	mech, err := ldp.Optimize(context.Background(), w, 1.0,
+		ldp.WithIterations(40), ldp.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,23 +329,33 @@ func TestStrategySaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Eps != 1.0 || loaded.Domain() != 5 || loaded.Outputs() != mech.Strategy().Outputs() {
-		t.Fatal("round-trip lost metadata")
+	if _, err := ldp.NewRandomizer(loaded); err != nil {
+		t.Fatalf("loaded strategy refused by randomizer: %v", err)
 	}
-	// Corrupt stream rejected.
-	if _, err := ldp.LoadStrategy(bytes.NewReader([]byte("garbage"))); err == nil {
-		t.Fatal("expected decode error")
+	// The shared constant is the loader's tolerance: a strategy that passes
+	// validation at exactly EpsValidationTol must pass both gates.
+	if err := loaded.Validate(ldp.EpsValidationTol); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestSimulateProtocolFacade(t *testing.T) {
 	w := ldp.Histogram(4)
-	mech, err := ldp.Optimize(w, 2.0, &ldp.OptimizeOptions{Iters: 40, Seed: 6})
+	mech, err := ldp.Optimize(context.Background(), w, 2.0,
+		ldp.WithIterations(40), ldp.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz, err := ldp.NewRandomizer(mech.Strategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := ldp.NewAggregator(mech.Strategy())
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := []float64{100, 200, 300, 400}
-	est, err := ldp.SimulateProtocol(mech.Strategy(), w, x, 7)
+	est, err := ldp.SimulateProtocol(rz, agg, w, x, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,6 +370,23 @@ func TestSimulateProtocolFacade(t *testing.T) {
 	if math.Abs(total-1000) > 300 {
 		t.Fatalf("estimated total = %v, want ≈1000", total)
 	}
+
+	// The same simulator runs a frequency oracle — and answers a non-trivial
+	// workload over its histogram estimate.
+	oue, err := ldp.NewOUE(4, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oest, err := ldp.SimulateProtocol(oue, oue, ldp.Prefix(4), x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oest) != 4 {
+		t.Fatal("oracle estimate length wrong")
+	}
+	if math.Abs(oest[3]-1000) > 300 {
+		t.Fatalf("oracle CDF total = %v, want ≈1000", oest[3])
+	}
 }
 
 func TestCompetitorsFacade(t *testing.T) {
@@ -244,7 +399,8 @@ func TestCompetitorsFacade(t *testing.T) {
 		t.Fatal("no competitors")
 	}
 	// The headline comparison at small scale: Optimized ≤ all competitors.
-	mech, err := ldp.Optimize(w, 1.0, &ldp.OptimizeOptions{Iters: 300, Seed: 8})
+	mech, err := ldp.Optimize(context.Background(), w, 1.0,
+		ldp.WithIterations(300), ldp.WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +437,7 @@ func TestFrequencyOracleFacade(t *testing.T) {
 	}
 	x := make([]float64, n)
 	x[7], x[100], x[2000] = 1000, 700, 500
-	est, err := ldp.RunFrequencyOracle(olh, x, 1)
+	est, err := ldp.SimulateProtocol(olh, olh, ldp.Histogram(n), x, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

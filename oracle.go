@@ -5,8 +5,12 @@ import "repro/internal/freqoracle"
 // FrequencyOracle is a practical histogram-estimation protocol (unary
 // encoding or local hashing) that scales to domains far beyond what an
 // explicit strategy matrix allows. These are the mechanisms of Wang et al.
-// the paper cites as histogram state of the art; they answer point queries
-// only, whereas Optimize adapts to arbitrary workloads.
+// the paper cites as histogram state of the art; they estimate the full
+// histogram, whereas Optimize adapts to arbitrary workloads.
+//
+// Every oracle implements both Randomizer and Aggregator, so it plugs
+// directly into the same streaming Client/Server/Collector pipeline (and
+// SimulateProtocol) as optimized strategies — no separate batch path.
 type FrequencyOracle = freqoracle.Oracle
 
 // NewOUE returns the Optimized Unary Encoding frequency oracle.
@@ -22,8 +26,18 @@ func NewRAPPOROracle(n int, eps float64) (FrequencyOracle, error) {
 	return freqoracle.NewRAPPOR(n, eps)
 }
 
+// OracleByName constructs the named frequency oracle ("OUE", "OLH",
+// "RAPPOR") — the inverse of FrequencyOracle.Name, used by tooling that
+// selects mechanisms from configuration.
+func OracleByName(name string, n int, eps float64) (FrequencyOracle, error) {
+	return freqoracle.ByName(name, n, eps)
+}
+
 // RunFrequencyOracle executes a full oracle protocol on an integer data
 // vector and returns the estimated counts.
+//
+// Deprecated: oracles speak the streaming protocol; use SimulateProtocol(o,
+// o, Histogram(n), x, seed) or the Client/Collector pipeline directly.
 func RunFrequencyOracle(o FrequencyOracle, x []float64, seed int64) ([]float64, error) {
 	return freqoracle.Run(o, x, seed)
 }

@@ -1,108 +1,222 @@
 package ldp
 
 import (
-	"encoding/gob"
+	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 
-	"repro/internal/linalg"
 	"repro/internal/postprocess"
+	"repro/internal/protocol"
 	"repro/internal/simulate"
 	"repro/internal/strategy"
 )
 
-// Client is the user-side randomizer of the LDP protocol: it holds a strategy
-// matrix and produces one randomized response per user. Respond is the only
-// thing that ever touches a user's true type, and its output is safe to send
-// to an untrusted collector — that is the LDP guarantee.
-type Client struct {
-	sampler *strategy.Sampler
-	eps     float64
+// Report is the single wire format every mechanism's client report travels
+// in: strategy-matrix mechanisms fill Index, OLH fills Seed+Index, unary
+// encoding (OUE/RAPPOR) fills Bits. The struct is flat and gob/JSON-friendly,
+// so any transport can carry it.
+type Report = protocol.Report
+
+// Randomizer is the client side of the streaming protocol: it encodes one
+// user's true type into a randomized Report. Both mechanism families
+// implement it — build one from an optimized strategy with NewRandomizer, or
+// use a FrequencyOracle directly (oracles are their own Randomizer).
+type Randomizer = protocol.Randomizer
+
+// Aggregator is the server side of the streaming protocol: it folds reports
+// into a mergeable accumulator and converts accumulators into unbiased
+// per-type count estimates. Build one from an optimized strategy with
+// NewAggregator, or use a FrequencyOracle directly.
+type Aggregator = protocol.Aggregator
+
+// EpsValidationTol is the single ε-validation tolerance used everywhere a
+// strategy crosses a trust boundary (NewRandomizer, LoadStrategy). Because
+// every entry point shares it, a strategy that loads is always accepted by
+// the client that randomizes through it.
+const EpsValidationTol = strategy.DefaultValidateTol
+
+// NewRandomizer adapts an optimized strategy to the protocol's client side.
+// The strategy is validated against its declared ε (to EpsValidationTol)
+// before use: a client must never randomize through a matrix that does not
+// actually provide the promised privacy.
+func NewRandomizer(s *Strategy) (Randomizer, error) {
+	r, err := strategy.NewRandomizer(s)
+	if err != nil {
+		return nil, fmt.Errorf("ldp: %w", err)
+	}
+	return r, nil
 }
 
-// NewClient prepares a client for the given strategy. The strategy is
-// validated against its declared ε before use: a client must never randomize
-// through a matrix that does not actually provide the promised privacy.
-func NewClient(s *Strategy) (*Client, error) {
-	if err := s.Validate(1e-7); err != nil {
-		return nil, fmt.Errorf("ldp: refusing to build client: %w", err)
+// NewAggregator adapts an optimized strategy to the protocol's server side,
+// precomputing the optimal reconstruction B = (QᵀD⁻¹Q)⁺QᵀD⁻¹ (Theorem 3.10).
+func NewAggregator(s *Strategy) (Aggregator, error) {
+	a, err := strategy.NewAggregator(s)
+	if err != nil {
+		return nil, fmt.Errorf("ldp: %w", err)
 	}
-	sp, err := strategy.NewSampler(s)
+	return a, nil
+}
+
+// Client is the user-side half of the LDP protocol for any mechanism.
+// Randomize is the only thing that ever touches a user's true type, and its
+// output is safe to send to an untrusted collector — that is the LDP
+// guarantee.
+type Client struct {
+	r Randomizer
+}
+
+// NewClient wraps a mechanism's randomizer: pass a FrequencyOracle directly,
+// or adapt an optimized strategy with NewRandomizer first.
+func NewClient(r Randomizer) (*Client, error) {
+	if r == nil {
+		return nil, errors.New("ldp: nil randomizer")
+	}
+	return &Client{r: r}, nil
+}
+
+// NewStrategyClient is NewRandomizer + NewClient in one step.
+//
+// Deprecated: kept for pre-streaming-API callers; new code should build the
+// Randomizer explicitly so it can be shared with SimulateProtocol.
+func NewStrategyClient(s *Strategy) (*Client, error) {
+	r, err := NewRandomizer(s)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{sampler: sp, eps: s.Eps}, nil
+	return NewClient(r)
 }
 
-// Respond randomizes user type u (0 ≤ u < Domain) into an output index using
-// the supplied randomness source.
+// Randomize encodes user type u (0 ≤ u < Domain) into one report using the
+// supplied randomness source. Client itself satisfies Randomizer.
+func (c *Client) Randomize(u int, rng *rand.Rand) (Report, error) {
+	return c.r.Randomize(u, rng)
+}
+
+// Respond randomizes user type u into a bare output index.
+//
+// Deprecated: only meaningful for index-carrying mechanisms (strategy
+// matrices); use Randomize, which serves every mechanism. Respond panics if
+// the underlying randomizer rejects u.
 func (c *Client) Respond(u int, rng *rand.Rand) int {
-	return c.sampler.Sample(u, rng)
+	rep, err := c.r.Randomize(u, rng)
+	if err != nil {
+		panic(err)
+	}
+	return rep.Index
 }
 
-// Epsilon returns the privacy budget the client's responses satisfy.
-func (c *Client) Epsilon() float64 { return c.eps }
+// Epsilon returns the privacy budget the client's reports satisfy.
+func (c *Client) Epsilon() float64 { return c.r.Epsilon() }
 
 // Domain returns the number of user types the client accepts.
-func (c *Client) Domain() int { return c.sampler.Domain() }
+func (c *Client) Domain() int { return c.r.Domain() }
 
-// Outputs returns the size of the response range.
-func (c *Client) Outputs() int { return c.sampler.Outputs() }
-
-// Server is the collector side: it aggregates randomized responses into the
-// response vector y and reconstructs workload answers.
+// Server is a single-goroutine collector: it absorbs reports into the
+// mechanism's accumulator and reconstructs workload answers. For concurrent
+// ingestion use Collector, which shards the same state across goroutines.
 type Server struct {
-	strategy *Strategy
-	work     Workload
-	recon    *linalg.Matrix // B = (QᵀD⁻¹Q)⁺QᵀD⁻¹
-	y        []float64
-	count    float64
+	agg   Aggregator
+	work  Workload
+	acc   []float64
+	count float64
 }
 
-// NewServer prepares a collector for the given strategy and workload.
-func NewServer(s *Strategy, w Workload) (*Server, error) {
-	if s.Domain() != w.Domain() {
-		return nil, fmt.Errorf("ldp: strategy domain %d != workload domain %d", s.Domain(), w.Domain())
+// NewServer prepares a collector for the given mechanism aggregator and
+// workload. Frequency oracles estimate the full histogram, so any workload
+// over their domain is answerable — the same W·x̂ reconstruction used by
+// strategy mechanisms.
+func NewServer(agg Aggregator, w Workload) (*Server, error) {
+	if agg == nil {
+		return nil, errors.New("ldp: nil aggregator")
 	}
-	b, err := s.ReconFactor()
+	if agg.Domain() != w.Domain() {
+		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
+	}
+	return &Server{agg: agg, work: w, acc: make([]float64, agg.StateLen())}, nil
+}
+
+// NewStrategyServer is NewAggregator + NewServer in one step.
+//
+// Deprecated: kept for pre-streaming-API callers; new code should build the
+// Aggregator explicitly so it can be shared with a Collector.
+func NewStrategyServer(s *Strategy, w Workload) (*Server, error) {
+	agg, err := NewAggregator(s)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{strategy: s, work: w, recon: b, y: make([]float64, s.Outputs())}, nil
+	return NewServer(agg, w)
 }
 
-// Add records one client response.
-func (sv *Server) Add(response int) error {
-	if response < 0 || response >= len(sv.y) {
-		return fmt.Errorf("ldp: response %d out of range [0, %d)", response, len(sv.y))
+// Ingest records one client report.
+func (sv *Server) Ingest(r Report) error {
+	if err := sv.agg.Absorb(sv.acc, r); err != nil {
+		return fmt.Errorf("ldp: %w", err)
 	}
-	sv.y[response]++
 	sv.count++
 	return nil
 }
 
-// AddAll records a batch of client responses.
-func (sv *Server) AddAll(responses []int) error {
-	for _, r := range responses {
-		if err := sv.Add(r); err != nil {
-			return err
+// IngestBatch records a batch of reports atomically: the whole batch is
+// validated before any state changes, so a malformed element leaves the
+// server exactly as it was.
+func (sv *Server) IngestBatch(reports []Report) error {
+	for i, r := range reports {
+		if err := sv.agg.Check(r); err != nil {
+			return fmt.Errorf("ldp: batch element %d: %w", i, err)
 		}
+	}
+	for _, r := range reports {
+		// Check passed, so Absorb cannot fail (the Aggregator contract).
+		if err := sv.agg.Absorb(sv.acc, r); err != nil {
+			return fmt.Errorf("ldp: validated report failed to absorb: %w", err)
+		}
+		sv.count++
 	}
 	return nil
 }
 
-// Count returns the number of responses collected so far.
+// Add records one bare output index.
+//
+// Deprecated: index-carrying mechanisms only; use Ingest.
+func (sv *Server) Add(response int) error {
+	return sv.Ingest(Report{Index: response})
+}
+
+// AddAll records a batch of bare output indices with the same all-or-nothing
+// validation as IngestBatch.
+//
+// Deprecated: index-carrying mechanisms only; use IngestBatch.
+func (sv *Server) AddAll(responses []int) error {
+	reports := make([]Report, len(responses))
+	for i, r := range responses {
+		reports[i] = Report{Index: r}
+	}
+	return sv.IngestBatch(reports)
+}
+
+// Count returns the number of reports collected so far.
 func (sv *Server) Count() float64 { return sv.count }
 
-// ResponseVector returns a copy of the aggregated response histogram y.
-func (sv *Server) ResponseVector() []float64 { return linalg.CloneVec(sv.y) }
+// State returns a copy of the aggregation accumulator (for strategy
+// mechanisms, the response histogram y).
+func (sv *Server) State() []float64 {
+	out := make([]float64, len(sv.acc))
+	copy(out, sv.acc)
+	return out
+}
 
-// DataEstimate returns B·y, the unbiased estimate of the data vector within
-// the workload's row space.
-func (sv *Server) DataEstimate() []float64 { return sv.recon.MulVec(sv.y) }
+// ResponseVector returns a copy of the aggregated response histogram.
+//
+// Deprecated: use State, which is defined for every mechanism.
+func (sv *Server) ResponseVector() []float64 { return sv.State() }
 
-// Answers returns the unbiased workload answer estimates V·y = W·(B·y).
+// DataEstimate returns the unbiased estimate of the data vector (B·y for
+// strategy mechanisms, the channel-inverted histogram for oracles).
+func (sv *Server) DataEstimate() []float64 {
+	return sv.agg.EstimateCounts(sv.acc, sv.count)
+}
+
+// Answers returns the unbiased workload answer estimates W·x̂.
 func (sv *Server) Answers() []float64 {
 	return sv.work.MatVec(sv.DataEstimate())
 }
@@ -119,12 +233,12 @@ func (sv *Server) ConsistentAnswers() ([]float64, error) {
 	return res.Answers, nil
 }
 
-// Protocol simulation — used by examples, the experiment harness, and tests.
-
-// SimulateProtocol runs the complete protocol on an integer data vector x
-// (each count is a user) and returns the unbiased workload estimates.
-func SimulateProtocol(s *Strategy, w Workload, x []float64, seed int64) ([]float64, error) {
-	p, err := simulate.NewProtocol(s, w)
+// SimulateProtocol runs the complete protocol for any mechanism on an integer
+// data vector x (each count is a user) and returns the unbiased workload
+// estimates. Strategy mechanisms and frequency oracles run through exactly
+// the same path.
+func SimulateProtocol(r Randomizer, agg Aggregator, w Workload, x []float64, seed int64) ([]float64, error) {
+	p, err := simulate.New(r, agg, w)
 	if err != nil {
 		return nil, err
 	}
@@ -135,38 +249,18 @@ func SimulateProtocol(s *Strategy, w Workload, x []float64, seed int64) ([]float
 	return out.Estimates, nil
 }
 
-// strategyWire is the gob wire format for strategies.
-type strategyWire struct {
-	Rows, Cols int
-	Eps        float64
-	Data       []float64
-}
-
-// SaveStrategy serializes an optimized strategy (gob encoding), so the
-// expensive offline optimization can be done once and shipped to clients.
-func SaveStrategy(w io.Writer, s *Strategy) error {
-	enc := gob.NewEncoder(w)
-	return enc.Encode(strategyWire{
-		Rows: s.Q.Rows(),
-		Cols: s.Q.Cols(),
-		Eps:  s.Eps,
-		Data: s.Q.Data(),
-	})
-}
-
-// LoadStrategy deserializes a strategy written by SaveStrategy and validates
-// its LDP guarantee before returning it.
-func LoadStrategy(r io.Reader) (*Strategy, error) {
-	var wire strategyWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("ldp: decode strategy: %w", err)
+// SimulateStrategyProtocol is SimulateProtocol for a bare strategy matrix.
+//
+// Deprecated: kept for pre-streaming-API callers; use SimulateProtocol with
+// NewRandomizer/NewAggregator.
+func SimulateStrategyProtocol(s *Strategy, w Workload, x []float64, seed int64) ([]float64, error) {
+	p, err := simulate.NewProtocol(s, w)
+	if err != nil {
+		return nil, err
 	}
-	if wire.Rows <= 0 || wire.Cols <= 0 || len(wire.Data) != wire.Rows*wire.Cols {
-		return nil, fmt.Errorf("ldp: corrupt strategy: %dx%d with %d values", wire.Rows, wire.Cols, len(wire.Data))
+	out, err := p.Run(x, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
 	}
-	s := strategy.New(linalg.NewFrom(wire.Rows, wire.Cols, wire.Data), wire.Eps)
-	if err := s.Validate(1e-6); err != nil {
-		return nil, fmt.Errorf("ldp: loaded strategy invalid: %w", err)
-	}
-	return s, nil
+	return out.Estimates, nil
 }

@@ -1,0 +1,135 @@
+package ldp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/freqoracle"
+	"repro/internal/linalg"
+	"repro/internal/strategy"
+)
+
+// Wire format: every artifact this library persists is a gob stream of
+// (header, payload). The header carries a magic string, a format version, and
+// the payload kind, so readers reject foreign files, future formats, and
+// kind confusion (an oracle file fed to LoadStrategy) with a precise error
+// instead of gob soup. Bump wireVersion when the payload schema changes;
+// readers accept exactly the versions they know how to decode.
+const (
+	wireMagic   = "LDPWIRE"
+	wireVersion = 1
+
+	wireKindStrategy = "strategy"
+	wireKindOracle   = "oracle"
+)
+
+// wireHeader prefixes every serialized artifact.
+type wireHeader struct {
+	Magic   string
+	Version int
+	Kind    string
+}
+
+// strategyWire is the version-1 payload for strategy matrices.
+type strategyWire struct {
+	Rows, Cols int
+	Eps        float64
+	Data       []float64
+}
+
+// oracleWire is the version-1 payload for frequency-oracle configurations.
+// Oracles are fully determined by (name, domain, ε), so no matrix is stored.
+type oracleWire struct {
+	Name   string
+	Domain int
+	Eps    float64
+}
+
+func writeHeader(enc *gob.Encoder, kind string) error {
+	return enc.Encode(wireHeader{Magic: wireMagic, Version: wireVersion, Kind: kind})
+}
+
+func readHeader(dec *gob.Decoder, wantKind string) error {
+	var h wireHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("ldp: not an ldp wire file (bad header; a pre-versioning file must be re-saved): %w", err)
+	}
+	if h.Magic != wireMagic {
+		return fmt.Errorf("ldp: not an ldp wire file (bad magic %q; a pre-versioning file must be re-saved)", h.Magic)
+	}
+	if h.Version != wireVersion {
+		return fmt.Errorf("ldp: unsupported wire version %d (this library reads version %d)", h.Version, wireVersion)
+	}
+	if h.Kind != wantKind {
+		return fmt.Errorf("ldp: wire file holds a %q, want a %q", h.Kind, wantKind)
+	}
+	return nil
+}
+
+// SaveStrategy serializes an optimized strategy under the versioned wire
+// header, so the expensive offline optimization can be done once and shipped
+// to clients.
+func SaveStrategy(w io.Writer, s *Strategy) error {
+	enc := gob.NewEncoder(w)
+	if err := writeHeader(enc, wireKindStrategy); err != nil {
+		return err
+	}
+	return enc.Encode(strategyWire{
+		Rows: s.Q.Rows(),
+		Cols: s.Q.Cols(),
+		Eps:  s.Eps,
+		Data: s.Q.Data(),
+	})
+}
+
+// LoadStrategy deserializes a strategy written by SaveStrategy, rejecting
+// unknown wire versions, and validates its LDP guarantee (to
+// EpsValidationTol) before returning it.
+func LoadStrategy(r io.Reader) (*Strategy, error) {
+	dec := gob.NewDecoder(r)
+	if err := readHeader(dec, wireKindStrategy); err != nil {
+		return nil, err
+	}
+	var wire strategyWire
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ldp: decode strategy: %w", err)
+	}
+	if wire.Rows <= 0 || wire.Cols <= 0 || len(wire.Data) != wire.Rows*wire.Cols {
+		return nil, fmt.Errorf("ldp: corrupt strategy: %dx%d with %d values", wire.Rows, wire.Cols, len(wire.Data))
+	}
+	s := strategy.New(linalg.NewFrom(wire.Rows, wire.Cols, wire.Data), wire.Eps)
+	if err := s.Validate(EpsValidationTol); err != nil {
+		return nil, fmt.Errorf("ldp: loaded strategy invalid: %w", err)
+	}
+	return s, nil
+}
+
+// SaveOracle serializes a frequency-oracle configuration under the same
+// versioned wire header as strategies, so deployments persist both mechanism
+// families through one format.
+func SaveOracle(w io.Writer, o FrequencyOracle) error {
+	enc := gob.NewEncoder(w)
+	if err := writeHeader(enc, wireKindOracle); err != nil {
+		return err
+	}
+	return enc.Encode(oracleWire{Name: o.Name(), Domain: o.Domain(), Eps: o.Epsilon()})
+}
+
+// LoadOracle deserializes an oracle configuration written by SaveOracle,
+// rejecting unknown wire versions and unknown oracle names.
+func LoadOracle(r io.Reader) (FrequencyOracle, error) {
+	dec := gob.NewDecoder(r)
+	if err := readHeader(dec, wireKindOracle); err != nil {
+		return nil, err
+	}
+	var wire oracleWire
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ldp: decode oracle: %w", err)
+	}
+	o, err := freqoracle.ByName(wire.Name, wire.Domain, wire.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("ldp: loaded oracle invalid: %w", err)
+	}
+	return o, nil
+}
