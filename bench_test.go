@@ -379,6 +379,27 @@ func BenchmarkCollectorIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotCached measures the collector read path: a cache hit (no
+// ingest since the last read — one copy, no shard locks) against a forced
+// miss (one report ingested per read — the pre-cache full lock-all remerge of
+// all 32 shards). The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix.
+func BenchmarkSnapshotCached(b *testing.B) {
+	b.Run("hit", benchfix.SnapshotCached(true))
+	b.Run("miss", benchfix.SnapshotCached(false))
+}
+
+// BenchmarkOLHAbsorb compares OLH's candidate-enumeration absorb (invert the
+// report's hash, visit ~p/g field elements) against the classic all-types
+// scan it replaced. Both produce identical accumulators. The body is shared
+// with `cmd/ldpbench -exp bench` via internal/benchfix.
+func BenchmarkOLHAbsorb(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("candidates/n=%d", n), benchfix.OLHAbsorb(true, n))
+		b.Run(fmt.Sprintf("scan/n=%d", n), benchfix.OLHAbsorb(false, n))
+	}
+}
+
 // BenchmarkWNNLS times consistency post-processing on the AllRange workload
 // through its implicit operators.
 func BenchmarkWNNLS(b *testing.B) {

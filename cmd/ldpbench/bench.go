@@ -50,6 +50,10 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"CollectorIngest/mutex-g=1", benchfix.CollectorIngest(1, 1)},
 		{"CollectorIngest/mutex-g=4", benchfix.CollectorIngest(4, 1)},
 		{"CollectorIngest/mutex-g=8", benchfix.CollectorIngest(8, 1)},
+		{"SnapshotCached/hit", benchfix.SnapshotCached(true)},
+		{"SnapshotCached/miss", benchfix.SnapshotCached(false)},
+		{"OLHAbsorb/candidates/n=1024", benchfix.OLHAbsorb(true, 1024)},
+		{"OLHAbsorb/scan/n=1024", benchfix.OLHAbsorb(false, 1024)},
 	}
 	file := BenchFile{
 		GoVersion:  runtime.Version(),

@@ -6,11 +6,17 @@
 // consistency post-processing. Every mechanism family runs through the same
 // streaming Client/Collector pipeline.
 //
+// With -remote the same simulation drives a networked collector
+// (cmd/ldpserve) instead of the in-process one: reports stream over the
+// transport's framed HTTP binding and estimates are reconstructed from the
+// server's snapshot. Same seed, same estimates, either way.
+//
 // Usage:
 //
 //	ldprun -workload Prefix -n 64 -eps 1.0 -users 50000
 //	ldprun -mech olh -workload Prefix -n 256 -users 100000
 //	ldprun -strategy prefix256.strategy -workload Prefix -n 256 -dataset MEDCOST
+//	ldprun -mech oue -n 256 -remote http://10.0.0.1:8089
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	stratPath := flag.String("strategy", "", "load a precomputed strategy instead of optimizing")
 	iters := flag.Int("iters", 300, "optimizer iterations when optimizing")
 	seed := flag.Int64("seed", 0, "random seed")
+	remote := flag.String("remote", "", "stream reports to a remote ldpserve collector at this address")
 	flag.Parse()
 
 	w, err := ldp.WorkloadByName(*wname, *n)
@@ -46,8 +53,10 @@ func main() {
 	// Build the mechanism's two protocol halves. Strategy mechanisms adapt a
 	// matrix; oracles are their own Randomizer and Aggregator.
 	var (
-		rz  ldp.Randomizer
-		agg ldp.Aggregator
+		rz       ldp.Randomizer
+		agg      ldp.Aggregator
+		mechName string
+		digest   string
 	)
 	switch strings.ToLower(*mech) {
 	case "optimize", "optimized":
@@ -79,6 +88,8 @@ func main() {
 		if agg, err = ldp.NewAggregator(strat); err != nil {
 			fatal(err)
 		}
+		mechName = "strategy"
+		digest = ldp.StrategyDigest(strat)
 	case "oue", "olh", "rappor":
 		o, err := ldp.OracleByName(strings.ToUpper(*mech), *n, *eps)
 		if err != nil {
@@ -86,6 +97,7 @@ func main() {
 		}
 		fmt.Printf("frequency oracle %s (n=%d, ε=%g)\n", o.Name(), *n, *eps)
 		rz, agg = o, o
+		mechName = o.Name()
 	default:
 		fatal(fmt.Errorf("unknown mechanism %q", *mech))
 	}
@@ -96,35 +108,70 @@ func main() {
 	}
 	truth := w.MatVec(x)
 
-	// Client side: every user randomizes locally; the sharded collector
-	// absorbs the reports.
+	// Client side: every user randomizes locally; the collector — in-process
+	// and sharded, or a remote ldpserve reached over the framed HTTP
+	// transport — absorbs the reports.
 	client, err := ldp.NewClient(rz)
 	if err != nil {
 		fatal(err)
 	}
-	col, err := ldp.NewCollector(agg, w, 0)
-	if err != nil {
-		fatal(err)
-	}
 	rng := rand.New(rand.NewSource(*seed + 2))
-	for u, cnt := range x {
-		for j := 0; j < int(cnt); j++ {
-			rep, err := client.Randomize(u, rng)
-			if err != nil {
-				fatal(err)
-			}
-			if err := col.Ingest(rep); err != nil {
-				fatal(err)
+	// One drive loop serves both collectors — only the ingest sink differs,
+	// which is what keeps the remote and local paths seed-identical.
+	drive := func(ingest func(ldp.Report) error) {
+		for u, cnt := range x {
+			for j := 0; j < int(cnt); j++ {
+				rep, err := client.Randomize(u, rng)
+				if err != nil {
+					fatal(err)
+				}
+				if err := ingest(rep); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}
-	fmt.Printf("collected %d randomized reports (ε=%g each, %d shards)\n",
-		int(col.Count()), client.Epsilon(), col.Shards())
-
-	unbiased := col.Answers()
-	consistent, err := col.ConsistentAnswers()
-	if err != nil {
-		fatal(err)
+	var unbiased, consistent []float64
+	if *remote != "" {
+		ctx := context.Background()
+		rcol, err := ldp.NewRemoteCollector(*remote, agg, w)
+		if err != nil {
+			fatal(err)
+		}
+		// Refuse to stream through a server aggregating under a different
+		// configuration; rz.Epsilon() is the mechanism's actual budget and
+		// the digest pins the exact strategy matrix.
+		if err := rcol.Verify(ctx, mechName, rz.Epsilon(), digest); err != nil {
+			fatal(err)
+		}
+		drive(func(rep ldp.Report) error { return rcol.Ingest(ctx, rep) })
+		if err := rcol.Flush(ctx); err != nil {
+			fatal(err)
+		}
+		count, err := rcol.Count(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("streamed %d randomized reports (ε=%g each) to %s\n",
+			int(count), client.Epsilon(), *remote)
+		if unbiased, err = rcol.Answers(ctx); err != nil {
+			fatal(err)
+		}
+		if consistent, err = rcol.ConsistentAnswers(ctx); err != nil {
+			fatal(err)
+		}
+	} else {
+		col, err := ldp.NewCollector(agg, w, 0)
+		if err != nil {
+			fatal(err)
+		}
+		drive(col.Ingest)
+		fmt.Printf("collected %d randomized reports (ε=%g each, %d shards)\n",
+			int(col.Count()), client.Epsilon(), col.Shards())
+		unbiased = col.Answers()
+		if consistent, err = col.ConsistentAnswers(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("\n%-8s %14s %14s %14s\n", "query", "truth", "unbiased", "consistent")

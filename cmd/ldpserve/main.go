@@ -1,0 +1,144 @@
+// Command ldpserve runs a networked LDP collector: it builds an Aggregator
+// from a persisted mechanism (a SaveStrategy/SaveOracle wire file) or an
+// on-the-spot configuration, fronts a sharded in-process Collector with the
+// transport's HTTP binding, and serves
+//
+//	POST /reports  — framed Report batches, each frame applied atomically
+//	GET  /snapshot — one framed snapshot (merged accumulator + count)
+//	GET  /healthz  — JSON liveness, count, mechanism identity
+//
+// Any client speaking the frame format can ingest; `ldprun -remote` drives
+// the complete pipeline against it. The server never sees a raw user type —
+// only ε-LDP reports — so it runs untrusted.
+//
+// Usage:
+//
+//	ldpserve -listen :8089 -mech oue -n 256 -eps 1.0
+//	ldpserve -listen :8089 -oracle olh256.oracle
+//	ldpserve -listen :8089 -strategy prefix64.strategy
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	ldp "repro"
+)
+
+func main() {
+	listen := flag.String("listen", ":8089", "address to serve on")
+	mech := flag.String("mech", "", "build a mechanism in place: oue, olh, rappor")
+	n := flag.Int("n", 64, "domain size (with -mech)")
+	eps := flag.Float64("eps", 1.0, "privacy budget ε (with -mech)")
+	stratPath := flag.String("strategy", "", "serve a strategy wire file (SaveStrategy)")
+	oraclePath := flag.String("oracle", "", "serve an oracle wire file (SaveOracle)")
+	wname := flag.String("workload", "Histogram", "workload family for server-side consistency tooling")
+	shards := flag.Int("shards", 0, "collector shards (0 = 2×GOMAXPROCS)")
+	flag.Parse()
+
+	agg, info, err := buildAggregator(*mech, *n, *eps, *stratPath, *oraclePath)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := ldp.WorkloadByName(*wname, agg.Domain())
+	if err != nil {
+		fatal(err)
+	}
+	col, err := ldp.NewCollector(agg, w, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	handler, err := ldp.NewCollectorServer(col, info)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("ldpserve: %s (n=%d, ε=%g) with %d shards on %s\n",
+		info.Mechanism, info.Domain, info.Epsilon, col.Shards(), *listen)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: in-flight ingests finish; the final count is logged so
+	// an operator can reconcile against their drivers.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ldpserve: drained with %d reports collected\n", int(col.Count()))
+}
+
+// buildAggregator resolves the mechanism configuration to the server side of
+// the protocol plus its /healthz identity.
+func buildAggregator(mech string, n int, eps float64, stratPath, oraclePath string) (ldp.Aggregator, ldp.ServerInfo, error) {
+	set := 0
+	for _, s := range []string{mech, stratPath, oraclePath} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, ldp.ServerInfo{}, errors.New("exactly one of -mech, -strategy, -oracle must be given")
+	}
+	switch {
+	case stratPath != "":
+		f, err := os.Open(stratPath)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		defer f.Close()
+		s, err := ldp.LoadStrategy(f)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		// The digest lets clients reject a same-shape, same-ε but different
+		// matrix at the handshake instead of poisoning the accumulator.
+		return agg, ldp.ServerInfo{
+			Mechanism: "strategy", Domain: s.Domain(), Epsilon: s.Eps,
+			Digest: ldp.StrategyDigest(s),
+		}, nil
+	case oraclePath != "":
+		f, err := os.Open(oraclePath)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		defer f.Close()
+		o, err := ldp.LoadOracle(f)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		return o, ldp.ServerInfo{Mechanism: o.Name(), Domain: o.Domain(), Epsilon: o.Epsilon()}, nil
+	default:
+		o, err := ldp.OracleByName(strings.ToUpper(mech), n, eps)
+		if err != nil {
+			return nil, ldp.ServerInfo{}, err
+		}
+		return o, ldp.ServerInfo{Mechanism: o.Name(), Domain: o.Domain(), Epsilon: o.Epsilon()}, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ldpserve: %v\n", err)
+	os.Exit(1)
+}

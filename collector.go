@@ -25,21 +25,41 @@ import (
 // unrelated goroutines never bounce a cache line choosing shards), and Handle
 // pins an ingesting goroutine to one shard so even the shard lock stays
 // core-local.
+//
+// Reads are cached: the merge of all shards is remembered together with the
+// total report count it reflects, and because every successful ingest
+// advances exactly one per-shard counter, "no count changed" proves "no state
+// changed". A snapshot therefore costs one merge per ingest quiescence
+// period, however often it is polled; see BenchmarkSnapshotCached.
 type Collector struct {
 	agg    Aggregator
 	work   Workload
 	shards []collectorShard
 	mask   uint64
 	pinned atomic.Uint64 // round-robin cursor for Handle assignment
+
+	// cache is the memoized merge. cache.acc is the merged accumulator as of
+	// cache.count total reports; it is never handed out (snapshots copy), so
+	// its entries stay trustworthy.
+	cache struct {
+		mu    sync.Mutex
+		acc   []float64
+		count int64
+	}
 }
 
 // collectorShard is one lock-protected slice of the aggregation state. The
 // trailing pad keeps the shards' mutexes and counts on distinct cache lines
 // (the accumulator slices are separate heap allocations already), so two
 // goroutines on different shards never write-share a line.
+//
+// count is atomic so Count and the snapshot-cache validity check are
+// lock-free; writers still only advance it inside the shard lock, after the
+// absorb lands, which makes the increment the linearization point of an
+// ingest.
 type collectorShard struct {
 	mu    sync.Mutex
-	count float64
+	count atomic.Int64
 	acc   []float64
 	_     [88]byte // sizeof(mutex+count+slice) = 40; pad to 128
 }
@@ -102,7 +122,7 @@ func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
 	sh.mu.Lock()
 	err := c.agg.Absorb(sh.acc, r)
 	if err == nil {
-		sh.count++
+		sh.count.Add(1)
 	}
 	sh.mu.Unlock()
 	if err != nil {
@@ -119,13 +139,23 @@ func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report) error 
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, r := range reports {
-		// Check passed, so Absorb cannot fail (the Aggregator contract).
+	for i, r := range reports {
+		// Check passed, so Absorb cannot fail (the Aggregator contract). If
+		// an aggregator ever violates it, the batch is already partially
+		// absorbed and cannot be rolled back — publish the applied prefix
+		// (keeping the snapshot cache's "count moved iff state moved"
+		// invariant intact) and panic: silently committing a half-applied
+		// batch would break the all-or-nothing promise every transport
+		// client retries against, turning one buggy aggregator into
+		// permanent double counts.
 		if err := c.agg.Absorb(sh.acc, r); err != nil {
-			return fmt.Errorf("ldp: validated report failed to absorb: %w", err)
+			sh.count.Add(int64(i))
+			panic(fmt.Sprintf("ldp: aggregator %T violated the Check/Absorb contract on batch element %d: %v", c.agg, i, err))
 		}
-		sh.count++
 	}
+	// One atomic add for the whole batch: the counter is the publication
+	// point, so readers see the batch all at once.
+	sh.count.Add(int64(len(reports)))
 	return nil
 }
 
@@ -175,43 +205,65 @@ func (h *Handle) IngestBatch(reports []Report) error {
 	return h.c.ingestBatchInto(h.sh, reports)
 }
 
-// snapshot locks every shard (ascending order, so concurrent snapshots cannot
-// deadlock), merges the per-shard accumulators by element-wise sum, and
-// releases. The result is a linearizable point-in-time view: no concurrent
-// Ingest is half-visible.
-func (c *Collector) snapshot() (acc []float64, count float64) {
+// totalCount sums the per-shard counters lock-free. An ingest publishes
+// itself by advancing its shard's counter (inside the shard lock, after the
+// absorb), so the sum only moves when completed ingests land.
+func (c *Collector) totalCount() int64 {
+	var count int64
 	for i := range c.shards {
-		c.shards[i].mu.Lock()
-	}
-	acc = make([]float64, c.agg.StateLen())
-	for i := range c.shards {
-		sh := &c.shards[i]
-		for j, v := range sh.acc {
-			acc[j] += v
-		}
-		count += sh.count
-	}
-	for i := range c.shards {
-		c.shards[i].mu.Unlock()
-	}
-	return acc, count
-}
-
-// Count returns the number of reports collected so far. Only the per-shard
-// counters are read (under the same lock-all discipline as snapshot), so
-// polling Count never pays for an accumulator merge.
-func (c *Collector) Count() float64 {
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-	}
-	count := 0.0
-	for i := range c.shards {
-		count += c.shards[i].count
-	}
-	for i := range c.shards {
-		c.shards[i].mu.Unlock()
+		count += c.shards[i].count.Load()
 	}
 	return count
+}
+
+// snapshot returns a caller-owned copy of the merged accumulator and the
+// report count it reflects — a linearizable point-in-time view: no concurrent
+// Ingest is half-visible.
+//
+// The merge is cached: if no shard counter has moved since the cache was
+// filled, no ingest completed in between and the cached merge is returned
+// (copied) without touching any shard lock. Otherwise every shard is locked
+// (ascending order, so concurrent snapshots cannot deadlock), re-merged, and
+// the cache refilled.
+func (c *Collector) snapshot() (acc []float64, count float64) {
+	c.cache.mu.Lock()
+	defer c.cache.mu.Unlock()
+	if c.cache.acc == nil || c.totalCount() != c.cache.count {
+		for i := range c.shards {
+			c.shards[i].mu.Lock()
+		}
+		merged := make([]float64, c.agg.StateLen())
+		var total int64
+		for i := range c.shards {
+			sh := &c.shards[i]
+			for j, v := range sh.acc {
+				merged[j] += v
+			}
+			total += sh.count.Load()
+		}
+		for i := range c.shards {
+			c.shards[i].mu.Unlock()
+		}
+		c.cache.acc = merged
+		c.cache.count = total
+	}
+	acc = make([]float64, len(c.cache.acc))
+	copy(acc, c.cache.acc)
+	return acc, float64(c.cache.count)
+}
+
+// Snapshot returns the merged aggregation accumulator and the number of
+// reports it contains as one consistent view — what a transport binding
+// serves to remote readers. The slice is caller-owned.
+func (c *Collector) Snapshot() (state []float64, count float64) {
+	return c.snapshot()
+}
+
+// Count returns the number of reports collected so far. It only sums the
+// per-shard atomic counters — no lock is taken and no accumulator merge is
+// paid, so Count can be polled at any rate.
+func (c *Collector) Count() float64 {
+	return float64(c.totalCount())
 }
 
 // State returns the merged aggregation accumulator (for strategy mechanisms,

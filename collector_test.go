@@ -163,6 +163,159 @@ func TestShardedMatchesSerial(t *testing.T) {
 // TestCollectorBatchAtomicity is the regression test for the partially
 // applied batch bug: a batch with an out-of-range element must leave the
 // collector (and server) state completely untouched.
+// Regression test for the snapshot cache: repeated reads of a quiescent
+// collector must return identical estimates (served from cache, not a fresh
+// merge gone wrong), every ingest must invalidate the cache so the next read
+// sees the new report, and the cached read path must match a cache-free
+// reference (a single-goroutine Server fed the same reports) exactly.
+func TestCollectorSnapshotCache(t *testing.T) {
+	rz, agg, w := buildStrategyPipeline(t, 8, 1.0, 17)
+	col, err := ldp.NewCollector(agg, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ldp.NewServer(agg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	ingestOne := func() {
+		rep, err := rz.Randomize(rng.Intn(8), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	equal := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return len(a) == len(b)
+	}
+	for i := 0; i < 100; i++ {
+		ingestOne()
+		// Several reads per write: all but the first hit the cache.
+		first, _ := col.Snapshot()
+		for j := 0; j < 3; j++ {
+			again, count := col.Snapshot()
+			if count != float64(i+1) || !equal(first, again) {
+				t.Fatalf("step %d: cached snapshot diverged", i)
+			}
+		}
+		if !equal(first, ref.State()) {
+			t.Fatalf("step %d: cached snapshot != cache-free reference", i)
+		}
+		if !equal(col.DataEstimate(), ref.DataEstimate()) {
+			t.Fatalf("step %d: estimates diverged", i)
+		}
+	}
+	// The snapshot is caller-owned: scribbling on it must not poison the
+	// cache behind later reads.
+	st, _ := col.Snapshot()
+	for i := range st {
+		st[i] = -1
+	}
+	if again, _ := col.Snapshot(); !equal(again, ref.State()) {
+		t.Fatal("mutating a returned snapshot corrupted the cache")
+	}
+}
+
+// The cache must stay coherent under concurrent ingest: interleaved
+// snapshots may lag writers but can never invent or lose reports, and once
+// writers stop the snapshot equals the serial reference. Run under -race in
+// CI.
+func TestCollectorSnapshotCacheConcurrent(t *testing.T) {
+	rz, agg, w := buildStrategyPipeline(t, 8, 1.0, 19)
+	col, err := ldp.NewCollector(agg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 500
+	reports := make([][]ldp.Report, writers)
+	rng := rand.New(rand.NewSource(20))
+	for i := range reports {
+		reports[i] = make([]ldp.Report, perWriter)
+		for j := range reports[i] {
+			rep, err := rz.Randomize(rng.Intn(8), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports[i][j] = rep
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A polling reader hammers the cached read path while writers ingest.
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st, count := col.Snapshot()
+			var mass float64
+			for _, v := range st {
+				mass += v
+			}
+			// Strategy accumulators hold one histogram increment per
+			// report, so mass must equal the count the snapshot claims —
+			// a torn or half-merged view would break this.
+			if math.Abs(mass-count) > 1e-9 {
+				readerErr <- nil
+				return
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(batch []ldp.Report) {
+			defer wg.Done()
+			h := col.Handle()
+			for _, rep := range batch {
+				if err := h.Ingest(rep); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(reports[i])
+	}
+	wg.Wait()
+	close(stop)
+	if _, torn := <-readerErr; torn {
+		t.Fatal("snapshot exposed a torn view (state mass != count)")
+	}
+
+	ref, err := ldp.NewServer(agg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range reports {
+		if err := ref.IngestBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, count := col.Snapshot()
+	if count != writers*perWriter {
+		t.Fatalf("count %v, want %d", count, writers*perWriter)
+	}
+	refSt := ref.State()
+	for i := range refSt {
+		if st[i] != refSt[i] {
+			t.Fatalf("state[%d]: concurrent %v != serial %v", i, st[i], refSt[i])
+		}
+	}
+}
+
 func TestCollectorBatchAtomicity(t *testing.T) {
 	n := 4
 	_, agg, w := buildStrategyPipeline(t, n, 2.0, 22)

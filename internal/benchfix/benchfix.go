@@ -13,8 +13,10 @@ import (
 
 	ldp "repro"
 	"repro/internal/core"
+	"repro/internal/freqoracle"
 	"repro/internal/linalg"
 	"repro/internal/opt"
+	"repro/internal/protocol"
 	"repro/internal/strategy"
 	"repro/internal/workload"
 )
@@ -156,6 +158,83 @@ func CollectorIngest(goroutines, shards int) func(b *testing.B) {
 			}(g, cnt)
 		}
 		wg.Wait()
+	}
+}
+
+// SnapshotCached benchmarks the collector's read path at n=256 with 32
+// shards. cached=true polls a quiescent collector — after the first merge
+// every State() is served from the snapshot cache (one copy, no shard
+// locks). cached=false ingests one report before each read, forcing the
+// pre-cache behavior: a full lock-all remerge of every shard per read. The
+// gap between the two is what snapshot caching buys a server whose /snapshot
+// is polled more often than reports arrive.
+func SnapshotCached(cached bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n = 256
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := ldp.NewCollector(agg, workload.NewHistogram(n), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 4096; i++ {
+			if err := col.Ingest(ldp.Report{Index: rng.Intn(n)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !cached {
+				if err := col.Ingest(ldp.Report{Index: i % n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st := col.State(); len(st) != n {
+				b.Fatal("bad snapshot")
+			}
+		}
+	}
+}
+
+// OLHAbsorb benchmarks OLH report aggregation at domain size n: batched=true
+// runs the candidate-enumeration absorb (invert the report's hash, visit the
+// ~p/g field elements of the reported bucket), batched=false the classic
+// per-type scan hashing all n types. Both compute identical accumulators
+// (equivalence-tested in freqoracle); the ratio is the aggregation speedup.
+func OLHAbsorb(batched bool, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		o, err := freqoracle.NewOLH(n, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(12))
+		const pool = 256
+		reports := make([]protocol.Report, pool)
+		for i := range reports {
+			reports[i], err = o.Randomize(rng.Intn(n), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		acc := make([]float64, o.StateLen())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := reports[i%pool]
+			if batched {
+				err = o.Absorb(acc, r)
+			} else {
+				err = o.AbsorbScan(acc, r)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -18,7 +18,6 @@ package freqoracle
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -26,6 +25,26 @@ import (
 	"repro/internal/simulate"
 	"repro/internal/workload"
 )
+
+// Epsilon bounds every oracle constructor enforces. ε must be a positive
+// finite number (NaN/±Inf poison the flip probabilities: exp(NaN) propagates
+// and exp(±Inf) turns p into NaN via Inf/Inf — a bug surfaced by
+// FuzzLoadOracle feeding mutated wire files into ByName). The upper caps
+// reject budgets so large the mechanism degenerates: beyond MaxUnaryEps the
+// flip probabilities are indistinguishable from 0/1 in float64, and beyond
+// MaxOLHEps the hash range g = ⌈e^ε⌉+1 no longer fits sane integer
+// arithmetic. Neither cap excludes any meaningful privacy regime.
+const (
+	MaxUnaryEps = 64
+	MaxOLHEps   = 16
+)
+
+func validEps(eps, max float64) error {
+	if err := protocol.CheckEpsilon(eps, max); err != nil {
+		return fmt.Errorf("freqoracle: %w", err)
+	}
+	return nil
+}
 
 // Oracle is a frequency-estimation protocol: clients randomize their type
 // (protocol.Randomizer), the server aggregates reports and estimates the
@@ -78,6 +97,9 @@ func NewRAPPOR(n int, eps float64) (*Unary, error) {
 	if n < 1 {
 		return nil, errors.New("freqoracle: domain must be positive")
 	}
+	if err := validEps(eps, MaxUnaryEps); err != nil {
+		return nil, err
+	}
 	e2 := math.Exp(eps / 2)
 	p := e2 / (1 + e2)
 	return &Unary{name: "RAPPOR", n: n, eps: eps, p: p, q: 1 - p}, nil
@@ -87,6 +109,9 @@ func NewRAPPOR(n int, eps float64) (*Unary, error) {
 func NewOUE(n int, eps float64) (*Unary, error) {
 	if n < 1 {
 		return nil, errors.New("freqoracle: domain must be positive")
+	}
+	if err := validEps(eps, MaxUnaryEps); err != nil {
+		return nil, err
 	}
 	return &Unary{name: "OUE", n: n, eps: eps, p: 0.5, q: 1 / (1 + math.Exp(eps))}, nil
 }
@@ -164,11 +189,27 @@ func (u *Unary) EstimateCounts(acc []float64, count float64) []float64 {
 // into a small range g = ⌈e^ε⌉ + 1 with a per-user hash seed, then applies
 // randomized response over the hash range. Communication is O(log g) and no
 // n-sized state is ever sent.
+//
+// The hash family is invertible on purpose: h_seed(v) = ((a·v + b) mod p)
+// mod g with p the smallest prime ≥ max(n, g) and (a, b) ∈ [1,p)×[0,p)
+// derived from the report seed. The family is pairwise uniform — for u ≠ v
+// the pair (a·u+b, a·v+b) mod p is exactly uniform over ordered distinct
+// pairs — so the collision probability needed by the estimator is known in
+// closed form, and because the map is a bijection of Z_p the aggregator can
+// enumerate the ~p/g preimages of the reported bucket (Absorb) instead of
+// hashing all n types per report — a g-fold cut in aggregation work, the
+// known bottleneck of OLH. The LDP guarantee is hash-independent (the
+// randomized response over [0, g) alone bounds the likelihood ratio by e^ε),
+// so the family choice only affects utility and speed, and the channel
+// inversion in EstimateCounts uses the family's exact support probability, so
+// estimates stay exactly unbiased at any p.
 type OLH struct {
-	n   int
-	eps float64
-	g   int
-	p   float64 // Pr[report the true hash value]
+	n     int
+	eps   float64
+	g     int
+	p     float64 // Pr[report the true hash value]
+	prime uint64  // modulus of the hash field, smallest prime ≥ max(n, g)
+	qs    float64 // exact Pr[a false type is supported by a report]
 }
 
 // NewOLH returns the OLH oracle with the variance-optimal hash range.
@@ -176,12 +217,80 @@ func NewOLH(n int, eps float64) (*OLH, error) {
 	if n < 1 {
 		return nil, errors.New("freqoracle: domain must be positive")
 	}
-	g := int(math.Round(math.Exp(eps))) + 1
+	if err := validEps(eps, MaxOLHEps); err != nil {
+		return nil, err
+	}
+	if uint64(n) > 1<<31 {
+		return nil, fmt.Errorf("freqoracle: OLH domain %d exceeds the 2³¹ hash-field limit", n)
+	}
+	e := math.Exp(eps)
+	g := int(math.Round(e)) + 1
 	if g < 2 {
 		g = 2
 	}
-	e := math.Exp(eps)
-	return &OLH{n: n, eps: eps, g: g, p: e / (e + float64(g) - 1)}, nil
+	o := &OLH{n: n, eps: eps, g: g, p: e / (e + float64(g) - 1)}
+	lo := uint64(n)
+	if uint64(g) > lo {
+		lo = uint64(g)
+	}
+	o.prime = nextPrime(lo)
+	// Exact pairwise collision probability of the family: with the pair
+	// (x, y) uniform over ordered distinct pairs of Z_p², and c_r the number
+	// of field elements in bucket r, Pr[x, y share a bucket] is
+	// (Σ_r c_r² − p) / (p(p−1)). From it, the probability that a false type
+	// is supported: the report is the true bucket w.p. p (collides with the
+	// false type's bucket w.p. qc) and one of the other g−1 buckets
+	// otherwise.
+	p, gg := o.prime, uint64(o.g)
+	k, s := p/gg, p%gg
+	sumC2 := s*(k+1)*(k+1) + (gg-s)*k*k
+	qc := float64(sumC2-p) / (float64(p) * float64(p-1))
+	o.qs = o.p*qc + (1-o.p)*(1-qc)/float64(o.g-1)
+	return o, nil
+}
+
+// nextPrime returns the smallest prime ≥ lo (≥ 2). Trial division is ample:
+// the gap to the next prime is tiny and lo is a domain size, not a secret.
+func nextPrime(lo uint64) uint64 {
+	if lo <= 2 {
+		return 2
+	}
+	for p := lo | 1; ; p += 2 {
+		composite := false
+		for d := uint64(3); d*d <= p; d += 2 {
+			if p%d == 0 {
+				composite = true
+				break
+			}
+		}
+		if !composite {
+			return p
+		}
+	}
+}
+
+// mix is the splitmix64 finalizer, the avalanche step between the raw report
+// seed and the hash coefficients.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// coeffs derives the report's hash coefficients (a, b) ∈ [1, p) × [0, p)
+// from its seed. The modulo bias is ≤ p/2⁶⁴ — immaterial at p < 2³².
+func (o *OLH) coeffs(seed uint64) (a, b uint64) {
+	a = 1 + mix(seed)%(o.prime-1)
+	b = mix(seed+0x9e3779b97f4a7c15) % o.prime
+	return a, b
+}
+
+// hashOf buckets type v under coefficients (a, b).
+func (o *OLH) hashOf(a, b uint64, v int) int {
+	return int(((a*uint64(v) + b) % o.prime) % uint64(o.g))
 }
 
 func (o *OLH) Name() string { return "OLH" }
@@ -195,29 +304,6 @@ func (o *OLH) Epsilon() float64 { return o.eps }
 // HashRange returns g.
 func (o *OLH) HashRange() int { return o.g }
 
-// hashTo hashes (seed, v) into [0, g). The value bytes are fed first so they
-// mix through the seed bytes' multiplications (feeding them last makes FNV's
-// output differ by a fixed additive offset between adjacent values — a real
-// pitfall that destroys the 1/g collision property), and a splitmix64
-// finalizer avalanches the result before reduction.
-func (o *OLH) hashTo(seed uint64, v int) int {
-	h := fnv.New64a()
-	var buf [16]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(v) >> (8 * i))
-		buf[8+i] = byte(seed >> (8 * i))
-	}
-	_, _ = h.Write(buf[:])
-	x := h.Sum64()
-	// splitmix64 finalizer.
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x % uint64(o.g))
-}
-
 // Randomize hashes the user's type with a fresh seed and perturbs the hash
 // value with randomized response over [0, g). The report carries the seed and
 // the (perturbed) hash value.
@@ -226,7 +312,8 @@ func (o *OLH) Randomize(v int, rng *rand.Rand) (protocol.Report, error) {
 		return protocol.Report{}, fmt.Errorf("freqoracle: type %d out of domain %d", v, o.n)
 	}
 	seed := rng.Uint64()
-	true_ := o.hashTo(seed, v)
+	a, b := o.coeffs(seed)
+	true_ := o.hashOf(a, b, v)
 	if rng.Float64() < o.p {
 		return protocol.Report{Seed: seed, Index: true_}, nil
 	}
@@ -238,21 +325,16 @@ func (o *OLH) Randomize(v int, rng *rand.Rand) (protocol.Report, error) {
 	return protocol.Report{Seed: seed, Index: alt}, nil
 }
 
-// VariancePerUser returns the Wang et al. OLH variance constant
-// e^ε·... expressed through p and g: q = [p + (1−p)/(g−1)]·(1/g) support
-// probability; the standard form is (q'(1−q'))/(p'−q')² with p' = p and
-// q' = 1/g.
+// VariancePerUser is the Wang et al. figure of merit q'(1−q')/(p'−q')² with
+// p' the true-support probability and q' the family's exact false-support
+// probability (→ 1/g as the hash field grows; slightly below it at small
+// fields, which only helps).
 func (o *OLH) VariancePerUser() float64 {
-	pPrime := o.p
-	qPrime := 1 / float64(o.g)
-	d := pPrime - qPrime
-	return qPrime * (1 - qPrime) / (d * d)
+	d := o.p - o.qs
+	return o.qs * (1 - o.qs) / (d * d)
 }
 
 // StateLen returns n: the accumulator holds per-type support counts.
-// Absorbing must scan each report against each candidate type, so ingestion
-// costs O(n) per report — the known trade-off of OLH (cheap communication,
-// expensive aggregation).
 func (o *OLH) StateLen() int { return o.n }
 
 // Check validates the report's hash value without touching any state.
@@ -267,27 +349,73 @@ func (o *OLH) Check(r protocol.Report) error {
 }
 
 // Absorb adds the report's support: type v is supported when v hashes to the
-// reported value under the report's seed.
+// reported value under the report's seed. Instead of hashing all n types, it
+// inverts the report's hash — the supported field elements are exactly
+// {t ∈ Z_p : t ≡ Index (mod g)}, and v = a⁻¹(t − b) mod p recovers each
+// candidate type — so one report costs ~p/g field operations, a g-fold
+// reduction of OLH's aggregation bottleneck. AbsorbScan is the reference
+// per-type loop it is tested against and benchmarked with.
 func (o *OLH) Absorb(acc []float64, r protocol.Report) error {
 	if err := o.Check(r); err != nil {
 		return err
 	}
-	for v := 0; v < o.n; v++ {
-		if o.hashTo(r.Seed, v) == r.Index {
+	a, b := o.coeffs(r.Seed)
+	p := o.prime
+	ainv := powmod(a, p-2, p) // Fermat: a⁻¹ mod prime p
+	n, g := uint64(o.n), uint64(o.g)
+	for t := uint64(r.Index); t < p; t += g {
+		d := t + p - b
+		if d >= p {
+			d -= p
+		}
+		if v := ainv * d % p; v < n {
 			acc[v]++
 		}
 	}
 	return nil
 }
 
+// AbsorbScan is the classic OLH absorb: hash every type under the report's
+// seed and count the matches. It computes exactly what Absorb computes
+// (property-tested) and is retained as the reference for equivalence tests
+// and the BenchmarkOLHAbsorb comparison.
+func (o *OLH) AbsorbScan(acc []float64, r protocol.Report) error {
+	if err := o.Check(r); err != nil {
+		return err
+	}
+	a, b := o.coeffs(r.Seed)
+	for v := 0; v < o.n; v++ {
+		if o.hashOf(a, b, v) == r.Index {
+			acc[v]++
+		}
+	}
+	return nil
+}
+
+// powmod computes a^e mod m by square-and-multiply (m < 2³², so products fit
+// uint64).
+func powmod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	res := uint64(1)
+	a %= m
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			res = res * a % m
+		}
+		a = a * a % m
+	}
+	return res
+}
+
 // EstimateCounts inverts the support channel: a true v is supported with
-// probability p, any other with 1/g; ĉ_v = (support_v − N/g)/(p − 1/g).
+// probability p, any other with exactly qs; ĉ_v = (support_v − qs·N)/(p − qs).
 func (o *OLH) EstimateCounts(acc []float64, count float64) []float64 {
 	out := make([]float64, o.n)
-	q := 1 / float64(o.g)
-	d := o.p - q
+	d := o.p - o.qs
 	for v := range out {
-		out[v] = (acc[v] - q*count) / d
+		out[v] = (acc[v] - o.qs*count) / d
 	}
 	return out
 }

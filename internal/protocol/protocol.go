@@ -14,7 +14,27 @@
 // accumulator per collector node) work without any mechanism-specific code.
 package protocol
 
-import "math/rand"
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CheckEpsilon is the one ε-validity predicate every layer that accepts a
+// privacy budget from outside (wire loaders, oracle constructors) shares: ε
+// must be a positive finite number no larger than the caller's cap. NaN and
+// ±Inf poison every downstream exp/ratio computation, and each layer picks
+// its own max for where the mechanism arithmetic degenerates — but the
+// predicate itself lives here once, so the policies cannot drift apart.
+func CheckEpsilon(eps, max float64) error {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps <= 0 {
+		return fmt.Errorf("privacy budget ε must be a positive finite number, got %v", eps)
+	}
+	if eps > max {
+		return fmt.Errorf("ε = %v exceeds the supported maximum %v", eps, max)
+	}
+	return nil
+}
 
 // Report is the single wire format a client sends to the collector. Exactly
 // which fields carry information depends on the mechanism family:

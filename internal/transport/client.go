@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// Client speaks the transport's HTTP binding from the ingesting side. It is
+// safe for concurrent use; each call is one HTTP request.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://10.0.0.1:8089"). hc == nil uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) (*Client, error) {
+	if base == "" {
+		return nil, fmt.Errorf("transport: empty server address")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}, nil
+}
+
+// SetHTTPClient substitutes the underlying http.Client. Call before the first
+// request; the client is not otherwise synchronized.
+func (c *Client) SetHTTPClient(hc *http.Client) {
+	if hc != nil {
+		c.hc = hc
+	}
+}
+
+// PostReports sends a batch of reports, chunked into as many frames as the
+// frame limits require (one frame for typical batches), and returns the
+// server's accepted count. The server applies each frame atomically; on a
+// transport error the response's accepted count says how many reports of
+// this request landed.
+func (c *Client) PostReports(ctx context.Context, reports []protocol.Report) (int, error) {
+	var buf bytes.Buffer
+	if err := EncodeReportsChunked(&buf, reports); err != nil {
+		return 0, err
+	}
+	body := buf.Bytes()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/reports", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	var ir ingestResponse
+	jsonErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ir)
+	if resp.StatusCode != http.StatusOK {
+		msg := ir.Error
+		if jsonErr != nil {
+			msg = ""
+		}
+		return ir.Accepted, &statusError{status: resp.StatusCode, msg: msg}
+	}
+	if jsonErr != nil {
+		return 0, fmt.Errorf("transport: bad ingest response: %w", jsonErr)
+	}
+	return ir.Accepted, nil
+}
+
+// Snapshot fetches the server's merged accumulator and report count.
+func (c *Client) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
+	resp, err := c.get(ctx, "/snapshot")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drain(resp)
+	return DecodeSnapshot(resp.Body)
+}
+
+// Healthz fetches the server's liveness report and mechanism identity.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return Health{}, err
+	}
+	defer drain(resp)
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("transport: bad healthz response: %w", err)
+	}
+	return h, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		drain(resp)
+		return nil, &statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body))}
+	}
+	return resp, nil
+}
+
+// drain consumes what remains of a response body so the connection is reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

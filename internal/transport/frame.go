@@ -1,0 +1,371 @@
+// Package transport carries the streaming protocol's Report batches and
+// collector snapshots across a process boundary: a compact length-prefixed
+// binary framing (this file) bound to HTTP (server.go, client.go). The
+// framing is mechanism-agnostic — it moves protocol.Report values verbatim —
+// so one server binary fronts any Randomizer/Aggregator pair.
+//
+// # Frame format
+//
+// Every frame is
+//
+//	magic   [4]byte  "LDPF"
+//	version uint8    (currently 1)
+//	kind    uint8    (1 = report batch, 2 = snapshot)
+//	length  uint32   big-endian payload byte count
+//	payload [length]byte
+//
+// A report-batch payload is
+//
+//	count uint32 big-endian, then count reports, each:
+//	  flags uint8          bit0 = has Seed, bit1 = has Bits
+//	  index uvarint        zigzag-encoded Report.Index
+//	  seed  uvarint        only when bit0 is set
+//	  nbits uvarint        only when bit1 is set
+//	  bits  ⌈nbits/8⌉ bytes LSB-first packed booleans
+//
+// A snapshot payload is
+//
+//	count    float64 big-endian IEEE-754 bits
+//	stateLen uint32  big-endian
+//	state    stateLen × float64 big-endian IEEE-754 bits
+//
+// Decoders are strict: every length is bounds-checked against both a hard
+// limit and the remaining payload before any allocation, payloads must be
+// consumed exactly (trailing bytes are an error), and malformed input always
+// returns an error — never a panic and never an attacker-sized allocation.
+// The fuzz targets in fuzz_test.go enforce this.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/protocol"
+)
+
+const (
+	frameMagic   = "LDPF"
+	frameVersion = 1
+
+	kindReports  = 1
+	kindSnapshot = 2
+
+	headerLen = 4 + 1 + 1 + 4
+
+	// MaxReportsPayload bounds one report-batch frame. Larger ingest simply
+	// spans several frames (the HTTP body is a frame stream), so the cap
+	// costs nothing while keeping a hostile length prefix from reserving
+	// gigabytes.
+	MaxReportsPayload = 8 << 20
+	// MaxSnapshotPayload bounds one snapshot frame; it admits accumulators
+	// up to 32Mi float64 entries — far beyond any practical StateLen.
+	MaxSnapshotPayload = 256 << 20
+	// MaxBatchReports bounds the declared report count of one frame.
+	MaxBatchReports = 1 << 17
+	// MaxReportBits bounds one report's unary-encoding width.
+	MaxReportBits = 1 << 21
+)
+
+// ErrFrameEOF reports a clean end of a frame stream: the reader was
+// exhausted exactly at a frame boundary.
+var ErrFrameEOF = errors.New("transport: end of frame stream")
+
+func payloadLimit(kind byte) int {
+	if kind == kindSnapshot {
+		return MaxSnapshotPayload
+	}
+	return MaxReportsPayload
+}
+
+// writeFrame emits one complete frame.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > payloadLimit(kind) {
+		return fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", len(payload), payloadLimit(kind))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = frameVersion
+	hdr[5] = kind
+	binary.BigEndian.PutUint32(hdr[6:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame of the wanted kind. A reader exhausted exactly at
+// a frame boundary returns ErrFrameEOF, so callers can loop over a stream.
+func readFrame(r io.Reader, wantKind byte) ([]byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, ErrFrameEOF
+		}
+		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
+	}
+	if string(hdr[:4]) != frameMagic {
+		return nil, fmt.Errorf("transport: bad frame magic %q", hdr[:4])
+	}
+	if hdr[4] != frameVersion {
+		return nil, fmt.Errorf("transport: unsupported frame version %d (this library reads version %d)", hdr[4], frameVersion)
+	}
+	if hdr[5] != wantKind {
+		return nil, fmt.Errorf("transport: frame kind %d, want %d", hdr[5], wantKind)
+	}
+	n := binary.BigEndian.Uint32(hdr[6:])
+	if int64(n) > int64(payloadLimit(wantKind)) {
+		return nil, fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", n, payloadLimit(wantKind))
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: truncated frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+const (
+	flagSeed = 1 << 0
+	flagBits = 1 << 1
+)
+
+// appendReport serializes one report.
+func appendReport(buf []byte, r protocol.Report) []byte {
+	var flags byte
+	if r.Seed != 0 {
+		flags |= flagSeed
+	}
+	if r.Bits != nil {
+		flags |= flagBits
+	}
+	buf = append(buf, flags)
+	idx := int64(r.Index)
+	buf = binary.AppendUvarint(buf, uint64(idx)<<1^uint64(idx>>63))
+	if flags&flagSeed != 0 {
+		buf = binary.AppendUvarint(buf, r.Seed)
+	}
+	if flags&flagBits != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Bits)))
+		var acc byte
+		for i, b := range r.Bits {
+			if b {
+				acc |= 1 << (i & 7)
+			}
+			if i&7 == 7 {
+				buf = append(buf, acc)
+				acc = 0
+			}
+		}
+		if len(r.Bits)&7 != 0 {
+			buf = append(buf, acc)
+		}
+	}
+	return buf
+}
+
+// EncodeReports writes one report-batch frame. The batch must respect the
+// frame limits (report count, per-report bit width, total payload bytes);
+// EncodeReportsChunked splits arbitrarily large batches instead of erroring.
+func EncodeReports(w io.Writer, reports []protocol.Report) error {
+	if len(reports) > MaxBatchReports {
+		return fmt.Errorf("transport: %d reports exceed the %d-report frame limit; split the batch", len(reports), MaxBatchReports)
+	}
+	buf := make([]byte, 4, 4+8*len(reports))
+	binary.BigEndian.PutUint32(buf, uint32(len(reports)))
+	for i, r := range reports {
+		if len(r.Bits) > MaxReportBits {
+			return fmt.Errorf("transport: report %d carries %d bits, over the %d-bit frame limit", i, len(r.Bits), MaxReportBits)
+		}
+		buf = appendReport(buf, r)
+	}
+	return writeFrame(w, kindReports, buf)
+}
+
+// EncodeReportsChunked writes a batch as one or more frames, cutting a new
+// frame whenever the next report would push the payload over the frame
+// limits — the encoder-side mirror of the decoder's caps, so any batch of
+// individually-encodable reports (≤ MaxReportBits bits each) ships,
+// regardless of count or unary width. An empty batch writes one empty frame.
+// Atomicity is per frame: a receiver applies each chunk independently.
+func EncodeReportsChunked(w io.Writer, reports []protocol.Report) error {
+	buf := make([]byte, 4, 4096)
+	count := 0
+	flush := func() error {
+		binary.BigEndian.PutUint32(buf, uint32(count))
+		if err := writeFrame(w, kindReports, buf); err != nil {
+			return err
+		}
+		buf, count = buf[:4], 0
+		return nil
+	}
+	for i, r := range reports {
+		if len(r.Bits) > MaxReportBits {
+			return fmt.Errorf("transport: report %d carries %d bits, over the %d-bit frame limit", i, len(r.Bits), MaxReportBits)
+		}
+		mark := len(buf)
+		buf = appendReport(buf, r)
+		if len(buf) > MaxReportsPayload && count > 0 {
+			// Ship the frame without the overflowing report, then restart
+			// the new frame with it.
+			over := append([]byte(nil), buf[mark:]...)
+			buf = buf[:mark]
+			if err := flush(); err != nil {
+				return err
+			}
+			buf = append(buf, over...)
+		}
+		count++
+		if count == MaxBatchReports {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if count > 0 || len(reports) == 0 {
+		return flush()
+	}
+	return nil
+}
+
+// decodeUvarint reads one uvarint from buf, rejecting truncation and values
+// over 64 bits.
+func decodeUvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, errors.New("transport: bad varint")
+	}
+	return v, n, nil
+}
+
+// DecodeReports reads one report-batch frame. A stream exhausted exactly at a
+// frame boundary returns (nil, ErrFrameEOF). Allocation is proportional to
+// the bytes actually present, never to a declared length alone.
+func DecodeReports(r io.Reader) ([]protocol.Report, error) {
+	payload, err := readFrame(r, kindReports)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 4 {
+		return nil, errors.New("transport: report frame shorter than its count field")
+	}
+	count := binary.BigEndian.Uint32(payload)
+	if count > MaxBatchReports {
+		return nil, fmt.Errorf("transport: declared report count %d exceeds the %d-report frame limit", count, MaxBatchReports)
+	}
+	// Each report occupies at least two bytes (flags + index), so a count
+	// that could not fit in the payload is rejected before any allocation.
+	buf := payload[4:]
+	if uint64(count)*2 > uint64(len(buf)) {
+		return nil, fmt.Errorf("transport: declared report count %d does not fit a %d-byte payload", count, len(buf))
+	}
+	reports := make([]protocol.Report, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("transport: frame truncated at report %d of %d", i, count)
+		}
+		flags := buf[0]
+		if flags&^(flagSeed|flagBits) != 0 {
+			return nil, fmt.Errorf("transport: report %d has unknown flag bits %#x", i, flags)
+		}
+		buf = buf[1:]
+		var rep protocol.Report
+		uidx, n, err := decodeUvarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("transport: report %d index: %w", i, err)
+		}
+		buf = buf[n:]
+		rep.Index = int(int64(uidx>>1) ^ -int64(uidx&1))
+		if flags&flagSeed != 0 {
+			rep.Seed, n, err = decodeUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("transport: report %d seed: %w", i, err)
+			}
+			buf = buf[n:]
+		}
+		if flags&flagBits != 0 {
+			nbits, n, err := decodeUvarint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("transport: report %d bit count: %w", i, err)
+			}
+			buf = buf[n:]
+			if nbits > MaxReportBits {
+				return nil, fmt.Errorf("transport: report %d declares %d bits, limit %d", i, nbits, MaxReportBits)
+			}
+			nbytes := int((nbits + 7) / 8)
+			if nbytes > len(buf) {
+				return nil, fmt.Errorf("transport: report %d declares %d bits but only %d payload bytes remain", i, nbits, len(buf))
+			}
+			rep.Bits = make([]bool, nbits)
+			for j := range rep.Bits {
+				rep.Bits[j] = buf[j>>3]&(1<<(j&7)) != 0
+			}
+			// Spare bits in the final byte must be zero, so every batch has
+			// exactly one encoding.
+			if nbits&7 != 0 && buf[nbytes-1]>>(nbits&7) != 0 {
+				return nil, fmt.Errorf("transport: report %d has nonzero padding bits", i)
+			}
+			buf = buf[nbytes:]
+		}
+		reports = append(reports, rep)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after %d reports", len(buf), count)
+	}
+	return reports, nil
+}
+
+// EncodeSnapshot writes one snapshot frame carrying a merged accumulator and
+// its report count.
+func EncodeSnapshot(w io.Writer, state []float64, count float64) error {
+	if 12+8*len(state) > MaxSnapshotPayload {
+		return fmt.Errorf("transport: %d-entry state exceeds the snapshot frame limit", len(state))
+	}
+	buf := make([]byte, 12+8*len(state))
+	binary.BigEndian.PutUint64(buf, math.Float64bits(count))
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(state)))
+	for i, v := range state {
+		binary.BigEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	return writeFrame(w, kindSnapshot, buf)
+}
+
+// DecodeSnapshot reads one snapshot frame.
+func DecodeSnapshot(r io.Reader) (state []float64, count float64, err error) {
+	payload, err := readFrame(r, kindSnapshot)
+	if err != nil {
+		if err == ErrFrameEOF {
+			err = errors.New("transport: empty snapshot response")
+		}
+		return nil, 0, err
+	}
+	if len(payload) < 12 {
+		return nil, 0, errors.New("transport: snapshot frame shorter than its header")
+	}
+	count = math.Float64frombits(binary.BigEndian.Uint64(payload))
+	stateLen := binary.BigEndian.Uint32(payload[8:])
+	if int64(len(payload)) != 12+8*int64(stateLen) {
+		return nil, 0, fmt.Errorf("transport: snapshot declares %d state entries but carries %d payload bytes", stateLen, len(payload))
+	}
+	if math.IsNaN(count) || math.IsInf(count, 0) || count < 0 {
+		return nil, 0, fmt.Errorf("transport: snapshot count %v is not a non-negative finite number", count)
+	}
+	state = make([]float64, stateLen)
+	for i := range state {
+		state[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[12+8*i:]))
+	}
+	return state, count, nil
+}
+
+// encodeReportsBytes is EncodeReports into memory (the client's request-body
+// builder and tests share it).
+func encodeReportsBytes(reports []protocol.Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeReports(&buf, reports); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

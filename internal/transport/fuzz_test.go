@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// FuzzDecodeReportFrame feeds arbitrary bytes to the report-frame decoder.
+// The decoder must return an error or a batch — never panic — and anything
+// it accepts must re-encode and re-decode to the same batch (the frame
+// format is unambiguous within a version). Over-allocation is covered too:
+// a decoder that trusted a hostile length prefix would OOM the fuzz process.
+func FuzzDecodeReportFrame(f *testing.F) {
+	seed := func(reports []protocol.Report) {
+		b, err := encodeReportsBytes(reports)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(nil)
+	seed(sampleReportsF())
+	seed([]protocol.Report{{Index: 1 << 30}, {Index: -1 << 30}})
+	// A two-frame stream, so mutations explore frame boundaries.
+	var multi bytes.Buffer
+	if err := EncodeReports(&multi, []protocol.Report{{Index: 1}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeReports(&multi, []protocol.Report{{Seed: 7, Index: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multi.Bytes())
+	f.Add([]byte("LDPF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			reports, err := DecodeReports(r)
+			if err != nil {
+				return // ErrFrameEOF or a rejection — both fine, no panic is the point
+			}
+			reencoded, err := encodeReportsBytes(reports)
+			if err != nil {
+				t.Fatalf("decoded batch failed to re-encode: %v", err)
+			}
+			back, err := DecodeReports(bytes.NewReader(reencoded))
+			if err != nil {
+				t.Fatalf("re-encoded batch failed to decode: %v", err)
+			}
+			if len(back) != len(reports) {
+				t.Fatalf("re-decode changed batch size: %d != %d", len(back), len(reports))
+			}
+			for i := range back {
+				if !reflect.DeepEqual(back[i], reports[i]) {
+					t.Fatalf("report %d changed across re-encode: %+v != %+v", i, back[i], reports[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeSnapshotFrame is the same contract for the snapshot decoder.
+func FuzzDecodeSnapshotFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, []float64{1, 2.5, -3}, 3); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		state, count, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeSnapshot(&out, state, count); err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		state2, count2, err := DecodeSnapshot(&out)
+		if err != nil || count2 != count || len(state2) != len(state) {
+			t.Fatalf("snapshot changed across re-encode: %v %v %v", state2, count2, err)
+		}
+		for i := range state {
+			// Bit-level comparison: NaN state entries are legal payload and
+			// must survive verbatim, and NaN != NaN under ==.
+			if math.Float64bits(state2[i]) != math.Float64bits(state[i]) {
+				t.Fatalf("state[%d] changed across re-encode", i)
+			}
+		}
+	})
+}
+
+func sampleReportsF() []protocol.Report {
+	return []protocol.Report{
+		{Index: 3},
+		{Seed: 0x1234, Index: 1},
+		{Bits: []bool{true, false, true}},
+	}
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/protocol"
+)
+
+// Backend is what a transport server needs from a collector: batch ingestion
+// with all-or-nothing validation and a consistent point-in-time snapshot of
+// the merged accumulator. The root package's sharded Collector satisfies it.
+type Backend interface {
+	// IngestBatch records a batch of reports, validating the whole batch
+	// before any state changes.
+	IngestBatch(reports []protocol.Report) error
+	// Snapshot returns the merged accumulator and the number of absorbed
+	// reports as one consistent view.
+	Snapshot() (state []float64, count float64)
+	// Count returns the number of absorbed reports without paying for a
+	// snapshot merge (the collector's lock-free counter fast path).
+	Count() float64
+}
+
+// Info describes the mechanism a server fronts; /healthz reports it so
+// clients can verify they randomize through the configuration the collector
+// aggregates under.
+type Info struct {
+	Mechanism string  `json:"mechanism"`
+	Domain    int     `json:"domain"`
+	Epsilon   float64 `json:"epsilon"`
+	// Digest fingerprints the exact mechanism configuration when name,
+	// domain, and ε cannot (strategy matrices: two different matrices share
+	// all three). Empty for mechanisms fully determined by the fields above.
+	Digest string `json:"digest,omitempty"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status string  `json:"status"`
+	Count  float64 `json:"count"`
+	Info
+}
+
+// Server binds a collector backend to the HTTP transport:
+//
+//	POST /reports  — body is a stream of report-batch frames; each frame is
+//	                 ingested atomically (all-or-nothing per frame). The JSON
+//	                 response carries the number of reports accepted; a
+//	                 malformed or rejected frame aborts the request with
+//	                 status 400 after the preceding frames have been applied.
+//	GET  /snapshot — one snapshot frame of the merged accumulator and count.
+//	GET  /healthz  — JSON liveness, report count, and mechanism identity.
+type Server struct {
+	backend Backend
+	info    Info
+	mux     *http.ServeMux
+}
+
+// NewServer wraps a collector backend for serving.
+func NewServer(b Backend, info Info) (*Server, error) {
+	if b == nil {
+		return nil, errors.New("transport: nil backend")
+	}
+	s := &Server{backend: b, info: info, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /reports", s.handleReports)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ingestResponse is the POST /reports JSON response body.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	accepted := 0
+	for {
+		reports, err := DecodeReports(r.Body)
+		if err == ErrFrameEOF {
+			break
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			return
+		}
+		if err := s.backend.IngestBatch(reports); err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			return
+		}
+		accepted += len(reports)
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	state, count := s.backend.Snapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := EncodeSnapshot(w, state, count); err != nil {
+		// The header is out; all we can do is drop the connection so the
+		// client sees a truncated frame instead of a silent short read.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Count: s.backend.Count(), Info: s.info})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Body writes after WriteHeader can only fail on a dead connection.
+		_ = err
+	}
+}
+
+// statusError reports a non-2xx transport response.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("transport: server returned %d: %s", e.status, e.msg)
+	}
+	return fmt.Sprintf("transport: server returned %d", e.status)
+}

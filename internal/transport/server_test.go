@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// memBackend is a minimal Backend: it appends reports and exposes a running
+// index histogram, enough to observe exactly what the server ingested.
+type memBackend struct {
+	mu      sync.Mutex
+	reports []protocol.Report
+	reject  bool
+}
+
+func (m *memBackend) IngestBatch(reports []protocol.Report) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reject {
+		return errors.New("backend says no")
+	}
+	m.reports = append(m.reports, reports...)
+	return nil
+}
+
+func (m *memBackend) Snapshot() ([]float64, float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	state := make([]float64, 8)
+	for _, r := range m.reports {
+		if r.Index >= 0 && r.Index < len(state) {
+			state[r.Index]++
+		}
+	}
+	return state, float64(len(m.reports))
+}
+
+func (m *memBackend) Count() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(len(m.reports))
+}
+
+func newTestServer(t *testing.T, b Backend) (*httptest.Server, *Client) {
+	t.Helper()
+	s, err := NewServer(b, Info{Mechanism: "TEST", Domain: 8, Epsilon: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	c, err := NewClient(hs.URL, hs.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hs, c
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	backend := &memBackend{}
+	_, c := newTestServer(t, backend)
+	ctx := context.Background()
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Count != 0 || h.Mechanism != "TEST" || h.Domain != 8 || h.Epsilon != 1.5 {
+		t.Fatalf("healthz: %+v", h)
+	}
+
+	batch := []protocol.Report{{Index: 1}, {Index: 1}, {Index: 5}}
+	accepted, err := c.PostReports(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(batch) {
+		t.Fatalf("accepted %d, want %d", accepted, len(batch))
+	}
+
+	state, count, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || !reflect.DeepEqual(state, []float64{0, 2, 0, 0, 0, 1, 0, 0}) {
+		t.Fatalf("snapshot: count %v, state %v", count, state)
+	}
+}
+
+func TestServerMultiFrameBody(t *testing.T) {
+	backend := &memBackend{}
+	hs, _ := newTestServer(t, backend)
+
+	var body bytes.Buffer
+	if err := EncodeReports(&body, []protocol.Report{{Index: 0}, {Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeReports(&body, []protocol.Report{{Index: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hs.Client().Post(hs.URL+"/reports", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := backend.Count(); got != 3 {
+		t.Fatalf("ingested %v reports across frames, want 3", got)
+	}
+}
+
+func TestServerRejectsMalformedBody(t *testing.T) {
+	backend := &memBackend{}
+	hs, _ := newTestServer(t, backend)
+	resp, err := hs.Client().Post(hs.URL+"/reports", "application/octet-stream",
+		bytes.NewReader([]byte("this is not a frame")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if backend.Count() != 0 {
+		t.Fatal("malformed body mutated the backend")
+	}
+}
+
+func TestClientSurfacesBackendRejection(t *testing.T) {
+	backend := &memBackend{reject: true}
+	_, c := newTestServer(t, backend)
+	_, err := c.PostReports(context.Background(), []protocol.Report{{Index: 1}})
+	if err == nil {
+		t.Fatal("backend rejection not surfaced")
+	}
+	var se *statusError
+	if !errors.As(err, &se) || se.status != 400 {
+		t.Fatalf("want a 400 status error, got %v", err)
+	}
+}
+
+func TestServerMethodRouting(t *testing.T) {
+	hs, _ := newTestServer(t, &memBackend{})
+	// GET /reports and POST /snapshot are not routes.
+	resp, err := hs.Client().Get(hs.URL + "/reports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("GET /reports served")
+	}
+	resp, err = hs.Client().Post(hs.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("POST /snapshot served")
+	}
+}

@@ -1,0 +1,275 @@
+package ldp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/postprocess"
+	"repro/internal/transport"
+)
+
+// DefaultRemoteBatch is the report count a RemoteCollector accumulates before
+// shipping one frame. At the transport's ~10-byte-per-report framing this
+// keeps frames around tens of kilobytes — large enough to amortize the HTTP
+// round trip, small enough to bound client memory and per-frame loss.
+const DefaultRemoteBatch = 4096
+
+// RemoteCollector is the client half of a networked deployment: it speaks to
+// a remote collector (cmd/ldpserve) over the transport's HTTP binding while
+// presenting the same ingestion/read API as the in-process Collector, so the
+// same driver code runs against either. Reports are buffered and shipped in
+// framed batches; each batch is applied atomically by the server. The read
+// methods fetch one consistent snapshot and reconstruct estimates locally
+// through the mechanism's Aggregator — the server never needs the workload,
+// and (because accumulators are integer-valued and merging is exact) the
+// estimates are bit-identical to an in-process pipeline fed the same
+// reports.
+//
+// A RemoteCollector is safe for concurrent use; goroutines sharing one
+// instance contend only on the report buffer.
+type RemoteCollector struct {
+	client *transport.Client
+	agg    Aggregator
+	work   Workload
+	batch  int
+
+	mu  sync.Mutex
+	buf []Report
+}
+
+// RemoteOption configures a RemoteCollector.
+type RemoteOption func(*RemoteCollector)
+
+// WithRemoteBatch sets the report count per shipped frame (default
+// DefaultRemoteBatch, capped at the transport's per-frame report limit).
+func WithRemoteBatch(n int) RemoteOption {
+	return func(rc *RemoteCollector) {
+		if n > 0 {
+			rc.batch = n
+		}
+	}
+}
+
+// WithRemoteHTTPClient substitutes the http.Client used for every request
+// (timeouts, transport reuse, test doubles).
+func WithRemoteHTTPClient(hc *http.Client) RemoteOption {
+	return func(rc *RemoteCollector) {
+		if hc != nil {
+			rc.client.SetHTTPClient(hc)
+		}
+	}
+}
+
+// NewRemoteCollector prepares a client for the collector server at baseURL
+// ("host:port" or a full http:// URL). The aggregator must match the
+// mechanism the server was started with — Verify (or a /healthz check)
+// confirms it.
+func NewRemoteCollector(baseURL string, agg Aggregator, w Workload, opts ...RemoteOption) (*RemoteCollector, error) {
+	if agg == nil {
+		return nil, errors.New("ldp: nil aggregator")
+	}
+	if agg.Domain() != w.Domain() {
+		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
+	}
+	tc, err := transport.NewClient(baseURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ldp: %w", err)
+	}
+	rc := &RemoteCollector{client: tc, agg: agg, work: w, batch: DefaultRemoteBatch}
+	for _, o := range opts {
+		o(rc)
+	}
+	if rc.batch > transport.MaxBatchReports {
+		rc.batch = transport.MaxBatchReports
+	}
+	return rc, nil
+}
+
+// Verify asks the server for its identity and rejects a mechanism mismatch —
+// reports randomized under one configuration must not be aggregated under
+// another. Each field is matched when both sides declare it: mechanism name,
+// ε, and — for strategy matrices, where name/domain/ε cannot distinguish two
+// different matrices — the StrategyDigest of the exact channel.
+func (rc *RemoteCollector) Verify(ctx context.Context, mechanism string, eps float64, digest string) error {
+	h, err := rc.client.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("ldp: remote collector unreachable: %w", err)
+	}
+	if h.Domain != rc.agg.Domain() {
+		return fmt.Errorf("ldp: remote collector domain %d, local mechanism domain %d", h.Domain, rc.agg.Domain())
+	}
+	if mechanism != "" && h.Mechanism != "" && h.Mechanism != mechanism {
+		return fmt.Errorf("ldp: remote collector runs mechanism %q, local mechanism is %q", h.Mechanism, mechanism)
+	}
+	if eps > 0 && h.Epsilon > 0 && h.Epsilon != eps {
+		return fmt.Errorf("ldp: remote collector ε=%v, local mechanism ε=%v", h.Epsilon, eps)
+	}
+	if digest != "" && h.Digest != "" && h.Digest != digest {
+		return fmt.Errorf("ldp: remote collector aggregates under a different mechanism configuration (digest %s, local %s)", h.Digest, digest)
+	}
+	return nil
+}
+
+// Ingest buffers one client report, shipping a frame when the batch size is
+// reached. Call Flush before reading estimates.
+func (rc *RemoteCollector) Ingest(ctx context.Context, r Report) error {
+	return rc.IngestBatch(ctx, []Report{r})
+}
+
+// IngestBatch buffers a batch of reports, shipping full frames as they
+// accumulate. Validation happens server-side per frame, all-or-nothing. On a
+// failed ship the unshipped reports (the failed frame included — the server
+// applied none of it) return to the buffer, so a retried IngestBatch or
+// Flush loses nothing.
+func (rc *RemoteCollector) IngestBatch(ctx context.Context, reports []Report) error {
+	rc.mu.Lock()
+	rc.buf = append(rc.buf, reports...)
+	var full [][]Report
+	off := 0
+	for len(rc.buf)-off >= rc.batch {
+		frame := make([]Report, rc.batch)
+		copy(frame, rc.buf[off:])
+		off += rc.batch
+		full = append(full, frame)
+	}
+	if off > 0 {
+		// One compaction for all carved frames, so a large IngestBatch
+		// stays linear in the buffered report count.
+		rc.buf = rc.buf[:copy(rc.buf, rc.buf[off:])]
+	}
+	rc.mu.Unlock()
+	for i, frame := range full {
+		if accepted, err := rc.post(ctx, frame); err != nil {
+			// Return everything the server did not apply to the buffer:
+			// the unaccepted tail of this ship plus every later frame.
+			rc.mu.Lock()
+			rc.buf = append(rc.buf, frame[accepted:]...)
+			for _, f := range full[i+1:] {
+				rc.buf = append(rc.buf, f...)
+			}
+			rc.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush ships every buffered report. The pipeline is complete once Flush
+// returns nil — a subsequent Snapshot sees all ingested reports.
+func (rc *RemoteCollector) Flush(ctx context.Context) error {
+	rc.mu.Lock()
+	buf := rc.buf
+	rc.buf = nil
+	rc.mu.Unlock()
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > rc.batch {
+			n = rc.batch
+		}
+		if accepted, err := rc.post(ctx, buf[:n]); err != nil {
+			// Unshipped reports stay buffered so a retried Flush loses
+			// nothing; what the server already accepted is not re-sent.
+			rc.mu.Lock()
+			rc.buf = append(rc.buf, buf[accepted:]...)
+			rc.mu.Unlock()
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// post ships one batch and returns how many of its reports the server
+// accepted (PostReports may split the batch into several frames; an error
+// mid-stream leaves the earlier frames applied, and the accepted count
+// says exactly how many reports that was).
+func (rc *RemoteCollector) post(ctx context.Context, frame []Report) (int, error) {
+	accepted, err := rc.client.PostReports(ctx, frame)
+	if err != nil {
+		if accepted < 0 || accepted > len(frame) {
+			accepted = 0 // trust no hostile or nonsensical count
+		}
+		return accepted, fmt.Errorf("ldp: ship reports: %w", err)
+	}
+	return accepted, nil
+}
+
+// Count returns the number of reports the server has absorbed (buffered,
+// unflushed reports are not included).
+func (rc *RemoteCollector) Count(ctx context.Context) (float64, error) {
+	h, err := rc.client.Healthz(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("ldp: %w", err)
+	}
+	return h.Count, nil
+}
+
+// Snapshot fetches the server's merged accumulator and report count.
+func (rc *RemoteCollector) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
+	state, count, err = rc.client.Snapshot(ctx)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ldp: fetch snapshot: %w", err)
+	}
+	if len(state) != rc.agg.StateLen() {
+		return nil, 0, fmt.Errorf("ldp: remote snapshot has %d state entries, local mechanism expects %d — mechanism mismatch", len(state), rc.agg.StateLen())
+	}
+	return state, count, nil
+}
+
+// DataEstimate fetches one snapshot and returns the unbiased estimate of the
+// data vector.
+func (rc *RemoteCollector) DataEstimate(ctx context.Context) ([]float64, error) {
+	state, count, err := rc.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rc.agg.EstimateCounts(state, count), nil
+}
+
+// Answers fetches one snapshot and returns unbiased workload estimates.
+func (rc *RemoteCollector) Answers(ctx context.Context) ([]float64, error) {
+	xh, err := rc.DataEstimate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rc.work.MatVec(xh), nil
+}
+
+// ConsistentAnswers fetches one snapshot and returns WNNLS-post-processed
+// workload estimates, exactly as Collector.ConsistentAnswers would for the
+// same reports.
+func (rc *RemoteCollector) ConsistentAnswers(ctx context.Context) ([]float64, error) {
+	state, count, err := rc.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	answers := rc.work.MatVec(rc.agg.EstimateCounts(state, count))
+	res, err := postprocess.Run(rc.work, answers, postprocess.Options{TotalCount: count})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers, nil
+}
+
+// NewCollectorServer binds an in-process Collector to the HTTP transport —
+// the handler cmd/ldpserve serves, exposed for embedding a collector
+// endpoint into an existing process. info describes the mechanism for
+// /healthz.
+func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error) {
+	if c == nil {
+		return nil, errors.New("ldp: nil collector")
+	}
+	s, err := transport.NewServer(c, info)
+	if err != nil {
+		return nil, fmt.Errorf("ldp: %w", err)
+	}
+	return s.Handler(), nil
+}
+
+// ServerInfo describes a served mechanism for /healthz; it is the transport's
+// Info re-exported so callers of NewCollectorServer need not import an
+// internal package.
+type ServerInfo = transport.Info

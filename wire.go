@@ -1,12 +1,17 @@
 package ldp
 
 import (
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 
 	"repro/internal/freqoracle"
 	"repro/internal/linalg"
+	"repro/internal/protocol"
 	"repro/internal/strategy"
 )
 
@@ -22,7 +27,28 @@ const (
 
 	wireKindStrategy = "strategy"
 	wireKindOracle   = "oracle"
+
+	// Hard bounds a decoded artifact must satisfy before any of its values
+	// are used. They exist for loaders fed untrusted bytes (FuzzLoadStrategy
+	// surfaced a Rows×Cols overflow that slipped a crafted file past the
+	// length check below): dimensions are capped so their product is
+	// computed without overflow, and ε must be a positive finite number —
+	// NaN propagates through every downstream exp/ratio check, and beyond
+	// maxWireEps the mechanism arithmetic degenerates (exp overflow) while
+	// the "privacy" bought is none.
+	maxWireDim   = 1 << 20
+	maxWireElems = 1 << 26
+	maxWireEps   = 64
 )
+
+// checkWireEps validates a deserialized strategy privacy budget through the
+// shared predicate (protocol.CheckEpsilon) with the wire layer's cap.
+func checkWireEps(eps float64) error {
+	if err := protocol.CheckEpsilon(eps, maxWireEps); err != nil {
+		return fmt.Errorf("ldp: wire: %w", err)
+	}
+	return nil
+}
 
 // wireHeader prefixes every serialized artifact.
 type wireHeader struct {
@@ -67,6 +93,30 @@ func readHeader(dec *gob.Decoder, wantKind string) error {
 	return nil
 }
 
+// StrategyDigest fingerprints a strategy's exact channel — dimensions, ε,
+// and every matrix entry bit-for-bit (FNV-1a 64, hex). Two strategies of the
+// same shape and declared ε are still different mechanisms; a collector
+// aggregating under one must reject reports randomized under the other, and
+// name/domain/ε cannot tell them apart. The transport handshake
+// (RemoteCollector.Verify against /healthz) compares digests for exactly
+// that reason. Oracles need no digest: (name, domain, ε) fully determines
+// them.
+func StrategyDigest(s *Strategy) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, _ = h.Write(b[:])
+	}
+	put(uint64(s.Q.Rows()))
+	put(uint64(s.Q.Cols()))
+	put(math.Float64bits(s.Eps))
+	for _, v := range s.Q.Data() {
+		put(math.Float64bits(v))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // SaveStrategy serializes an optimized strategy under the versioned wire
 // header, so the expensive offline optimization can be done once and shipped
 // to clients.
@@ -95,8 +145,22 @@ func LoadStrategy(r io.Reader) (*Strategy, error) {
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("ldp: decode strategy: %w", err)
 	}
-	if wire.Rows <= 0 || wire.Cols <= 0 || len(wire.Data) != wire.Rows*wire.Cols {
+	// Bounds before arithmetic: with both dimensions capped at maxWireDim,
+	// the product below cannot overflow int64, so a crafted pair like
+	// 2³²×2³² can no longer wrap around to match a short Data slice.
+	if wire.Rows <= 0 || wire.Cols <= 0 || wire.Rows > maxWireDim || wire.Cols > maxWireDim {
+		return nil, fmt.Errorf("ldp: corrupt strategy: dimensions %dx%d out of range", wire.Rows, wire.Cols)
+	}
+	if elems := int64(wire.Rows) * int64(wire.Cols); elems > maxWireElems || int64(len(wire.Data)) != elems {
 		return nil, fmt.Errorf("ldp: corrupt strategy: %dx%d with %d values", wire.Rows, wire.Cols, len(wire.Data))
+	}
+	if err := checkWireEps(wire.Eps); err != nil {
+		return nil, err
+	}
+	for _, v := range wire.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("ldp: corrupt strategy: non-finite matrix entry")
+		}
 	}
 	s := strategy.New(linalg.NewFrom(wire.Rows, wire.Cols, wire.Data), wire.Eps)
 	if err := s.Validate(EpsValidationTol); err != nil {
@@ -127,6 +191,12 @@ func LoadOracle(r io.Reader) (FrequencyOracle, error) {
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("ldp: decode oracle: %w", err)
 	}
+	if wire.Domain <= 0 || wire.Domain > maxWireDim {
+		return nil, fmt.Errorf("ldp: corrupt oracle: domain %d out of range", wire.Domain)
+	}
+	// ε validity (finite, positive, within each family's cap) is the oracle
+	// constructors' single source of truth — ByName rejects bad budgets with
+	// family-specific bounds, so no separate wire-side ε policy can drift.
 	o, err := freqoracle.ByName(wire.Name, wire.Domain, wire.Eps)
 	if err != nil {
 		return nil, fmt.Errorf("ldp: loaded oracle invalid: %w", err)
