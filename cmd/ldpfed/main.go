@@ -1,0 +1,145 @@
+// Command ldpfed is the multi-collector fan-in driver: it polls several
+// ldpserve shards that aggregate the same mechanism, verifies each shard's
+// mechanism identity (digest included — two strategy matrices sharing
+// name/domain/ε are still different channels), merges their snapshots with
+// Snapshot.Merge, and emits one estimate, exactly as if every report had
+// been ingested into a single collector. The accumulator contract makes the
+// merge an element-wise sum, so the fan-in answers are bit-identical to a
+// single-collector run over the same reports.
+//
+// Usage:
+//
+//	ldpfed -servers http://10.0.0.1:8089,http://10.0.0.2:8089 -mech oue -n 256 -eps 1.0
+//	ldpfed -servers shardA:8089,shardB:8089 -strategy prefix64.strategy -workload Prefix
+//
+// Each shard line reports its count, snapshot epoch, and digest, so a stale
+// or mismatched shard is visible before its snapshot poisons the merge.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	ldp "repro"
+	"repro/internal/mechflag"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated ldpserve endpoints to merge")
+	wname := flag.String("workload", "Histogram", "workload family to answer")
+	mech := flag.String("mech", "", "build a mechanism in place: oue, olh, rappor")
+	n := flag.Int("n", 64, "domain size (with -mech)")
+	eps := flag.Float64("eps", 1.0, "privacy budget ε (with -mech)")
+	stratPath := flag.String("strategy", "", "reconstruct under a strategy wire file (SaveStrategy)")
+	oraclePath := flag.String("oracle", "", "reconstruct under an oracle wire file (SaveOracle)")
+	level := flag.Float64("ci", 0.95, "confidence level for the interval column (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline for polling the shards")
+	flag.Parse()
+
+	endpoints := splitServers(*servers)
+	if len(endpoints) == 0 {
+		fatal(errors.New("at least one -servers endpoint is required"))
+	}
+	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
+	if err != nil {
+		fatal(err)
+	}
+	info := ldp.MechanismInfoOf(agg)
+	w, err := ldp.WorkloadByName(*wname, agg.Domain())
+	if err != nil {
+		fatal(err)
+	}
+	est, err := ldp.NewEstimator(agg, w)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Poll every shard: handshake first (reject a mismatched shard before
+	// reading a byte of state), then one consistent snapshot each.
+	snaps := make([]ldp.Snapshot, 0, len(endpoints))
+	fmt.Printf("%-32s %12s %8s %s\n", "shard", "count", "epoch", "digest")
+	for _, ep := range endpoints {
+		rc, err := ldp.NewRemoteCollector(ep, agg, w)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rc.Verify(ctx, info.Mechanism, info.Epsilon, info.Digest); err != nil {
+			fatal(fmt.Errorf("%s: %w", ep, err))
+		}
+		snap, err := rc.Snap(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", ep, err))
+		}
+		fmt.Printf("%-32s %12d %8d %s\n", ep, int(snap.Count()), snap.Epoch(), snap.Info().Digest)
+		snaps = append(snaps, snap)
+	}
+
+	merged, err := ldp.MergeSnapshots(snaps...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nmerged %d shards: %d reports under %s (n=%d, ε=%g)\n",
+		len(snaps), int(merged.Count()), info.Mechanism, info.Domain, info.Epsilon)
+
+	unbiased, err := est.Answers(merged)
+	if err != nil {
+		fatal(err)
+	}
+	consistent, err := est.ConsistentAnswers(merged)
+	if err != nil {
+		fatal(err)
+	}
+	// Intervals are best-effort: a workload too large for the closed-form
+	// per-query variance (or a mechanism without one) still gets its point
+	// estimates.
+	var intervals []ldp.Interval
+	if *level > 0 {
+		if intervals, err = est.ConfidenceIntervals(merged, *level); err != nil {
+			fmt.Fprintf(os.Stderr, "ldpfed: confidence intervals unavailable: %v\n", err)
+		}
+	}
+
+	fmt.Printf("\n%-8s %14s %14s", "query", "unbiased", "consistent")
+	if intervals != nil {
+		fmt.Printf("   %g%% interval", 100**level)
+	}
+	fmt.Println()
+	show := len(unbiased)
+	if show > 12 {
+		show = 12
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("%-8d %14.1f %14.1f", i, unbiased[i], consistent[i])
+		if intervals != nil {
+			fmt.Printf("   [%.1f, %.1f]", intervals[i].Low, intervals[i].High)
+		}
+		fmt.Println()
+	}
+	if len(unbiased) > show {
+		fmt.Printf("... (%d more queries)\n", len(unbiased)-show)
+	}
+}
+
+// splitServers parses the comma-separated endpoint list, dropping empties.
+func splitServers(s string) []string {
+	var out []string
+	for _, ep := range strings.Split(s, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ldpfed: %v\n", err)
+	os.Exit(1)
+}

@@ -131,7 +131,13 @@ func main() {
 			}
 		}
 	}
-	var unbiased, consistent []float64
+	// One Estimator answers every snapshot — the in-process collector's, the
+	// remote server's, or (see cmd/ldpfed) a merge of several shards'.
+	est, err := ldp.NewEstimator(agg, w)
+	if err != nil {
+		fatal(err)
+	}
+	var snap ldp.Snapshot
 	if *remote != "" {
 		ctx := context.Background()
 		rcol, err := ldp.NewRemoteCollector(*remote, agg, w)
@@ -148,30 +154,28 @@ func main() {
 		if err := rcol.Flush(ctx); err != nil {
 			fatal(err)
 		}
-		count, err := rcol.Count(ctx)
-		if err != nil {
+		if snap, err = rcol.Snap(ctx); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("streamed %d randomized reports (ε=%g each) to %s\n",
-			int(count), client.Epsilon(), *remote)
-		if unbiased, err = rcol.Answers(ctx); err != nil {
-			fatal(err)
-		}
-		if consistent, err = rcol.ConsistentAnswers(ctx); err != nil {
-			fatal(err)
-		}
+		fmt.Printf("streamed %d randomized reports (ε=%g each) to %s (snapshot epoch %d)\n",
+			int(snap.Count()), client.Epsilon(), *remote, snap.Epoch())
 	} else {
 		col, err := ldp.NewCollector(agg, w, 0)
 		if err != nil {
 			fatal(err)
 		}
 		drive(col.Ingest)
+		snap = col.Snap()
 		fmt.Printf("collected %d randomized reports (ε=%g each, %d shards)\n",
-			int(col.Count()), client.Epsilon(), col.Shards())
-		unbiased = col.Answers()
-		if consistent, err = col.ConsistentAnswers(); err != nil {
-			fatal(err)
-		}
+			int(snap.Count()), client.Epsilon(), col.Shards())
+	}
+	unbiased, err := est.Answers(snap)
+	if err != nil {
+		fatal(err)
+	}
+	consistent, err := est.ConsistentAnswers(snap)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("\n%-8s %14s %14s %14s\n", "query", "truth", "unbiased", "consistent")

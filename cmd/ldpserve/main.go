@@ -20,17 +20,16 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	ldp "repro"
+	"repro/internal/mechflag"
 )
 
 func main() {
@@ -44,10 +43,15 @@ func main() {
 	shards := flag.Int("shards", 0, "collector shards (0 = 2×GOMAXPROCS)")
 	flag.Parse()
 
-	agg, info, err := buildAggregator(*mech, *n, *eps, *stratPath, *oraclePath)
+	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
 	if err != nil {
 		fatal(err)
 	}
+	// The identity /healthz and every snapshot frame declare: mechanism name,
+	// domain, ε, and (for strategy matrices, where those three cannot tell
+	// two matrices apart) the digest of the exact channel — what lets clients
+	// and ldpfed reject a mismatched or stale shard at the handshake.
+	info := ldp.MechanismInfoOf(agg)
 	w, err := ldp.WorkloadByName(*wname, agg.Domain())
 	if err != nil {
 		fatal(err)
@@ -83,59 +87,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("ldpserve: drained with %d reports collected\n", int(col.Count()))
-}
-
-// buildAggregator resolves the mechanism configuration to the server side of
-// the protocol plus its /healthz identity.
-func buildAggregator(mech string, n int, eps float64, stratPath, oraclePath string) (ldp.Aggregator, ldp.ServerInfo, error) {
-	set := 0
-	for _, s := range []string{mech, stratPath, oraclePath} {
-		if s != "" {
-			set++
-		}
-	}
-	if set != 1 {
-		return nil, ldp.ServerInfo{}, errors.New("exactly one of -mech, -strategy, -oracle must be given")
-	}
-	switch {
-	case stratPath != "":
-		f, err := os.Open(stratPath)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		defer f.Close()
-		s, err := ldp.LoadStrategy(f)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		agg, err := ldp.NewAggregator(s)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		// The digest lets clients reject a same-shape, same-ε but different
-		// matrix at the handshake instead of poisoning the accumulator.
-		return agg, ldp.ServerInfo{
-			Mechanism: "strategy", Domain: s.Domain(), Epsilon: s.Eps,
-			Digest: ldp.StrategyDigest(s),
-		}, nil
-	case oraclePath != "":
-		f, err := os.Open(oraclePath)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		defer f.Close()
-		o, err := ldp.LoadOracle(f)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		return o, ldp.ServerInfo{Mechanism: o.Name(), Domain: o.Domain(), Epsilon: o.Epsilon()}, nil
-	default:
-		o, err := ldp.OracleByName(strings.ToUpper(mech), n, eps)
-		if err != nil {
-			return nil, ldp.ServerInfo{}, err
-		}
-		return o, ldp.ServerInfo{Mechanism: o.Name(), Domain: o.Domain(), Epsilon: o.Epsilon()}, nil
-	}
 }
 
 func fatal(err error) {

@@ -1,14 +1,11 @@
 package ldp
 
 import (
-	"errors"
 	"fmt"
 	randv2 "math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/postprocess"
 )
 
 // Collector is the goroutine-safe aggregation front-end for deployments where
@@ -33,18 +30,22 @@ import (
 // period, however often it is polled; see BenchmarkSnapshotCached.
 type Collector struct {
 	agg    Aggregator
-	work   Workload
+	est    *Estimator
+	info   MechanismInfo
 	shards []collectorShard
 	mask   uint64
 	pinned atomic.Uint64 // round-robin cursor for Handle assignment
 
 	// cache is the memoized merge. cache.acc is the merged accumulator as of
 	// cache.count total reports; it is never handed out (snapshots copy), so
-	// its entries stay trustworthy.
+	// its entries stay trustworthy. cache.epoch advances exactly when the
+	// merge is refilled, i.e. when a snapshot observes a state different from
+	// the previous one — the monotonic sequence Snapshot.Epoch carries.
 	cache struct {
 		mu    sync.Mutex
 		acc   []float64
 		count int64
+		epoch uint64
 	}
 }
 
@@ -68,11 +69,9 @@ type collectorShard struct {
 // aggregator and workload. shards is rounded up to a power of two; shards ≤ 0
 // picks 2×GOMAXPROCS, enough that ingesting goroutines rarely collide.
 func NewCollector(agg Aggregator, w Workload, shards int) (*Collector, error) {
-	if agg == nil {
-		return nil, errors.New("ldp: nil aggregator")
-	}
-	if agg.Domain() != w.Domain() {
-		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
+	est, err := NewEstimator(agg, w) // validates agg and the domain match
+	if err != nil {
+		return nil, err
 	}
 	if shards <= 0 {
 		shards = 2 * runtime.GOMAXPROCS(0)
@@ -81,7 +80,7 @@ func NewCollector(agg Aggregator, w Workload, shards int) (*Collector, error) {
 	for n < shards {
 		n <<= 1
 	}
-	c := &Collector{agg: agg, work: w, shards: make([]collectorShard, n), mask: uint64(n - 1)}
+	c := &Collector{agg: agg, est: est, info: est.Info(), shards: make([]collectorShard, n), mask: uint64(n - 1)}
 	for i := range c.shards {
 		c.shards[i].acc = make([]float64, agg.StateLen())
 	}
@@ -216,47 +215,92 @@ func (c *Collector) totalCount() int64 {
 	return count
 }
 
-// snapshot returns a caller-owned copy of the merged accumulator and the
-// report count it reflects — a linearizable point-in-time view: no concurrent
-// Ingest is half-visible.
+// snapshot returns a caller-owned copy of the merged accumulator, the report
+// count it reflects, and the snapshot epoch — a linearizable point-in-time
+// view: no concurrent Ingest is half-visible.
 //
 // The merge is cached: if no shard counter has moved since the cache was
 // filled, no ingest completed in between and the cached merge is returned
 // (copied) without touching any shard lock. Otherwise every shard is locked
-// (ascending order, so concurrent snapshots cannot deadlock), re-merged, and
-// the cache refilled.
-func (c *Collector) snapshot() (acc []float64, count float64) {
+// (ascending order, so concurrent snapshots cannot deadlock), re-merged, the
+// cache refilled, and the epoch advanced — so the epoch counts distinct
+// observed states.
+func (c *Collector) snapshot() (acc []float64, count float64, epoch uint64) {
 	c.cache.mu.Lock()
 	defer c.cache.mu.Unlock()
-	if c.cache.acc == nil || c.totalCount() != c.cache.count {
-		for i := range c.shards {
-			c.shards[i].mu.Lock()
-		}
-		merged := make([]float64, c.agg.StateLen())
-		var total int64
-		for i := range c.shards {
-			sh := &c.shards[i]
-			for j, v := range sh.acc {
-				merged[j] += v
-			}
-			total += sh.count.Load()
-		}
-		for i := range c.shards {
-			c.shards[i].mu.Unlock()
-		}
-		c.cache.acc = merged
-		c.cache.count = total
-	}
+	c.refreshCacheLocked()
 	acc = make([]float64, len(c.cache.acc))
 	copy(acc, c.cache.acc)
-	return acc, float64(c.cache.count)
+	return acc, float64(c.cache.count), c.cache.epoch
+}
+
+// countEpoch returns a consistent (count, epoch) pair — what /healthz
+// serves — without paying for a merge or a state copy: a count the cache
+// has not seen is itself the observation of a new state, so the epoch
+// advances and the cached merge is invalidated; the merge itself is
+// deferred to the next full snapshot. Every ingest moves a counter, so
+// "count unchanged" still proves "state unchanged". Cost per poll: the
+// lock-free counter sum plus the cache mutex — no shard lock is taken.
+func (c *Collector) countEpoch() (count float64, epoch uint64) {
+	c.cache.mu.Lock()
+	defer c.cache.mu.Unlock()
+	if total := c.totalCount(); c.cache.epoch == 0 || total != c.cache.count {
+		c.cache.count = total
+		c.cache.acc = nil // state moved: force the next snapshot to re-merge
+		c.cache.epoch++
+	}
+	return float64(c.cache.count), c.cache.epoch
+}
+
+// refreshCacheLocked re-merges the shards into the cache when any ingest
+// completed since the last fill. The epoch advances only when the merged
+// state is one no reader has observed yet — a refill of a countEpoch-
+// invalidated cache at an unchanged count keeps its epoch, so /healthz and
+// /snapshot number the same states identically. Caller holds cache.mu.
+func (c *Collector) refreshCacheLocked() {
+	if c.cache.acc != nil && c.totalCount() == c.cache.count {
+		return
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	merged := make([]float64, c.agg.StateLen())
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for j, v := range sh.acc {
+			merged[j] += v
+		}
+		total += sh.count.Load()
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+	if c.cache.epoch == 0 || total != c.cache.count {
+		c.cache.epoch++
+	}
+	c.cache.acc = merged
+	c.cache.count = total
+}
+
+// Snap returns an immutable point-in-time Snapshot of the collector: merged
+// accumulator, report count, mechanism identity, and the monotonic snapshot
+// epoch. It is the one read handle every estimator consumes — and the value
+// a transport binding serves to remote readers and ldpfed merges across
+// shards.
+func (c *Collector) Snap() Snapshot {
+	acc, count, epoch := c.snapshot()
+	return Snapshot{state: acc, count: count, epoch: epoch, info: c.info}
 }
 
 // Snapshot returns the merged aggregation accumulator and the number of
-// reports it contains as one consistent view — what a transport binding
-// serves to remote readers. The slice is caller-owned.
+// reports it contains as one consistent view. The slice is caller-owned.
+//
+// Deprecated: use Snap, which carries the mechanism identity and epoch the
+// bare pair lacks.
 func (c *Collector) Snapshot() (state []float64, count float64) {
-	return c.snapshot()
+	state, count, _ = c.snapshot()
+	return state, count
 }
 
 // Count returns the number of reports collected so far. It only sums the
@@ -268,31 +312,42 @@ func (c *Collector) Count() float64 {
 
 // State returns the merged aggregation accumulator (for strategy mechanisms,
 // the response histogram y) from a consistent snapshot.
+//
+// Deprecated: use Snap().State().
 func (c *Collector) State() []float64 {
-	acc, _ := c.snapshot()
+	acc, _, _ := c.snapshot()
 	return acc
 }
 
 // DataEstimate returns the unbiased estimate of the data vector from a
 // consistent snapshot.
+//
+// Deprecated: use an Estimator — NewEstimator(agg, w) then
+// est.DataEstimate(c.Snap()) — which answers local, remote, and merged
+// snapshots alike.
 func (c *Collector) DataEstimate() []float64 {
-	acc, count := c.snapshot()
-	return c.agg.EstimateCounts(acc, count)
+	xh, err := c.est.DataEstimate(c.Snap())
+	if err != nil {
+		panic(err) // unreachable: the snapshot comes from this very mechanism
+	}
+	return xh
 }
 
 // Answers returns unbiased workload estimates from a consistent snapshot.
+//
+// Deprecated: use an Estimator — est.Answers(c.Snap()).
 func (c *Collector) Answers() []float64 {
-	return c.work.MatVec(c.DataEstimate())
+	answers, err := c.est.Answers(c.Snap())
+	if err != nil {
+		panic(err) // unreachable: the snapshot comes from this very mechanism
+	}
+	return answers
 }
 
 // ConsistentAnswers returns WNNLS-post-processed estimates from a consistent
 // snapshot.
+//
+// Deprecated: use an Estimator — est.ConsistentAnswers(c.Snap()).
 func (c *Collector) ConsistentAnswers() ([]float64, error) {
-	acc, count := c.snapshot()
-	answers := c.work.MatVec(c.agg.EstimateCounts(acc, count))
-	res, err := postprocess.Run(c.work, answers, postprocess.Options{TotalCount: count})
-	if err != nil {
-		return nil, err
-	}
-	return res.Answers, nil
+	return c.est.ConsistentAnswers(c.Snap())
 }

@@ -92,16 +92,35 @@ func main() {
 		}
 	}
 
-	// 5. Reconstruct. Answers() is unbiased; ConsistentAnswers() additionally
-	//    enforces non-negativity and the known total (WNNLS, Appendix A).
+	// 5. Reconstruct through the one read API: Snap() freezes a consistent
+	//    Snapshot of the collector, and an Estimator answers it — unbiased,
+	//    WNNLS-consistent (Appendix A), and with closed-form confidence
+	//    intervals. The same Estimator answers a remote or merged snapshot.
 	truth := w.MatVec(truthX)
-	est, err := col.ConsistentAnswers()
+	estimator, err := ldp.NewEstimator(agg, w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncollected %.0f reports; selected CDF estimates:\n", col.Count())
+	snap := col.Snap()
+	unbiased, err := estimator.Answers(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := estimator.ConsistentAnswers(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The intervals are centered on the unbiased answers (that is what the
+	// closed-form variance describes); the consistent column is the
+	// post-processed point estimate.
+	cis, err := estimator.ConfidenceIntervals(snap, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncollected %.0f reports; selected CDF estimates:\n", snap.Count())
 	for _, q := range []int{0, n / 4, n / 2, n - 1} {
-		fmt.Printf("  P(X ≤ %2d): truth %7.0f, estimate %7.0f\n", q, truth[q], est[q])
+		fmt.Printf("  P(X ≤ %2d): truth %7.0f, unbiased %7.0f (95%% CI [%.0f, %.0f]), consistent %7.0f\n",
+			q, truth[q], unbiased[q], cis[q].Low, cis[q].High, est[q])
 	}
 
 	// 6. The same pipeline, a different mechanism family: a frequency oracle
@@ -129,11 +148,16 @@ func main() {
 			}
 		}
 	}
-	oest, err := ocol.ConsistentAnswers()
+	oestimator, err := ldp.NewEstimator(olh, w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsame pipeline through OLH (%.0f reports):\n", ocol.Count())
+	osnap := ocol.Snap()
+	oest, err := oestimator.ConsistentAnswers(osnap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame pipeline through OLH (%.0f reports):\n", osnap.Count())
 	for _, q := range []int{0, n / 4, n / 2, n - 1} {
 		fmt.Printf("  P(X ≤ %2d): truth %7.0f, estimate %7.0f\n", q, truth[q], oest[q])
 	}

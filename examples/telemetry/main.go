@@ -77,19 +77,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	col, err := ldp.NewCollector(agg, w, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// The fleet reports concurrently: each ingestion worker holds a Handle
-	// pinned to its own collector shard, so arrivals never contend.
+	// The fleet reports into two regional collectors (say, one per ingestion
+	// site); each worker holds a Handle pinned to its own collector shard, so
+	// arrivals never contend.
+	const regions = 2
 	const workers = 4
+	cols := make([]*ldp.Collector, regions)
+	for r := range cols {
+		if cols[r], err = ldp.NewCollector(agg, w, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			h := col.Handle()
+			h := cols[wk%regions].Handle()
 			wrng := rand.New(rand.NewSource(int64(100 + wk)))
 			for state := wk; state < n; state += workers {
 				for j := 0; j < int(x[state]); j++ {
@@ -105,7 +109,21 @@ func main() {
 		}(wk)
 	}
 	wg.Wait()
-	est, err := col.ConsistentAnswers()
+	// Fan-in: each region freezes one immutable Snapshot, Merge sums them
+	// (rejecting a mechanism mismatch by digest), and a single Estimator
+	// answers the merged view exactly as if one collector had seen the whole
+	// fleet.
+	snap := cols[0].Snap()
+	for _, c := range cols[1:] {
+		if snap, err = snap.Merge(c.Snap()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	estimator, err := ldp.NewEstimator(agg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := estimator.ConsistentAnswers(snap)
 	if err != nil {
 		log.Fatal(err)
 	}

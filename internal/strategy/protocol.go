@@ -78,6 +78,18 @@ func NewAggregator(s *Strategy) (*Aggregator, error) {
 // Domain returns the number of user types estimated.
 func (a *Aggregator) Domain() int { return a.s.Domain() }
 
+// Epsilon returns the privacy budget of the strategy aggregated under.
+func (a *Aggregator) Epsilon() float64 { return a.s.Eps }
+
+// Strategy returns the strategy backing this aggregator — the exact channel
+// identity a snapshot or transport handshake fingerprints.
+func (a *Aggregator) Strategy() *Strategy { return a.s }
+
+// Recon returns the precomputed reconstruction factor B = (QᵀD⁻¹Q)⁺QᵀD⁻¹.
+// Callers must treat it as read-only; the variance algebra of the estimator
+// layer (per-query variance of V·y with V = W·B) is built from it.
+func (a *Aggregator) Recon() *linalg.Matrix { return a.recon }
+
 // StateLen returns m, the response-histogram width.
 func (a *Aggregator) StateLen() int { return a.s.Outputs() }
 

@@ -48,6 +48,14 @@ func (c *Client) SetHTTPClient(hc *http.Client) {
 // transport error the response's accepted count says how many reports of
 // this request landed.
 func (c *Client) PostReports(ctx context.Context, reports []protocol.Report) (int, error) {
+	return c.PostReportsKeyed(ctx, reports, "")
+}
+
+// PostReportsKeyed is PostReports with an idempotency key: a server that
+// already absorbed a request under this key replays its recorded response
+// instead of absorbing again, so a retry after a lost HTTP response cannot
+// double-count. An empty key sends an unkeyed (non-idempotent) request.
+func (c *Client) PostReportsKeyed(ctx context.Context, reports []protocol.Report, key string) (int, error) {
 	var buf bytes.Buffer
 	if err := EncodeReportsChunked(&buf, reports); err != nil {
 		return 0, err
@@ -58,6 +66,9 @@ func (c *Client) PostReports(ctx context.Context, reports []protocol.Report) (in
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -70,7 +81,7 @@ func (c *Client) PostReports(ctx context.Context, reports []protocol.Report) (in
 		if jsonErr != nil {
 			msg = ""
 		}
-		return ir.Accepted, &statusError{status: resp.StatusCode, msg: msg}
+		return ir.Accepted, &StatusError{StatusCode: resp.StatusCode, Msg: msg}
 	}
 	if jsonErr != nil {
 		return 0, fmt.Errorf("transport: bad ingest response: %w", jsonErr)
@@ -78,14 +89,27 @@ func (c *Client) PostReports(ctx context.Context, reports []protocol.Report) (in
 	return ir.Accepted, nil
 }
 
-// Snapshot fetches the server's merged accumulator and report count.
-func (c *Client) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
+// Snap fetches the server's full snapshot: accumulator, count, epoch, and
+// mechanism identity (epoch and identity are zero against a v1 server).
+func (c *Client) Snap(ctx context.Context) (Snapshot, error) {
 	resp, err := c.get(ctx, "/snapshot")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer drain(resp)
+	return DecodeSnapshotFrame(resp.Body)
+}
+
+// Snapshot fetches the server's merged accumulator and report count.
+//
+// Deprecated: use Snap, which also carries the snapshot's epoch and
+// mechanism identity.
+func (c *Client) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
+	s, err := c.Snap(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer drain(resp)
-	return DecodeSnapshot(resp.Body)
+	return s.State, s.Count, nil
 }
 
 // Healthz fetches the server's liveness report and mechanism identity.
@@ -114,7 +138,7 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
 		drain(resp)
-		return nil, &statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body))}
+		return nil, &StatusError{StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
 	}
 	return resp, nil
 }

@@ -9,7 +9,7 @@
 // Every frame is
 //
 //	magic   [4]byte  "LDPF"
-//	version uint8    (currently 1)
+//	version uint8    (reports: 1; snapshots: 1 or 2)
 //	kind    uint8    (1 = report batch, 2 = snapshot)
 //	length  uint32   big-endian payload byte count
 //	payload [length]byte
@@ -23,11 +23,27 @@
 //	  nbits uvarint        only when bit1 is set
 //	  bits  ⌈nbits/8⌉ bytes LSB-first packed booleans
 //
-// A snapshot payload is
+// A version-1 snapshot payload is the bare accumulator:
 //
 //	count    float64 big-endian IEEE-754 bits
 //	stateLen uint32  big-endian
 //	state    stateLen × float64 big-endian IEEE-754 bits
+//
+// A version-2 snapshot payload prefixes the state with the snapshot's
+// identity, so a fan-in reader can reject a mismatched shard before touching
+// a single state entry:
+//
+//	count     float64 big-endian IEEE-754 bits
+//	epoch     uint64  big-endian (monotonic per producing collector)
+//	domain    uint32  big-endian
+//	epsilon   float64 big-endian IEEE-754 bits (0 = undeclared)
+//	mechLen   uint8, then mechLen bytes   (mechanism name, may be empty)
+//	digestLen uint8, then digestLen bytes (mechanism digest, may be empty)
+//	stateLen  uint32  big-endian
+//	state     stateLen × float64 big-endian IEEE-754 bits
+//
+// Writers emit version 2; readers accept both, so a new ldpfed can merge
+// snapshots from an old ldpserve (the metadata simply comes back empty).
 //
 // Decoders are strict: every length is bounds-checked against both a hard
 // limit and the remaining payload before any allocation, payloads must be
@@ -48,11 +64,19 @@ import (
 )
 
 const (
-	frameMagic   = "LDPF"
-	frameVersion = 1
+	frameMagic = "LDPF"
+	// frameVersion is the version every report frame carries; snapshot frames
+	// are written at snapshotVersion and read at either.
+	frameVersion    = 1
+	snapshotVersion = 2
 
 	kindReports  = 1
 	kindSnapshot = 2
+
+	// maxSnapshotMeta bounds the v2 identity strings (mechanism name and
+	// digest). One byte of length each on the wire; the cap exists so the
+	// layout cannot grow past it silently.
+	maxSnapshotMeta = 255
 
 	headerLen = 4 + 1 + 1 + 4
 
@@ -81,14 +105,14 @@ func payloadLimit(kind byte) int {
 	return MaxReportsPayload
 }
 
-// writeFrame emits one complete frame.
-func writeFrame(w io.Writer, kind byte, payload []byte) error {
+// writeFrame emits one complete frame at the given format version.
+func writeFrame(w io.Writer, version, kind byte, payload []byte) error {
 	if len(payload) > payloadLimit(kind) {
 		return fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", len(payload), payloadLimit(kind))
 	}
 	var hdr [headerLen]byte
 	copy(hdr[:4], frameMagic)
-	hdr[4] = frameVersion
+	hdr[4] = version
 	hdr[5] = kind
 	binary.BigEndian.PutUint32(hdr[6:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -98,34 +122,46 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame of the wanted kind. A reader exhausted exactly at
-// a frame boundary returns ErrFrameEOF, so callers can loop over a stream.
-func readFrame(r io.Reader, wantKind byte) ([]byte, error) {
+// maxVersionOf returns the newest frame version readable for a kind. Report
+// frames are still version 1; snapshot frames read 1 (bare accumulator) and
+// 2 (identity-prefixed).
+func maxVersionOf(kind byte) byte {
+	if kind == kindSnapshot {
+		return snapshotVersion
+	}
+	return frameVersion
+}
+
+// readFrame reads one frame of the wanted kind and returns its payload
+// together with the version byte the frame declared (the caller dispatches
+// the payload layout on it). A reader exhausted exactly at a frame boundary
+// returns ErrFrameEOF, so callers can loop over a stream.
+func readFrame(r io.Reader, wantKind byte) ([]byte, byte, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return nil, ErrFrameEOF
+			return nil, 0, ErrFrameEOF
 		}
-		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
+		return nil, 0, fmt.Errorf("transport: truncated frame header: %w", err)
 	}
 	if string(hdr[:4]) != frameMagic {
-		return nil, fmt.Errorf("transport: bad frame magic %q", hdr[:4])
+		return nil, 0, fmt.Errorf("transport: bad frame magic %q", hdr[:4])
 	}
-	if hdr[4] != frameVersion {
-		return nil, fmt.Errorf("transport: unsupported frame version %d (this library reads version %d)", hdr[4], frameVersion)
+	if hdr[4] < 1 || hdr[4] > maxVersionOf(wantKind) {
+		return nil, 0, fmt.Errorf("transport: unsupported frame version %d (this library reads versions 1..%d)", hdr[4], maxVersionOf(wantKind))
 	}
 	if hdr[5] != wantKind {
-		return nil, fmt.Errorf("transport: frame kind %d, want %d", hdr[5], wantKind)
+		return nil, 0, fmt.Errorf("transport: frame kind %d, want %d", hdr[5], wantKind)
 	}
 	n := binary.BigEndian.Uint32(hdr[6:])
 	if int64(n) > int64(payloadLimit(wantKind)) {
-		return nil, fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", n, payloadLimit(wantKind))
+		return nil, 0, fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", n, payloadLimit(wantKind))
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("transport: truncated frame payload: %w", err)
+		return nil, 0, fmt.Errorf("transport: truncated frame payload: %w", err)
 	}
-	return payload, nil
+	return payload, hdr[4], nil
 }
 
 const (
@@ -182,7 +218,7 @@ func EncodeReports(w io.Writer, reports []protocol.Report) error {
 		}
 		buf = appendReport(buf, r)
 	}
-	return writeFrame(w, kindReports, buf)
+	return writeFrame(w, frameVersion, kindReports, buf)
 }
 
 // EncodeReportsChunked writes a batch as one or more frames, cutting a new
@@ -196,7 +232,7 @@ func EncodeReportsChunked(w io.Writer, reports []protocol.Report) error {
 	count := 0
 	flush := func() error {
 		binary.BigEndian.PutUint32(buf, uint32(count))
-		if err := writeFrame(w, kindReports, buf); err != nil {
+		if err := writeFrame(w, frameVersion, kindReports, buf); err != nil {
 			return err
 		}
 		buf, count = buf[:4], 0
@@ -245,7 +281,7 @@ func decodeUvarint(buf []byte) (uint64, int, error) {
 // frame boundary returns (nil, ErrFrameEOF). Allocation is proportional to
 // the bytes actually present, never to a declared length alone.
 func DecodeReports(r io.Reader) ([]protocol.Report, error) {
-	payload, err := readFrame(r, kindReports)
+	payload, _, err := readFrame(r, kindReports)
 	if err != nil {
 		return nil, err
 	}
@@ -318,8 +354,21 @@ func DecodeReports(r io.Reader) ([]protocol.Report, error) {
 	return reports, nil
 }
 
-// EncodeSnapshot writes one snapshot frame carrying a merged accumulator and
-// its report count.
+// Snapshot is one framed collector snapshot: the merged accumulator, the
+// report count it reflects, the producing collector's monotonic snapshot
+// epoch, and the mechanism identity it was aggregated under. Epoch and Info
+// are zero when the frame was written by a version-1 producer.
+type Snapshot struct {
+	State []float64
+	Count float64
+	Epoch uint64
+	Info  Info
+}
+
+// EncodeSnapshot writes one version-1 snapshot frame (bare accumulator, no
+// identity). Current producers write EncodeSnapshotFrame; this writer is kept
+// so compatibility with version-1 readers — and the golden files pinning the
+// v1 layout — can be exercised.
 func EncodeSnapshot(w io.Writer, state []float64, count float64) error {
 	if 12+8*len(state) > MaxSnapshotPayload {
 		return fmt.Errorf("transport: %d-entry state exceeds the snapshot frame limit", len(state))
@@ -330,34 +379,134 @@ func EncodeSnapshot(w io.Writer, state []float64, count float64) error {
 	for i, v := range state {
 		binary.BigEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
 	}
-	return writeFrame(w, kindSnapshot, buf)
+	return writeFrame(w, 1, kindSnapshot, buf)
 }
 
-// DecodeSnapshot reads one snapshot frame.
-func DecodeSnapshot(r io.Reader) (state []float64, count float64, err error) {
-	payload, err := readFrame(r, kindSnapshot)
+// snapshotFrameError reports why a snapshot cannot be framed (identity
+// strings over the one-byte length fields, a domain outside uint32, or a
+// state over the payload cap) — checked before any byte is written, so a
+// caller that has not committed its response yet can still fail cleanly.
+func snapshotFrameError(s Snapshot) error {
+	if len(s.Info.Mechanism) > maxSnapshotMeta || len(s.Info.Digest) > maxSnapshotMeta {
+		return fmt.Errorf("transport: snapshot identity strings exceed %d bytes", maxSnapshotMeta)
+	}
+	if s.Info.Domain < 0 || int64(s.Info.Domain) > math.MaxUint32 {
+		return fmt.Errorf("transport: snapshot domain %d does not fit the frame", s.Info.Domain)
+	}
+	meta := 8 + 8 + 4 + 8 + 1 + len(s.Info.Mechanism) + 1 + len(s.Info.Digest) + 4
+	if meta+8*len(s.State) > MaxSnapshotPayload {
+		return fmt.Errorf("transport: %d-entry state exceeds the snapshot frame limit", len(s.State))
+	}
+	return nil
+}
+
+// EncodeSnapshotFrame writes one version-2 snapshot frame carrying the full
+// snapshot: identity and epoch first, state last, so a reader can reject a
+// mismatched shard from the fixed-size prefix alone.
+func EncodeSnapshotFrame(w io.Writer, s Snapshot) error {
+	if err := snapshotFrameError(s); err != nil {
+		return err
+	}
+	meta := 8 + 8 + 4 + 8 + 1 + len(s.Info.Mechanism) + 1 + len(s.Info.Digest) + 4
+	buf := make([]byte, 0, meta+8*len(s.State))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Count))
+	buf = binary.BigEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Info.Domain))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Info.Epsilon))
+	buf = append(buf, byte(len(s.Info.Mechanism)))
+	buf = append(buf, s.Info.Mechanism...)
+	buf = append(buf, byte(len(s.Info.Digest)))
+	buf = append(buf, s.Info.Digest...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.State)))
+	for _, v := range s.State {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return writeFrame(w, snapshotVersion, kindSnapshot, buf)
+}
+
+// DecodeSnapshotFrame reads one snapshot frame of either version. Version-1
+// frames decode with zero Epoch and Info — the state and count are all they
+// carry.
+func DecodeSnapshotFrame(r io.Reader) (Snapshot, error) {
+	payload, version, err := readFrame(r, kindSnapshot)
 	if err != nil {
 		if err == ErrFrameEOF {
 			err = errors.New("transport: empty snapshot response")
 		}
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	buf := payload
+	take := func(n int, what string) ([]byte, error) {
+		if len(buf) < n {
+			return nil, fmt.Errorf("transport: snapshot frame truncated at its %s", what)
+		}
+		out := buf[:n]
+		buf = buf[n:]
+		return out, nil
+	}
+	b, err := take(8, "count")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Count = math.Float64frombits(binary.BigEndian.Uint64(b))
+	if version >= snapshotVersion {
+		if b, err = take(8, "epoch"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Epoch = binary.BigEndian.Uint64(b)
+		if b, err = take(4, "domain"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Info.Domain = int(binary.BigEndian.Uint32(b))
+		if b, err = take(8, "epsilon"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Info.Epsilon = math.Float64frombits(binary.BigEndian.Uint64(b))
+		if math.IsNaN(s.Info.Epsilon) || math.IsInf(s.Info.Epsilon, 0) || s.Info.Epsilon < 0 {
+			return Snapshot{}, fmt.Errorf("transport: snapshot ε %v is not a non-negative finite number", s.Info.Epsilon)
+		}
+		for _, field := range []struct {
+			what string
+			dst  *string
+		}{{"mechanism", &s.Info.Mechanism}, {"digest", &s.Info.Digest}} {
+			if b, err = take(1, field.what+" length"); err != nil {
+				return Snapshot{}, err
+			}
+			if b, err = take(int(b[0]), field.what); err != nil {
+				return Snapshot{}, err
+			}
+			*field.dst = string(b)
+		}
+	}
+	if b, err = take(4, "state length"); err != nil {
+		return Snapshot{}, err
+	}
+	stateLen := binary.BigEndian.Uint32(b)
+	if int64(len(buf)) != 8*int64(stateLen) {
+		return Snapshot{}, fmt.Errorf("transport: snapshot declares %d state entries but carries %d payload bytes", stateLen, len(buf))
+	}
+	if math.IsNaN(s.Count) || math.IsInf(s.Count, 0) || s.Count < 0 {
+		return Snapshot{}, fmt.Errorf("transport: snapshot count %v is not a non-negative finite number", s.Count)
+	}
+	s.State = make([]float64, stateLen)
+	for i := range s.State {
+		s.State[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return s, nil
+}
+
+// DecodeSnapshot reads one snapshot frame of either version and returns the
+// bare accumulator view.
+//
+// Deprecated: use DecodeSnapshotFrame, which also surfaces the snapshot's
+// epoch and mechanism identity.
+func DecodeSnapshot(r io.Reader) (state []float64, count float64, err error) {
+	s, err := DecodeSnapshotFrame(r)
+	if err != nil {
 		return nil, 0, err
 	}
-	if len(payload) < 12 {
-		return nil, 0, errors.New("transport: snapshot frame shorter than its header")
-	}
-	count = math.Float64frombits(binary.BigEndian.Uint64(payload))
-	stateLen := binary.BigEndian.Uint32(payload[8:])
-	if int64(len(payload)) != 12+8*int64(stateLen) {
-		return nil, 0, fmt.Errorf("transport: snapshot declares %d state entries but carries %d payload bytes", stateLen, len(payload))
-	}
-	if math.IsNaN(count) || math.IsInf(count, 0) || count < 0 {
-		return nil, 0, fmt.Errorf("transport: snapshot count %v is not a non-negative finite number", count)
-	}
-	state = make([]float64, stateLen)
-	for i := range state {
-		state[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[12+8*i:]))
-	}
-	return state, count, nil
+	return s.State, s.Count, nil
 }
 
 // encodeReportsBytes is EncodeReports into memory (the client's request-body

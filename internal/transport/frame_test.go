@@ -303,7 +303,7 @@ func lengthened(b []byte) []byte {
 
 func frameWithPayload(kind byte, payload []byte) []byte {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, kind, payload); err != nil {
+	if err := writeFrame(&buf, frameVersion, kind, payload); err != nil {
 		panic(err)
 	}
 	return buf.Bytes()

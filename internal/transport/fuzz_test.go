@@ -64,31 +64,42 @@ func FuzzDecodeReportFrame(f *testing.F) {
 	})
 }
 
-// FuzzDecodeSnapshotFrame is the same contract for the snapshot decoder.
+// FuzzDecodeSnapshotFrame is the same contract for the snapshot decoder,
+// which reads both frame versions: anything accepted must survive a v2
+// re-encode bit-for-bit (v1 input re-encodes with zero epoch/identity, which
+// is exactly what it declared).
 func FuzzDecodeSnapshotFrame(f *testing.F) {
-	var buf bytes.Buffer
-	if err := EncodeSnapshot(&buf, []float64{1, 2.5, -3}, 3); err != nil {
+	var v1 bytes.Buffer
+	if err := EncodeSnapshot(&v1, []float64{1, 2.5, -3}, 3); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	f.Add(v1.Bytes())
+	var v2 bytes.Buffer
+	if err := EncodeSnapshotFrame(&v2, Snapshot{
+		State: []float64{4, 0, 9}, Count: 13, Epoch: 7,
+		Info: Info{Mechanism: "OLH", Domain: 3, Epsilon: 1.25, Digest: "deadbeefdeadbeef"},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		state, count, err := DecodeSnapshot(bytes.NewReader(data))
+		s, err := DecodeSnapshotFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		var out bytes.Buffer
-		if err := EncodeSnapshot(&out, state, count); err != nil {
+		if err := EncodeSnapshotFrame(&out, s); err != nil {
 			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
 		}
-		state2, count2, err := DecodeSnapshot(&out)
-		if err != nil || count2 != count || len(state2) != len(state) {
-			t.Fatalf("snapshot changed across re-encode: %v %v %v", state2, count2, err)
+		s2, err := DecodeSnapshotFrame(&out)
+		if err != nil || s2.Count != s.Count || s2.Epoch != s.Epoch || s2.Info != s.Info || len(s2.State) != len(s.State) {
+			t.Fatalf("snapshot changed across re-encode: %+v vs %+v (%v)", s2, s, err)
 		}
-		for i := range state {
+		for i := range s.State {
 			// Bit-level comparison: NaN state entries are legal payload and
 			// must survive verbatim, and NaN != NaN under ==.
-			if math.Float64bits(state2[i]) != math.Float64bits(state[i]) {
+			if math.Float64bits(s2.State[i]) != math.Float64bits(s.State[i]) {
 				t.Fatalf("state[%d] changed across re-encode", i)
 			}
 		}

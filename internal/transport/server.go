@@ -1,32 +1,37 @@
 package transport
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"repro/internal/protocol"
 )
 
 // Backend is what a transport server needs from a collector: batch ingestion
 // with all-or-nothing validation and a consistent point-in-time snapshot of
-// the merged accumulator. The root package's sharded Collector satisfies it.
+// the merged accumulator. The root package's sharded Collector satisfies it
+// (through an adapter that unpacks its Snapshot value).
 type Backend interface {
 	// IngestBatch records a batch of reports, validating the whole batch
 	// before any state changes.
 	IngestBatch(reports []protocol.Report) error
-	// Snapshot returns the merged accumulator and the number of absorbed
-	// reports as one consistent view.
-	Snapshot() (state []float64, count float64)
-	// Count returns the number of absorbed reports without paying for a
-	// snapshot merge (the collector's lock-free counter fast path).
-	Count() float64
+	// SnapshotEpoch returns the merged accumulator, the number of absorbed
+	// reports, and the monotonic snapshot epoch — one consistent view: the
+	// epoch advances exactly when the returned state differs from the
+	// previously returned one.
+	SnapshotEpoch() (state []float64, count float64, epoch uint64)
+	// CountEpoch returns the same consistent (count, epoch) pair without
+	// materializing the state — the cheap view /healthz polls.
+	CountEpoch() (count float64, epoch uint64)
 }
 
-// Info describes the mechanism a server fronts; /healthz reports it so
-// clients can verify they randomize through the configuration the collector
-// aggregates under.
+// Info describes the mechanism a server fronts; /healthz and every v2
+// snapshot frame report it so clients can verify they randomize through the
+// configuration the collector aggregates under.
 type Info struct {
 	Mechanism string  `json:"mechanism"`
 	Domain    int     `json:"domain"`
@@ -37,11 +42,129 @@ type Info struct {
 	Digest string `json:"digest,omitempty"`
 }
 
-// Health is the /healthz response body.
+// Health is the /healthz response body. Count and Epoch are one consistent
+// snapshot view, so an operator (or ldpfed) comparing two shards sees a
+// stale or diverged one without pulling either full snapshot.
 type Health struct {
 	Status string  `json:"status"`
 	Count  float64 `json:"count"`
+	Epoch  uint64  `json:"epoch"`
 	Info
+}
+
+// IdempotencyKeyHeader is the request header a client stamps a POST /reports
+// with to make it retry-safe: the server remembers the response of each
+// recently absorbed key and replays it for a duplicate instead of absorbing
+// the reports twice. Keys are opaque; clients use 16 random bytes, hex.
+const IdempotencyKeyHeader = "Ldp-Idempotency-Key"
+
+const (
+	// idemCacheSize bounds the remembered-key LRU. At the default 4096-report
+	// batches this spans ~17M reports of keyed history — far longer than any
+	// client retry loop — while capping memory at a few hundred KiB. A retry
+	// arriving after the key was evicted re-absorbs; size the cache up if a
+	// deployment retries across longer horizons.
+	idemCacheSize = 4096
+	// maxIdemKeyLen bounds an accepted key so a hostile client cannot park
+	// megabytes in the LRU; longer keys are ignored (treated as unkeyed).
+	maxIdemKeyLen = 64
+)
+
+// idemOutcome is one idempotency key's entry: the recorded response once
+// processing finished (done closed), or a claim that a request is being
+// processed right now (done open). Claiming the key before the absorb — not
+// recording after it — is what closes the in-flight window: a duplicate that
+// arrives while the original is still absorbing waits for the outcome
+// instead of absorbing a second time.
+type idemOutcome struct {
+	key    string
+	done   chan struct{} // closed once status/resp are recorded
+	status int
+	resp   ingestResponse
+}
+
+// idemCache is a mutex-guarded bounded LRU of request outcomes keyed by
+// idempotency key. begin claims a key (or returns the existing claim),
+// finish records the outcome, abort releases a claim whose request died
+// without one. Insertion past capacity evicts the least recently used
+// finished entry.
+type idemCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *idemOutcome
+	byKey map[string]*list.Element
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
+}
+
+// begin claims key for processing. owner == true means the caller must
+// process the request and finish (or abort) the entry; owner == false means
+// another request holds or held the key — wait on entry.done, then either
+// replay the recorded outcome or, if the holder aborted, call begin again.
+func (c *idemCache) begin(key string) (entry *idemOutcome, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*idemOutcome), false
+	}
+	entry = &idemOutcome{key: key, done: make(chan struct{})}
+	c.byKey[key] = c.order.PushFront(entry)
+	// Evict finished entries past capacity; in-flight claims are skipped (an
+	// unbounded number would need that many concurrent distinct keys, which
+	// the server's connection limits bound long before this map matters).
+	for el := c.order.Back(); c.order.Len() > c.cap && el != nil; {
+		prev := el.Prev()
+		if out := el.Value.(*idemOutcome); isDone(out.done) {
+			c.order.Remove(el)
+			delete(c.byKey, out.key)
+		}
+		el = prev
+	}
+	return entry, true
+}
+
+// finish records the outcome on a claimed entry and wakes every waiter. The
+// entry keeps serving replays until evicted.
+func (c *idemCache) finish(entry *idemOutcome, status int, resp ingestResponse) {
+	c.mu.Lock()
+	entry.status, entry.resp = status, resp
+	c.mu.Unlock()
+	close(entry.done)
+}
+
+// abort releases a claim that will never finish (the owning request died
+// before producing a response): the key is removed so a retry reprocesses,
+// and waiters are woken to claim it themselves.
+func (c *idemCache) abort(entry *idemOutcome) {
+	c.mu.Lock()
+	if el, ok := c.byKey[entry.key]; ok && el.Value.(*idemOutcome) == entry {
+		c.order.Remove(el)
+		delete(c.byKey, entry.key)
+	}
+	entry.status = 0 // status 0 = no outcome; waiters re-begin
+	c.mu.Unlock()
+	close(entry.done)
+}
+
+func isDone(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// outcome reads a finished entry's recorded response (valid once done is
+// closed; ok reports whether an outcome was recorded at all, false after an
+// abort).
+func (c *idemCache) outcome(entry *idemOutcome) (int, ingestResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return entry.status, entry.resp, entry.status != 0
 }
 
 // Server binds a collector backend to the HTTP transport:
@@ -51,12 +174,17 @@ type Health struct {
 //	                 response carries the number of reports accepted; a
 //	                 malformed or rejected frame aborts the request with
 //	                 status 400 after the preceding frames have been applied.
-//	GET  /snapshot — one snapshot frame of the merged accumulator and count.
-//	GET  /healthz  — JSON liveness, report count, and mechanism identity.
+//	                 A request stamped with IdempotencyKeyHeader is absorbed
+//	                 at most once: a duplicate replays the recorded response.
+//	GET  /snapshot — one v2 snapshot frame: merged accumulator, count, epoch,
+//	                 and the mechanism identity.
+//	GET  /healthz  — JSON liveness, report count, snapshot epoch, and
+//	                 mechanism identity.
 type Server struct {
 	backend Backend
 	info    Info
 	mux     *http.ServeMux
+	idem    *idemCache
 }
 
 // NewServer wraps a collector backend for serving.
@@ -64,7 +192,7 @@ func NewServer(b Backend, info Info) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("transport: nil backend")
 	}
-	s := &Server{backend: b, info: info, mux: http.NewServeMux()}
+	s := &Server{backend: b, info: info, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize)}
 	s.mux.HandleFunc("POST /reports", s.handleReports)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -81,6 +209,53 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if len(key) > maxIdemKeyLen {
+		key = ""
+	}
+	var claim *idemOutcome
+	for key != "" {
+		entry, owner := s.idem.begin(key)
+		if owner {
+			claim = entry
+			break
+		}
+		// Another request holds (or held) this key. Wait for its outcome and
+		// replay it — absorbing here would double-count the batch the
+		// original request is still applying. A holder that died without an
+		// outcome releases the key; loop to claim it.
+		select {
+		case <-entry.done:
+		case <-r.Context().Done():
+			return // client gone; nothing to replay to
+		}
+		if status, resp, ok := s.idem.outcome(entry); ok {
+			writeJSON(w, status, resp)
+			return
+		}
+	}
+	finished := false
+	if claim != nil {
+		// If the handler dies before recording an outcome (e.g. the request
+		// body errors in a way that panics upstream), release the claim so
+		// waiters and retries reprocess instead of hanging on a dead key.
+		defer func() {
+			if !finished {
+				s.idem.abort(claim)
+			}
+		}()
+	}
+	finish := func(status int, resp ingestResponse) {
+		// Both outcomes are remembered: a replayed 400 carries the same
+		// accepted count as the original, so the client trims exactly the
+		// prefix the server really applied even when the first response
+		// never arrived.
+		if claim != nil {
+			s.idem.finish(claim, status, resp)
+			finished = true
+		}
+		writeJSON(w, status, resp)
+	}
 	accepted := 0
 	for {
 		reports, err := DecodeReports(r.Body)
@@ -88,30 +263,39 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			finish(http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
 		if err := s.backend.IngestBatch(reports); err != nil {
-			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			finish(http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
 		accepted += len(reports)
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+	finish(http.StatusOK, ingestResponse{Accepted: accepted})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	state, count := s.backend.Snapshot()
+	state, count, epoch := s.backend.SnapshotEpoch()
+	snap := Snapshot{State: state, Count: count, Epoch: epoch, Info: s.info}
+	if err := snapshotFrameError(snap); err != nil {
+		// An unframeable snapshot (oversized identity or state) is a server
+		// misconfiguration; nothing has been written yet, so report it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := EncodeSnapshot(w, state, count); err != nil {
-		// The header is out; all we can do is drop the connection so the
-		// client sees a truncated frame instead of a silent short read.
+	if err := EncodeSnapshotFrame(w, snap); err != nil {
+		// A mid-write failure: the header is out, so all we can do is drop
+		// the connection and let the client see a truncated frame instead of
+		// a silent short read.
 		panic(http.ErrAbortHandler)
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Count: s.backend.Count(), Info: s.info})
+	count, epoch := s.backend.CountEpoch()
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Count: count, Epoch: epoch, Info: s.info})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -123,15 +307,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// statusError reports a non-2xx transport response.
-type statusError struct {
-	status int
-	msg    string
+// StatusError reports a non-2xx transport response. Its presence in an error
+// chain means the server definitively answered the request — as opposed to a
+// network failure, where the request may have been applied and the response
+// lost.
+type StatusError struct {
+	StatusCode int
+	Msg        string
 }
 
-func (e *statusError) Error() string {
-	if e.msg != "" {
-		return fmt.Sprintf("transport: server returned %d: %s", e.status, e.msg)
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("transport: server returned %d: %s", e.StatusCode, e.Msg)
 	}
-	return fmt.Sprintf("transport: server returned %d", e.status)
+	return fmt.Sprintf("transport: server returned %d", e.StatusCode)
 }

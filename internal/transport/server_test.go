@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/protocol"
 )
@@ -30,7 +31,7 @@ func (m *memBackend) IngestBatch(reports []protocol.Report) error {
 	return nil
 }
 
-func (m *memBackend) Snapshot() ([]float64, float64) {
+func (m *memBackend) SnapshotEpoch() ([]float64, float64, uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	state := make([]float64, 8)
@@ -39,7 +40,15 @@ func (m *memBackend) Snapshot() ([]float64, float64) {
 			state[r.Index]++
 		}
 	}
-	return state, float64(len(m.reports))
+	// The report count doubles as the epoch: it advances exactly when the
+	// state does, which is all the Backend contract asks.
+	return state, float64(len(m.reports)), uint64(len(m.reports))
+}
+
+func (m *memBackend) CountEpoch() (float64, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(len(m.reports)), uint64(len(m.reports))
 }
 
 func (m *memBackend) Count() float64 {
@@ -142,9 +151,222 @@ func TestClientSurfacesBackendRejection(t *testing.T) {
 	if err == nil {
 		t.Fatal("backend rejection not surfaced")
 	}
-	var se *statusError
-	if !errors.As(err, &se) || se.status != 400 {
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != 400 {
 		t.Fatalf("want a 400 status error, got %v", err)
+	}
+}
+
+// A keyed request is absorbed at most once: the second POST under the same
+// idempotency key replays the recorded response without touching the
+// backend — the lost-response retry contract.
+func TestIdempotencyKeyReplaysResponse(t *testing.T) {
+	backend := &memBackend{}
+	_, c := newTestServer(t, backend)
+	ctx := context.Background()
+	batch := []protocol.Report{{Index: 1}, {Index: 2}, {Index: 3}}
+
+	accepted, err := c.PostReportsKeyed(ctx, batch, "retry-key-1")
+	if err != nil || accepted != 3 {
+		t.Fatalf("first keyed post: %d, %v", accepted, err)
+	}
+	accepted, err = c.PostReportsKeyed(ctx, batch, "retry-key-1")
+	if err != nil || accepted != 3 {
+		t.Fatalf("replayed keyed post: %d, %v", accepted, err)
+	}
+	if got := backend.Count(); got != 3 {
+		t.Fatalf("backend absorbed %v reports across a keyed retry, want exactly 3", got)
+	}
+	// A different key is a different request.
+	if accepted, err = c.PostReportsKeyed(ctx, batch, "retry-key-2"); err != nil || accepted != 3 {
+		t.Fatalf("fresh keyed post: %d, %v", accepted, err)
+	}
+	if got := backend.Count(); got != 6 {
+		t.Fatalf("backend holds %v reports, want 6", got)
+	}
+	// Unkeyed requests never dedupe.
+	if _, err = c.PostReports(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.PostReports(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.Count(); got != 12 {
+		t.Fatalf("backend holds %v reports, want 12", got)
+	}
+}
+
+// Error responses replay too: a retried key whose original request was
+// rejected must see the same rejection (with the same accepted count), not a
+// second absorb attempt.
+func TestIdempotencyKeyReplaysRejection(t *testing.T) {
+	backend := &memBackend{reject: true}
+	_, c := newTestServer(t, backend)
+	ctx := context.Background()
+	batch := []protocol.Report{{Index: 1}}
+
+	_, err := c.PostReportsKeyed(ctx, batch, "rejected-key")
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != 400 {
+		t.Fatalf("want a 400 status error, got %v", err)
+	}
+	// The backend recovers, but the recorded rejection must still replay.
+	backend.mu.Lock()
+	backend.reject = false
+	backend.mu.Unlock()
+	_, err = c.PostReportsKeyed(ctx, batch, "rejected-key")
+	if !errors.As(err, &se) || se.StatusCode != 400 {
+		t.Fatalf("replay of recorded rejection: got %v", err)
+	}
+	if got := backend.Count(); got != 0 {
+		t.Fatalf("backend absorbed %v reports through a replayed rejection", got)
+	}
+}
+
+// claimFinished claims a key and immediately records an outcome.
+func claimFinished(t *testing.T, c *idemCache, key string, accepted int) {
+	t.Helper()
+	e, owner := c.begin(key)
+	if !owner {
+		t.Fatalf("key %q already claimed", key)
+	}
+	c.finish(e, 200, ingestResponse{Accepted: accepted})
+}
+
+// The key LRU is bounded: inserting past capacity evicts the least recently
+// used finished key, a refreshed key survives the sweep, and in-flight
+// claims are never evicted.
+func TestIdemCacheEvictsLRU(t *testing.T) {
+	c := newIdemCache(3)
+	for _, k := range []string{"a", "b", "c"} {
+		claimFinished(t, c, k, 1)
+	}
+	if _, owner := c.begin("a"); owner {
+		t.Fatal("finished key handed out as a fresh claim")
+	} // refresh: "b" is now the oldest
+	claimFinished(t, c, "d", 1)
+	if _, owner := c.begin("b"); !owner {
+		t.Fatal("least recently used key survived eviction")
+	}
+	// "b" is now a live claim again; its re-claim pushed the cache over
+	// capacity and evicted the least recently used finished key, "c" (the
+	// only key never refreshed). "a" (refreshed) and "d" stay replayable.
+	for _, k := range []string{"a", "d"} {
+		e, owner := c.begin(k)
+		if owner {
+			t.Fatalf("key %q evicted out of order", k)
+		}
+		if status, resp, ok := c.outcome(e); !ok || status != 200 || resp.Accepted != 1 {
+			t.Fatalf("key %q outcome: %v %v %v", k, status, resp, ok)
+		}
+	}
+	// An aborted claim releases its key: the next begin owns it afresh.
+	e, owner := c.begin("x")
+	if !owner {
+		t.Fatal("fresh key not claimable")
+	}
+	c.abort(e)
+	if _, owner := c.begin("x"); !owner {
+		t.Fatal("aborted key not reclaimable")
+	}
+}
+
+// gatedBackend blocks IngestBatch until released, so a test can hold one
+// keyed request mid-absorb while a duplicate arrives.
+type gatedBackend struct {
+	memBackend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedBackend) IngestBatch(reports []protocol.Report) error {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.memBackend.IngestBatch(reports)
+}
+
+// The in-flight window: a duplicate keyed request arriving while the
+// original is still absorbing must wait for its outcome and replay it — not
+// absorb a second copy.
+func TestIdempotencyKeyInFlightDuplicate(t *testing.T) {
+	backend := &gatedBackend{entered: make(chan struct{}, 2), release: make(chan struct{})}
+	_, c := newTestServer(t, backend)
+	ctx := context.Background()
+	batch := []protocol.Report{{Index: 1}, {Index: 2}}
+
+	type result struct {
+		accepted int
+		err      error
+	}
+	results := make(chan result, 2)
+	post := func() {
+		accepted, err := c.PostReportsKeyed(ctx, batch, "in-flight-key")
+		results <- result{accepted, err}
+	}
+	go post()
+	<-backend.entered // the first request is mid-absorb
+	go post()
+	// Give the duplicate time to reach the server; it must be parked on the
+	// claim, not inside the backend (the gate would have signaled).
+	select {
+	case <-backend.entered:
+		t.Fatal("duplicate keyed request reached the backend while the original was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(backend.release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil || r.accepted != len(batch) {
+			t.Fatalf("request %d: %d, %v", i, r.accepted, r.err)
+		}
+	}
+	if got := backend.Count(); got != float64(len(batch)) {
+		t.Fatalf("backend absorbed %v reports for one key, want exactly %d", got, len(batch))
+	}
+}
+
+// /healthz reports the snapshot epoch alongside the count: the epoch
+// advances when (and only when) the observed state changes, which is how an
+// operator or ldpfed spots a stale shard without pulling a snapshot.
+func TestHealthzReportsEpoch(t *testing.T) {
+	backend := &memBackend{}
+	_, c := newTestServer(t, backend)
+	ctx := context.Background()
+
+	h1, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PostReports(ctx, []protocol.Report{{Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Epoch <= h1.Epoch {
+		t.Fatalf("epoch did not advance after an ingest: %d -> %d", h1.Epoch, h2.Epoch)
+	}
+	if h2.Count != 1 {
+		t.Fatalf("count %v, want 1", h2.Count)
+	}
+	h3, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.Epoch != h2.Epoch || h3.Count != h2.Count {
+		t.Fatalf("idle poll moved the view: %+v -> %+v", h2, h3)
+	}
+	// The snapshot frame carries the same epoch.
+	snap, err := c.Snap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != h3.Epoch {
+		t.Fatalf("snapshot epoch %d, healthz epoch %d", snap.Epoch, h3.Epoch)
+	}
+	if snap.Info != (Info{Mechanism: "TEST", Domain: 8, Epsilon: 1.5}) {
+		t.Fatalf("snapshot identity %+v", snap.Info)
 	}
 }
 

@@ -28,12 +28,17 @@
 //	agg, _ := ldp.NewAggregator(mech.Strategy())
 //	col, _ := ldp.NewCollector(agg, w, 0)         // sharded, goroutine-safe
 //	col.Ingest(rep)                               // from any handler goroutine
-//	answers := col.Answers()                      // unbiased workload estimates
+//	...
+//	est, _ := ldp.NewEstimator(agg, w)            // the one read path
+//	snap := col.Snap()                            // immutable, mergeable view
+//	answers, _ := est.Answers(snap)               // unbiased workload estimates
 //
 // A FrequencyOracle is its own Randomizer and Aggregator, so the same
 // pipeline runs with `ldp.NewOUE(n, eps)` in place of the two strategy
-// adapters. See README.md for the full tour and the migration table from the
-// pre-streaming API.
+// adapters. Snapshots from several collectors (local or remote ldpserve
+// shards) merge with Snapshot.Merge into one answerable view — see
+// cmd/ldpfed. See README.md for the full tour and the migration table from
+// the pre-streaming API.
 //
 // All heavy computation is expressed against the workload's Gram matrix WᵀW,
 // so workloads with millions of rows (e.g. AllRange) remain cheap.

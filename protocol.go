@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
-	"repro/internal/postprocess"
 	"repro/internal/protocol"
 	"repro/internal/simulate"
 	"repro/internal/strategy"
@@ -116,9 +116,18 @@ func (c *Client) Domain() int { return c.r.Domain() }
 // ingestion use Collector, which shards the same state across goroutines.
 type Server struct {
 	agg   Aggregator
-	work  Workload
+	est   *Estimator
 	acc   []float64
 	count float64
+
+	// epoch/snapCount implement the monotonic snapshot sequence: the epoch
+	// advances exactly when Snap observes a count the previous Snap did not.
+	// snapMu guards them so the read side (Snap and the deprecated wrappers
+	// over it) stays safe to fan out across goroutines, as the old pure-read
+	// methods were — ingestion remains single-goroutine.
+	snapMu    sync.Mutex
+	epoch     uint64
+	snapCount float64
 }
 
 // NewServer prepares a collector for the given mechanism aggregator and
@@ -126,13 +135,11 @@ type Server struct {
 // over their domain is answerable — the same W·x̂ reconstruction used by
 // strategy mechanisms.
 func NewServer(agg Aggregator, w Workload) (*Server, error) {
-	if agg == nil {
-		return nil, errors.New("ldp: nil aggregator")
+	est, err := NewEstimator(agg, w)
+	if err != nil {
+		return nil, err
 	}
-	if agg.Domain() != w.Domain() {
-		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
-	}
-	return &Server{agg: agg, work: w, acc: make([]float64, agg.StateLen())}, nil
+	return &Server{agg: agg, est: est, acc: make([]float64, agg.StateLen())}, nil
 }
 
 // NewStrategyServer is NewAggregator + NewServer in one step.
@@ -197,8 +204,25 @@ func (sv *Server) AddAll(responses []int) error {
 // Count returns the number of reports collected so far.
 func (sv *Server) Count() float64 { return sv.count }
 
+// Snap returns an immutable point-in-time Snapshot of the server: a copy of
+// the accumulator, the report count, the mechanism identity, and the
+// monotonic snapshot epoch — the same value a Collector or RemoteCollector
+// produces, so one Estimator answers any of them.
+func (sv *Server) Snap() Snapshot {
+	sv.snapMu.Lock()
+	if sv.epoch == 0 || sv.count != sv.snapCount {
+		sv.epoch++
+		sv.snapCount = sv.count
+	}
+	epoch := sv.epoch
+	sv.snapMu.Unlock()
+	return NewSnapshot(sv.acc, sv.count, epoch, sv.est.Info())
+}
+
 // State returns a copy of the aggregation accumulator (for strategy
 // mechanisms, the response histogram y).
+//
+// Deprecated: use Snap().State().
 func (sv *Server) State() []float64 {
 	out := make([]float64, len(sv.acc))
 	copy(out, sv.acc)
@@ -212,25 +236,37 @@ func (sv *Server) ResponseVector() []float64 { return sv.State() }
 
 // DataEstimate returns the unbiased estimate of the data vector (B·y for
 // strategy mechanisms, the channel-inverted histogram for oracles).
+//
+// Deprecated: use an Estimator — NewEstimator(agg, w) then
+// est.DataEstimate(sv.Snap()) — which answers local, remote, and merged
+// snapshots alike.
 func (sv *Server) DataEstimate() []float64 {
-	return sv.agg.EstimateCounts(sv.acc, sv.count)
+	xh, err := sv.est.DataEstimate(sv.Snap())
+	if err != nil {
+		panic(err) // unreachable: the snapshot comes from this very mechanism
+	}
+	return xh
 }
 
 // Answers returns the unbiased workload answer estimates W·x̂.
+//
+// Deprecated: use an Estimator — est.Answers(sv.Snap()).
 func (sv *Server) Answers() []float64 {
-	return sv.work.MatVec(sv.DataEstimate())
+	answers, err := sv.est.Answers(sv.Snap())
+	if err != nil {
+		panic(err) // unreachable: the snapshot comes from this very mechanism
+	}
+	return answers
 }
 
 // ConsistentAnswers applies WNNLS post-processing (Appendix A): it returns
 // workload answers derived from the non-negative data vector closest to the
 // unbiased estimate, additionally scaled to the known respondent count.
 // Post-processing never weakens the privacy guarantee.
+//
+// Deprecated: use an Estimator — est.ConsistentAnswers(sv.Snap()).
 func (sv *Server) ConsistentAnswers() ([]float64, error) {
-	res, err := postprocess.Run(sv.work, sv.Answers(), postprocess.Options{TotalCount: sv.count})
-	if err != nil {
-		return nil, err
-	}
-	return res.Answers, nil
+	return sv.est.ConsistentAnswers(sv.Snap())
 }
 
 // SimulateProtocol runs the complete protocol for any mechanism on an integer

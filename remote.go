@@ -2,12 +2,13 @@ package ldp
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
-	"repro/internal/postprocess"
 	"repro/internal/transport"
 )
 
@@ -20,24 +21,50 @@ const DefaultRemoteBatch = 4096
 // RemoteCollector is the client half of a networked deployment: it speaks to
 // a remote collector (cmd/ldpserve) over the transport's HTTP binding while
 // presenting the same ingestion/read API as the in-process Collector, so the
-// same driver code runs against either. Reports are buffered and shipped in
-// framed batches; each batch is applied atomically by the server. The read
-// methods fetch one consistent snapshot and reconstruct estimates locally
-// through the mechanism's Aggregator — the server never needs the workload,
-// and (because accumulators are integer-valued and merging is exact) the
-// estimates are bit-identical to an in-process pipeline fed the same
-// reports.
+// same driver code runs against either. Reports are buffered, carved into
+// batches, and shipped in framed requests; each batch is applied atomically
+// by the server and stamped with a random idempotency key, so a retry after
+// a lost HTTP response cannot be absorbed twice. Snap fetches one consistent
+// snapshot; estimates are reconstructed locally through the mechanism's
+// Aggregator — the server never needs the workload, and (because
+// accumulators are integer-valued and merging is exact) the estimates are
+// bit-identical to an in-process pipeline fed the same reports.
 //
 // A RemoteCollector is safe for concurrent use; goroutines sharing one
-// instance contend only on the report buffer.
+// instance contend only on the report buffer, and distinct batches ship in
+// parallel.
 type RemoteCollector struct {
 	client *transport.Client
 	agg    Aggregator
-	work   Workload
+	est    *Estimator
+	info   MechanismInfo
 	batch  int
 
-	mu  sync.Mutex
-	buf []Report
+	// mu guards the buffers and is never held across a request. A batch is
+	// popped from unsent under mu before it ships, so concurrent shippers
+	// send distinct batches in parallel while each key still has at most one
+	// request in flight (its batch is owned by exactly one shipper).
+	mu     sync.Mutex
+	buf    []Report     // ingested, not yet carved into a keyed batch
+	unsent []keyedBatch // carved batches awaiting a shipper
+}
+
+// keyedBatch is one carved batch with the idempotency key that makes its
+// retries safe: the key stays with the batch until the server acknowledges
+// it, so a re-ship after a lost response replays the recorded answer instead
+// of double-absorbing.
+type keyedBatch struct {
+	key     string
+	reports []Report
+}
+
+// newIdemKey returns a fresh 16-byte random idempotency key, hex-encoded.
+func newIdemKey() string {
+	var b [16]byte
+	// crypto/rand.Read cannot fail on the supported platforms (it panics
+	// internally instead of returning), so the error is impossible here.
+	_, _ = cryptorand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 // RemoteOption configures a RemoteCollector.
@@ -68,17 +95,15 @@ func WithRemoteHTTPClient(hc *http.Client) RemoteOption {
 // mechanism the server was started with — Verify (or a /healthz check)
 // confirms it.
 func NewRemoteCollector(baseURL string, agg Aggregator, w Workload, opts ...RemoteOption) (*RemoteCollector, error) {
-	if agg == nil {
-		return nil, errors.New("ldp: nil aggregator")
-	}
-	if agg.Domain() != w.Domain() {
-		return nil, fmt.Errorf("ldp: mechanism domain %d != workload domain %d", agg.Domain(), w.Domain())
+	est, err := NewEstimator(agg, w)
+	if err != nil {
+		return nil, err
 	}
 	tc, err := transport.NewClient(baseURL, nil)
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
 	}
-	rc := &RemoteCollector{client: tc, agg: agg, work: w, batch: DefaultRemoteBatch}
+	rc := &RemoteCollector{client: tc, agg: agg, est: est, info: est.Info(), batch: DefaultRemoteBatch}
 	for _, o := range opts {
 		o(rc)
 	}
@@ -101,14 +126,8 @@ func (rc *RemoteCollector) Verify(ctx context.Context, mechanism string, eps flo
 	if h.Domain != rc.agg.Domain() {
 		return fmt.Errorf("ldp: remote collector domain %d, local mechanism domain %d", h.Domain, rc.agg.Domain())
 	}
-	if mechanism != "" && h.Mechanism != "" && h.Mechanism != mechanism {
-		return fmt.Errorf("ldp: remote collector runs mechanism %q, local mechanism is %q", h.Mechanism, mechanism)
-	}
-	if eps > 0 && h.Epsilon > 0 && h.Epsilon != eps {
-		return fmt.Errorf("ldp: remote collector ε=%v, local mechanism ε=%v", h.Epsilon, eps)
-	}
-	if digest != "" && h.Digest != "" && h.Digest != digest {
-		return fmt.Errorf("ldp: remote collector aggregates under a different mechanism configuration (digest %s, local %s)", h.Digest, digest)
+	if err := infoMismatch(h.Info, MechanismInfo{Mechanism: mechanism, Epsilon: eps, Digest: digest}); err != nil {
+		return fmt.Errorf("ldp: remote collector aggregates under a different mechanism configuration: %w", err)
 	}
 	return nil
 }
@@ -119,150 +138,220 @@ func (rc *RemoteCollector) Ingest(ctx context.Context, r Report) error {
 	return rc.IngestBatch(ctx, []Report{r})
 }
 
-// IngestBatch buffers a batch of reports, shipping full frames as they
+// IngestBatch buffers a batch of reports, shipping full keyed batches as they
 // accumulate. Validation happens server-side per frame, all-or-nothing. On a
-// failed ship the unshipped reports (the failed frame included — the server
-// applied none of it) return to the buffer, so a retried IngestBatch or
-// Flush loses nothing.
+// failed ship nothing is lost: a batch the server definitively rejected keeps
+// only its unaccepted suffix, and a batch whose response was lost is retried
+// under the same idempotency key — so a retried IngestBatch or Flush delivers
+// every report exactly once.
 func (rc *RemoteCollector) IngestBatch(ctx context.Context, reports []Report) error {
 	rc.mu.Lock()
 	rc.buf = append(rc.buf, reports...)
-	var full [][]Report
+	rc.mu.Unlock()
+	return rc.ship(ctx, false)
+}
+
+// Flush ships every buffered report. The pipeline is complete once Flush
+// returns nil — a subsequent Snap sees all ingested reports. A batch a
+// concurrent IngestBatch has already popped for shipping is that call's
+// responsibility (it re-buffers on failure), so join ingestion goroutines
+// before the final Flush, as with the in-process Collector.
+func (rc *RemoteCollector) Flush(ctx context.Context) error {
+	return rc.ship(ctx, true)
+}
+
+// carveLocked moves buffered reports into keyed batches: every full batch,
+// plus (when all is set) the remainder. Caller holds mu. One compaction for
+// all carved batches, so a large ingest stays linear in the buffered count.
+func (rc *RemoteCollector) carveLocked(all bool) {
 	off := 0
 	for len(rc.buf)-off >= rc.batch {
 		frame := make([]Report, rc.batch)
 		copy(frame, rc.buf[off:])
 		off += rc.batch
-		full = append(full, frame)
+		rc.unsent = append(rc.unsent, keyedBatch{key: newIdemKey(), reports: frame})
+	}
+	if all && len(rc.buf) > off {
+		frame := make([]Report, len(rc.buf)-off)
+		copy(frame, rc.buf[off:])
+		off = len(rc.buf)
+		rc.unsent = append(rc.unsent, keyedBatch{key: newIdemKey(), reports: frame})
 	}
 	if off > 0 {
-		// One compaction for all carved frames, so a large IngestBatch
-		// stays linear in the buffered report count.
 		rc.buf = rc.buf[:copy(rc.buf, rc.buf[off:])]
 	}
-	rc.mu.Unlock()
-	for i, frame := range full {
-		if accepted, err := rc.post(ctx, frame); err != nil {
-			// Return everything the server did not apply to the buffer:
-			// the unaccepted tail of this ship plus every later frame.
-			rc.mu.Lock()
-			rc.buf = append(rc.buf, frame[accepted:]...)
-			for _, f := range full[i+1:] {
-				rc.buf = append(rc.buf, f...)
+}
+
+// ship carves keyed batches and sends them until none remain or an error
+// stops this shipper. Each iteration pops one batch under the lock, so
+// concurrent callers ship distinct batches in parallel — the fleet pattern
+// of many ingestion goroutines sharing one RemoteCollector keeps its
+// concurrent POSTs. The key travels with its batch across retries; it is
+// replaced only when the server definitively answered — a lost response
+// therefore replays as the recorded answer instead of a second absorb,
+// while a definitive rejection re-keys the unaccepted suffix (the old key
+// has the old response recorded against it).
+func (rc *RemoteCollector) ship(ctx context.Context, all bool) error {
+	for {
+		rc.mu.Lock()
+		rc.carveLocked(all)
+		if len(rc.unsent) == 0 {
+			rc.mu.Unlock()
+			return nil
+		}
+		b := rc.unsent[0]
+		rc.unsent = rc.unsent[1:]
+		rc.mu.Unlock()
+
+		accepted, err := rc.client.PostReportsKeyed(ctx, b.reports, b.key)
+		if err == nil {
+			// Acknowledged in full (a 200 means every frame of the request
+			// was absorbed — or already had been, under this key).
+			continue
+		}
+		var se *transport.StatusError
+		if errors.As(err, &se) {
+			// Definitive response: the server applied exactly the accepted
+			// prefix and rejected the rest. Keep the suffix under a fresh key
+			// (the old key now has this rejection recorded against it).
+			if accepted < 0 || accepted > len(b.reports) {
+				accepted = 0 // trust no hostile or nonsensical count
 			}
-			rc.mu.Unlock()
-			return err
+			if accepted >= len(b.reports) {
+				return fmt.Errorf("ldp: ship reports: %w", err)
+			}
+			b = keyedBatch{key: newIdemKey(), reports: b.reports[accepted:]}
 		}
+		// Return the unacknowledged batch to the front of the queue — with
+		// its key intact when the response was lost (no StatusError), so the
+		// retry is idempotent server-side.
+		rc.mu.Lock()
+		rc.unsent = append([]keyedBatch{b}, rc.unsent...)
+		rc.mu.Unlock()
+		return fmt.Errorf("ldp: ship reports: %w", err)
 	}
-	return nil
 }
 
-// Flush ships every buffered report. The pipeline is complete once Flush
-// returns nil — a subsequent Snapshot sees all ingested reports.
-func (rc *RemoteCollector) Flush(ctx context.Context) error {
-	rc.mu.Lock()
-	buf := rc.buf
-	rc.buf = nil
-	rc.mu.Unlock()
-	for len(buf) > 0 {
-		n := len(buf)
-		if n > rc.batch {
-			n = rc.batch
-		}
-		if accepted, err := rc.post(ctx, buf[:n]); err != nil {
-			// Unshipped reports stay buffered so a retried Flush loses
-			// nothing; what the server already accepted is not re-sent.
-			rc.mu.Lock()
-			rc.buf = append(rc.buf, buf[accepted:]...)
-			rc.mu.Unlock()
-			return err
-		}
-		buf = buf[n:]
-	}
-	return nil
-}
+// Health is a collector server's /healthz response: liveness, a consistent
+// (count, snapshot epoch) pair, and the declared mechanism identity — enough
+// to spot a stale or mismatched shard without pulling a full snapshot.
+type Health = transport.Health
 
-// post ships one batch and returns how many of its reports the server
-// accepted (PostReports may split the batch into several frames; an error
-// mid-stream leaves the earlier frames applied, and the accepted count
-// says exactly how many reports that was).
-func (rc *RemoteCollector) post(ctx context.Context, frame []Report) (int, error) {
-	accepted, err := rc.client.PostReports(ctx, frame)
+// Healthz fetches the server's health report.
+func (rc *RemoteCollector) Healthz(ctx context.Context) (Health, error) {
+	h, err := rc.client.Healthz(ctx)
 	if err != nil {
-		if accepted < 0 || accepted > len(frame) {
-			accepted = 0 // trust no hostile or nonsensical count
-		}
-		return accepted, fmt.Errorf("ldp: ship reports: %w", err)
+		return Health{}, fmt.Errorf("ldp: %w", err)
 	}
-	return accepted, nil
+	return h, nil
 }
 
 // Count returns the number of reports the server has absorbed (buffered,
-// unflushed reports are not included).
+// unshipped reports are not included).
 func (rc *RemoteCollector) Count(ctx context.Context) (float64, error) {
-	h, err := rc.client.Healthz(ctx)
+	h, err := rc.Healthz(ctx)
 	if err != nil {
-		return 0, fmt.Errorf("ldp: %w", err)
+		return 0, err
 	}
 	return h.Count, nil
 }
 
-// Snapshot fetches the server's merged accumulator and report count.
-func (rc *RemoteCollector) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
-	state, count, err = rc.client.Snapshot(ctx)
+// Snap fetches one consistent Snapshot from the server: merged accumulator,
+// report count, snapshot epoch, and the mechanism identity the server
+// declared (cross-checked against the local mechanism — digest included —
+// before the snapshot is accepted). Against an old server speaking v1 frames
+// the identity gaps are filled from the local mechanism.
+func (rc *RemoteCollector) Snap(ctx context.Context) (Snapshot, error) {
+	ts, err := rc.client.Snap(ctx)
 	if err != nil {
-		return nil, 0, fmt.Errorf("ldp: fetch snapshot: %w", err)
+		return Snapshot{}, fmt.Errorf("ldp: fetch snapshot: %w", err)
 	}
-	if len(state) != rc.agg.StateLen() {
-		return nil, 0, fmt.Errorf("ldp: remote snapshot has %d state entries, local mechanism expects %d — mechanism mismatch", len(state), rc.agg.StateLen())
+	if len(ts.State) != rc.agg.StateLen() {
+		return Snapshot{}, fmt.Errorf("ldp: remote snapshot has %d state entries, local mechanism expects %d — mechanism mismatch", len(ts.State), rc.agg.StateLen())
 	}
-	return state, count, nil
+	if err := infoMismatch(rc.info, ts.Info); err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: remote snapshot aggregated under a different mechanism configuration: %w", err)
+	}
+	// ts.State is freshly decoded and exclusively ours — no defensive copy.
+	return Snapshot{state: ts.State, count: ts.Count, epoch: ts.Epoch, info: mergeInfo(ts.Info, rc.info)}, nil
+}
+
+// Snapshot fetches the server's merged accumulator and report count.
+//
+// Deprecated: use Snap, which carries the mechanism identity and epoch the
+// bare pair lacks.
+func (rc *RemoteCollector) Snapshot(ctx context.Context) (state []float64, count float64, err error) {
+	s, err := rc.Snap(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.state, s.count, nil
 }
 
 // DataEstimate fetches one snapshot and returns the unbiased estimate of the
 // data vector.
+//
+// Deprecated: use an Estimator — NewEstimator(agg, w) then
+// est.DataEstimate(snap) — which answers local, remote, and merged snapshots
+// alike.
 func (rc *RemoteCollector) DataEstimate(ctx context.Context) ([]float64, error) {
-	state, count, err := rc.Snapshot(ctx)
+	s, err := rc.Snap(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return rc.agg.EstimateCounts(state, count), nil
+	return rc.est.DataEstimate(s)
 }
 
 // Answers fetches one snapshot and returns unbiased workload estimates.
+//
+// Deprecated: use an Estimator — est.Answers(snap).
 func (rc *RemoteCollector) Answers(ctx context.Context) ([]float64, error) {
-	xh, err := rc.DataEstimate(ctx)
+	s, err := rc.Snap(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return rc.work.MatVec(xh), nil
+	return rc.est.Answers(s)
 }
 
 // ConsistentAnswers fetches one snapshot and returns WNNLS-post-processed
 // workload estimates, exactly as Collector.ConsistentAnswers would for the
 // same reports.
+//
+// Deprecated: use an Estimator — est.ConsistentAnswers(snap).
 func (rc *RemoteCollector) ConsistentAnswers(ctx context.Context) ([]float64, error) {
-	state, count, err := rc.Snapshot(ctx)
+	s, err := rc.Snap(ctx)
 	if err != nil {
 		return nil, err
 	}
-	answers := rc.work.MatVec(rc.agg.EstimateCounts(state, count))
-	res, err := postprocess.Run(rc.work, answers, postprocess.Options{TotalCount: count})
-	if err != nil {
-		return nil, err
-	}
-	return res.Answers, nil
+	return rc.est.ConsistentAnswers(s)
+}
+
+// collectorBackend adapts a Collector to the transport's Backend contract by
+// unpacking its Snapshot value.
+type collectorBackend struct {
+	c *Collector
+}
+
+func (b collectorBackend) IngestBatch(reports []Report) error { return b.c.IngestBatch(reports) }
+
+func (b collectorBackend) SnapshotEpoch() ([]float64, float64, uint64) {
+	return b.c.snapshot()
+}
+
+func (b collectorBackend) CountEpoch() (float64, uint64) {
+	return b.c.countEpoch()
 }
 
 // NewCollectorServer binds an in-process Collector to the HTTP transport —
 // the handler cmd/ldpserve serves, exposed for embedding a collector
 // endpoint into an existing process. info describes the mechanism for
-// /healthz.
+// /healthz and the snapshot frames; pass MechanismInfoOf(agg) unless the
+// deployment has a reason to declare less.
 func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error) {
 	if c == nil {
 		return nil, errors.New("ldp: nil collector")
 	}
-	s, err := transport.NewServer(c, info)
+	s, err := transport.NewServer(collectorBackend{c}, info)
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
 	}
@@ -272,4 +361,7 @@ func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error)
 // ServerInfo describes a served mechanism for /healthz; it is the transport's
 // Info re-exported so callers of NewCollectorServer need not import an
 // internal package.
+//
+// Deprecated: use the equivalent MechanismInfo, the identity type snapshots
+// carry.
 type ServerInfo = transport.Info

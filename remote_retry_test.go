@@ -1,0 +1,146 @@
+package ldp_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	ldp "repro"
+	"repro/internal/benchfix"
+)
+
+// The at-least-once regression the idempotency keys exist for: the server
+// absorbs a batch, the HTTP response is lost, the client retries — and the
+// reports must land exactly once. Before keyed batches the retry was a
+// double absorb; now the server recognizes the batch's key and replays the
+// recorded response instead.
+func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
+	const n, total = 16, 95
+	w := ldp.Histogram(n)
+	s := benchfix.RRStrategy(n, 1.0)
+	agg, err := ldp.NewAggregator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ldp.NewCollector(agg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := ldp.NewCollectorServer(col, ldp.MechanismInfoOf(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the response of the first POST /reports *after* the collector has
+	// fully absorbed it: the inner handler runs against a throwaway recorder,
+	// then the connection is aborted, so the client sees a transport error
+	// for a request the server in fact applied.
+	var posts atomic.Int64
+	outer := http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodPost && posts.Add(1) == 1 {
+			inner.ServeHTTP(httptest.NewRecorder(), req)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(rw, req)
+	})
+	hs := httptest.NewServer(outer)
+	t.Cleanup(hs.Close)
+
+	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(512),
+		ldp.WithRemoteHTTPClient(hs.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < total; i++ {
+		if err := rcol.Ingest(ctx, ldp.Report{Index: i % n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First Flush ships the whole buffer as one keyed batch; the server
+	// absorbs it and the response dies.
+	if err := rcol.Flush(ctx); err == nil {
+		t.Fatal("flush through the aborted response unexpectedly succeeded")
+	}
+	if got := col.Count(); got != total {
+		t.Fatalf("server absorbed %v reports before the retry, want %d", got, total)
+	}
+	// The retry re-sends the same batch under the same key; the server must
+	// replay, not re-absorb.
+	if err := rcol.Flush(ctx); err != nil {
+		t.Fatalf("retried flush: %v", err)
+	}
+	snap := col.Snap()
+	if snap.Count() != total {
+		t.Fatalf("server holds %v reports after the retry, want exactly %d (duplicate absorb)", snap.Count(), total)
+	}
+	var mass float64
+	for _, v := range snap.State() {
+		mass += v
+	}
+	if mass != total {
+		t.Fatalf("accumulator mass %v, want %d (loss or duplication)", mass, total)
+	}
+}
+
+// A lost response on an intermediate batch must not stall the later ones:
+// the retry ships the unacknowledged batch (replayed) and everything behind
+// it, and the final state is exactly one copy of every report.
+func TestRemoteRetryInterleavedWithIngestion(t *testing.T) {
+	const n = 16
+	w := ldp.Histogram(n)
+	s := benchfix.RRStrategy(n, 1.0)
+	agg, err := ldp.NewAggregator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ldp.NewCollector(agg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := ldp.NewCollectorServer(col, ldp.MechanismInfoOf(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose every other POST's response, always after the absorb.
+	var posts atomic.Int64
+	outer := http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodPost && posts.Add(1)%2 == 1 {
+			inner.ServeHTTP(httptest.NewRecorder(), req)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(rw, req)
+	})
+	hs := httptest.NewServer(outer)
+	t.Cleanup(hs.Close)
+
+	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(10),
+		ldp.WithRemoteHTTPClient(hs.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const total = 95
+	for i := 0; i < total; i++ {
+		// Errors are expected whenever a full batch ships into an outage;
+		// the contract is that nothing is lost and nothing duplicates.
+		_ = rcol.Ingest(ctx, ldp.Report{Index: i % n})
+	}
+	for attempt := 0; attempt < 2*total; attempt++ {
+		if err := rcol.Flush(ctx); err == nil {
+			break
+		}
+	}
+	snap := col.Snap()
+	if snap.Count() != total {
+		t.Fatalf("server holds %v reports after retries, want exactly %d", snap.Count(), total)
+	}
+	var mass float64
+	for _, v := range snap.State() {
+		mass += v
+	}
+	if mass != total {
+		t.Fatalf("accumulator mass %v, want %d (loss or duplication)", mass, total)
+	}
+}
