@@ -400,6 +400,28 @@ func BenchmarkOLHAbsorb(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAppend measures the durable ingest path: one batch per op
+// through the in-memory collector ("memory"), the group-commit buffered
+// write-ahead log ("buffered" — the production default, within 2× of memory
+// at the transport's 4096-report default batch), and per-commit fsync
+// ("fsync"). The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, batch := range []int{64, 4096} {
+		for _, mode := range []string{"memory", "buffered", "fsync"} {
+			b.Run(fmt.Sprintf("batch%d-%s", batch, mode), benchfix.WALAppend(mode, batch))
+		}
+	}
+}
+
+// BenchmarkRecoverReplay measures crash recovery: per op, open a data
+// directory holding 256 WAL records × 64 reports and rebuild the collector
+// state by replay. The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix.
+func BenchmarkRecoverReplay(b *testing.B) {
+	b.Run("records=256x64", benchfix.RecoverReplay())
+}
+
 // BenchmarkWNNLS times consistency post-processing on the AllRange workload
 // through its implicit operators.
 func BenchmarkWNNLS(b *testing.B) {

@@ -54,6 +54,13 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"SnapshotCached/miss", benchfix.SnapshotCached(false)},
 		{"OLHAbsorb/candidates/n=1024", benchfix.OLHAbsorb(true, 1024)},
 		{"OLHAbsorb/scan/n=1024", benchfix.OLHAbsorb(false, 1024)},
+		{"WALAppend/batch64-memory", benchfix.WALAppend("memory", 64)},
+		{"WALAppend/batch64-buffered", benchfix.WALAppend("buffered", 64)},
+		{"WALAppend/batch64-fsync", benchfix.WALAppend("fsync", 64)},
+		{"WALAppend/batch4096-memory", benchfix.WALAppend("memory", 4096)},
+		{"WALAppend/batch4096-buffered", benchfix.WALAppend("buffered", 4096)},
+		{"WALAppend/batch4096-fsync", benchfix.WALAppend("fsync", 4096)},
+		{"RecoverReplay/records=256x64", benchfix.RecoverReplay()},
 	}
 	file := BenchFile{
 		GoVersion:  runtime.Version(),

@@ -11,9 +11,15 @@
 //
 //	ldpfed -servers http://10.0.0.1:8089,http://10.0.0.2:8089 -mech oue -n 256 -eps 1.0
 //	ldpfed -servers shardA:8089,shardB:8089 -strategy prefix64.strategy -workload Prefix
+//	ldpfed -servers shardA:8089,shardB:8089 -mech rappor -n 64 -watch 15s
 //
 // Each shard line reports its count, snapshot epoch, and digest, so a stale
-// or mismatched shard is visible before its snapshot poisons the merge.
+// or mismatched shard is visible before its snapshot poisons the merge; a
+// shard whose count diverges from its peers by more than -drift (the
+// signature of a shard restored from a stale checkpoint) is called out
+// explicitly. With -watch the command keeps running: it re-polls the shards'
+// /healthz on the interval and re-merges only when some shard's snapshot
+// epoch advances, so an idle fleet costs one cheap health round per tick.
 package main
 
 import (
@@ -29,6 +35,24 @@ import (
 	"repro/internal/mechflag"
 )
 
+// shard is one polled endpoint plus the snapshot epoch of the last merge it
+// contributed to (what -watch compares /healthz against).
+type shard struct {
+	endpoint  string
+	rc        *ldp.RemoteCollector
+	lastEpoch uint64
+}
+
+// fed is the merge pipeline shared by the one-shot and -watch modes.
+type fed struct {
+	shards  []*shard
+	est     *ldp.Estimator
+	info    ldp.MechanismInfo
+	level   float64
+	drift   float64
+	timeout time.Duration
+}
+
 func main() {
 	servers := flag.String("servers", "", "comma-separated ldpserve endpoints to merge")
 	wname := flag.String("workload", "Histogram", "workload family to answer")
@@ -38,7 +62,9 @@ func main() {
 	stratPath := flag.String("strategy", "", "reconstruct under a strategy wire file (SaveStrategy)")
 	oraclePath := flag.String("oracle", "", "reconstruct under an oracle wire file (SaveOracle)")
 	level := flag.Float64("ci", 0.95, "confidence level for the interval column (0 disables)")
-	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline for polling the shards")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-pass deadline for polling the shards")
+	watch := flag.Duration("watch", 0, "continuous mode: re-poll /healthz on this interval and re-merge when a shard's epoch advances (0 = one shot)")
+	drift := flag.Float64("drift", 10, "warn when the largest shard count exceeds the smallest by this ratio — a stale-checkpoint recovery symptom (0 disables)")
 	flag.Parse()
 
 	endpoints := splitServers(*servers)
@@ -59,57 +85,119 @@ func main() {
 		fatal(err)
 	}
 
+	f := &fed{est: est, info: info, level: *level, drift: *drift, timeout: *timeout}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-
-	// Poll every shard: handshake first (reject a mismatched shard before
-	// reading a byte of state), then one consistent snapshot each.
-	snaps := make([]ldp.Snapshot, 0, len(endpoints))
-	fmt.Printf("%-32s %12s %8s %s\n", "shard", "count", "epoch", "digest")
+	// Handshake every shard up front: a mismatched mechanism is fatal
+	// configuration, in either mode, before a byte of state moves.
 	for _, ep := range endpoints {
 		rc, err := ldp.NewRemoteCollector(ep, agg, w)
 		if err != nil {
+			cancel()
 			fatal(err)
 		}
 		if err := rc.Verify(ctx, info.Mechanism, info.Epsilon, info.Digest); err != nil {
+			cancel()
 			fatal(fmt.Errorf("%s: %w", ep, err))
 		}
-		snap, err := rc.Snap(ctx)
+		f.shards = append(f.shards, &shard{endpoint: ep, rc: rc})
+	}
+	cancel()
+
+	if err := f.mergeAndReport(); err != nil {
+		fatal(err)
+	}
+	if *watch <= 0 {
+		return
+	}
+	// Continuous mode: one cheap /healthz round per tick; a full snapshot
+	// pull + re-merge only when some shard observed a new state. A flapping
+	// shard (or a detected epoch regression) logs and retries next tick
+	// rather than killing the watcher.
+	for range time.Tick(*watch) {
+		advanced, err := f.anyEpochAdvanced()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", ep, err))
+			fmt.Fprintf(os.Stderr, "ldpfed: %v (retrying in %s)\n", err, *watch)
+			continue
 		}
-		fmt.Printf("%-32s %12d %8d %s\n", ep, int(snap.Count()), snap.Epoch(), snap.Info().Digest)
+		if !advanced {
+			continue
+		}
+		if err := f.mergeAndReport(); err != nil {
+			fmt.Fprintf(os.Stderr, "ldpfed: %v (retrying in %s)\n", err, *watch)
+		}
+	}
+}
+
+// anyEpochAdvanced asks every shard's /healthz for its (count, epoch) pair
+// and reports whether any epoch differs from the last merged one.
+func (f *fed) anyEpochAdvanced() (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	advanced := false
+	for _, sh := range f.shards {
+		h, err := sh.rc.Healthz(ctx)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", sh.endpoint, err)
+		}
+		if h.Epoch != sh.lastEpoch {
+			advanced = true
+		}
+	}
+	return advanced, nil
+}
+
+// mergeAndReport pulls one consistent snapshot per shard, warns on count
+// drift, merges, and prints the estimate table.
+func (f *fed) mergeAndReport() error {
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+
+	snaps := make([]ldp.Snapshot, 0, len(f.shards))
+	fmt.Printf("%-32s %12s %8s %s\n", "shard", "count", "epoch", "digest")
+	for _, sh := range f.shards {
+		snap, err := sh.rc.Snap(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sh.endpoint, err)
+		}
+		fmt.Printf("%-32s %12d %8d %s\n", sh.endpoint, int(snap.Count()), snap.Epoch(), snap.Info().Digest)
 		snaps = append(snaps, snap)
 	}
+	f.warnDrift(snaps)
 
 	merged, err := ldp.MergeSnapshots(snaps...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\nmerged %d shards: %d reports under %s (n=%d, ε=%g)\n",
-		len(snaps), int(merged.Count()), info.Mechanism, info.Domain, info.Epsilon)
+	// Commit the epochs only after the whole pass succeeded, so a failed
+	// merge is retried by the next -watch tick.
+	for i, sh := range f.shards {
+		sh.lastEpoch = snaps[i].Epoch()
+	}
+	fmt.Printf("\nmerged %d shards: %d reports under %s (n=%d, ε=%g) at %s\n",
+		len(snaps), int(merged.Count()), f.info.Mechanism, f.info.Domain, f.info.Epsilon,
+		time.Now().Format(time.RFC3339))
 
-	unbiased, err := est.Answers(merged)
+	unbiased, err := f.est.Answers(merged)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	consistent, err := est.ConsistentAnswers(merged)
+	consistent, err := f.est.ConsistentAnswers(merged)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// Intervals are best-effort: a workload too large for the closed-form
 	// per-query variance (or a mechanism without one) still gets its point
 	// estimates.
 	var intervals []ldp.Interval
-	if *level > 0 {
-		if intervals, err = est.ConfidenceIntervals(merged, *level); err != nil {
+	if f.level > 0 {
+		if intervals, err = f.est.ConfidenceIntervals(merged, f.level); err != nil {
 			fmt.Fprintf(os.Stderr, "ldpfed: confidence intervals unavailable: %v\n", err)
 		}
 	}
 
 	fmt.Printf("\n%-8s %14s %14s", "query", "unbiased", "consistent")
 	if intervals != nil {
-		fmt.Printf("   %g%% interval", 100**level)
+		fmt.Printf("   %g%% interval", 100*f.level)
 	}
 	fmt.Println()
 	show := len(unbiased)
@@ -125,6 +213,32 @@ func main() {
 	}
 	if len(unbiased) > show {
 		fmt.Printf("... (%d more queries)\n", len(unbiased)-show)
+	}
+	return nil
+}
+
+// warnDrift flags a shard population that has diverged past the configured
+// ratio — exactly what a shard silently restored from a stale checkpoint
+// looks like next to its peers. Counts need not be equal (shards can serve
+// uneven populations); an order-of-magnitude split warrants an operator look.
+func (f *fed) warnDrift(snaps []ldp.Snapshot) {
+	if f.drift <= 0 || len(snaps) < 2 {
+		return
+	}
+	minC, maxC := snaps[0].Count(), snaps[0].Count()
+	minEp, maxEp := f.shards[0].endpoint, f.shards[0].endpoint
+	for i, s := range snaps[1:] {
+		switch c := s.Count(); {
+		case c < minC:
+			minC, minEp = c, f.shards[i+1].endpoint
+		case c > maxC:
+			maxC, maxEp = c, f.shards[i+1].endpoint
+		}
+	}
+	if maxC > minC*f.drift && maxC > 0 {
+		fmt.Fprintf(os.Stderr,
+			"ldpfed: WARNING: shard counts diverge beyond the %gx drift threshold: %s holds %d reports, %s only %d — %s may have recovered from a stale checkpoint or lost its state\n",
+			f.drift, maxEp, int(maxC), minEp, int(minC), minEp)
 	}
 }
 

@@ -36,6 +36,11 @@ type Collector struct {
 	mask   uint64
 	pinned atomic.Uint64 // round-robin cursor for Handle assignment
 
+	// dur is the optional write-ahead-log state (WithDurability); nil for a
+	// purely in-memory collector. When set, every ingest appends its batch to
+	// the WAL before absorbing, so an acknowledged batch survives a crash.
+	dur *durableState
+
 	// cache is the memoized merge. cache.acc is the merged accumulator as of
 	// cache.count total reports; it is never handed out (snapshots copy), so
 	// its entries stay trustworthy. cache.epoch advances exactly when the
@@ -68,7 +73,10 @@ type collectorShard struct {
 // NewCollector prepares a concurrent collector for the given mechanism
 // aggregator and workload. shards is rounded up to a power of two; shards ≤ 0
 // picks 2×GOMAXPROCS, enough that ingesting goroutines rarely collide.
-func NewCollector(agg Aggregator, w Workload, shards int) (*Collector, error) {
+// Options extend the collector — WithDurability adds a write-ahead log and
+// checkpointed crash recovery (prior state in the directory is restored
+// before the collector is returned).
+func NewCollector(agg Aggregator, w Workload, shards int, opts ...CollectorOption) (*Collector, error) {
 	est, err := NewEstimator(agg, w) // validates agg and the domain match
 	if err != nil {
 		return nil, err
@@ -83,6 +91,15 @@ func NewCollector(agg Aggregator, w Workload, shards int) (*Collector, error) {
 	c := &Collector{agg: agg, est: est, info: est.Info(), shards: make([]collectorShard, n), mask: uint64(n - 1)}
 	for i := range c.shards {
 		c.shards[i].acc = make([]float64, agg.StateLen())
+	}
+	var cfg collectorConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.durDir != "" {
+		if err := c.openDurable(cfg); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -114,10 +131,25 @@ func (c *Collector) Ingest(r Report) error {
 // leaves the collector exactly as it was (and the snapshot never exposes a
 // half-applied batch).
 func (c *Collector) IngestBatch(reports []Report) error {
-	return c.ingestBatchInto(&c.shards[randv2.Uint64()&c.mask], reports)
+	return c.ingestBatchInto(&c.shards[randv2.Uint64()&c.mask], reports, "")
+}
+
+// IngestBatchKeyed is IngestBatch with the transport's idempotency key
+// recorded alongside the batch in the write-ahead log (when durability is
+// configured), so a client retry arriving after a crash-restart is recognized
+// and absorbed exactly once. Transport bindings call it; other callers can
+// pass "" or use IngestBatch.
+func (c *Collector) IngestBatchKeyed(reports []Report, key string) error {
+	return c.ingestBatchInto(&c.shards[randv2.Uint64()&c.mask], reports, key)
 }
 
 func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
+	if c.dur != nil {
+		if err := c.agg.Check(r); err != nil {
+			return fmt.Errorf("ldp: %w", err)
+		}
+		return c.durableAbsorb(sh, []Report{r}, "")
+	}
 	sh.mu.Lock()
 	err := c.agg.Absorb(sh.acc, r)
 	if err == nil {
@@ -130,14 +162,24 @@ func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
 	return nil
 }
 
-func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report) error {
+func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report, key string) error {
 	for i, r := range reports {
 		if err := c.agg.Check(r); err != nil {
 			return fmt.Errorf("ldp: batch element %d: %w", i, err)
 		}
 	}
+	if c.dur != nil {
+		return c.durableAbsorb(sh, reports, key)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	c.absorbValidatedLocked(sh, reports)
+	return nil
+}
+
+// absorbValidatedLocked folds an already-Checked batch into the shard and
+// publishes it with one counter add. Caller holds sh.mu.
+func (c *Collector) absorbValidatedLocked(sh *collectorShard, reports []Report) {
 	for i, r := range reports {
 		// Check passed, so Absorb cannot fail (the Aggregator contract). If
 		// an aggregator ever violates it, the batch is already partially
@@ -155,7 +197,6 @@ func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report) error 
 	// One atomic add for the whole batch: the counter is the publication
 	// point, so readers see the batch all at once.
 	sh.count.Add(int64(len(reports)))
-	return nil
 }
 
 // Add records one bare output index.
@@ -201,7 +242,7 @@ func (h *Handle) Ingest(r Report) error {
 // IngestBatch records a batch atomically on the handle's shard, with the same
 // all-or-nothing validation as Collector.IngestBatch.
 func (h *Handle) IngestBatch(reports []Report) error {
-	return h.c.ingestBatchInto(h.sh, reports)
+	return h.c.ingestBatchInto(h.sh, reports, "")
 }
 
 // totalCount sums the per-shard counters lock-free. An ingest publishes

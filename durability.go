@@ -1,0 +1,324 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/durable"
+	"repro/internal/transport"
+)
+
+// DefaultCheckpointEvery is the report interval between automatic checkpoints
+// for a durable collector. Each checkpoint rotates the write-ahead log, so
+// the interval bounds both recovery time (at most this many reports replay)
+// and disk growth (pruned segments are deleted).
+const DefaultCheckpointEvery = 1 << 16
+
+// CollectorOption configures a Collector at construction.
+type CollectorOption func(*collectorConfig)
+
+type collectorConfig struct {
+	durDir    string
+	fsync     bool
+	ckptEvery int64
+}
+
+// WithDurability gives the collector a write-ahead log and checkpointed crash
+// recovery rooted at dir (created if needed): every ingested batch is
+// appended — group-commit buffered — to a CRC-checked WAL before the ingest
+// is acknowledged, the merged accumulator is checkpointed periodically, and
+// NewCollector restores dir's prior state (accumulator, report count,
+// snapshot epoch, and the idempotency keys of logged batches) before
+// returning. An acknowledged batch therefore survives a process crash: on
+// restart the collector's snapshot is bit-identical to one that absorbed
+// exactly the acknowledged batches, with any torn trailing record — the
+// unacknowledged remains of the crash — detected and dropped.
+//
+// One collector owns a directory at a time; call Close to release it.
+func WithDurability(dir string, opts ...DurabilityOption) CollectorOption {
+	return func(cfg *collectorConfig) {
+		cfg.durDir = dir
+		cfg.ckptEvery = DefaultCheckpointEvery
+		for _, o := range opts {
+			o(cfg)
+		}
+	}
+}
+
+// DurabilityOption tunes WithDurability.
+type DurabilityOption func(*collectorConfig)
+
+// CheckpointEvery sets how many ingested reports accumulate between automatic
+// checkpoints (default DefaultCheckpointEvery). n ≤ 0 disables automatic
+// checkpoints; the WAL then grows until Checkpoint is called explicitly.
+func CheckpointEvery(n int) DurabilityOption {
+	return func(cfg *collectorConfig) { cfg.ckptEvery = int64(n) }
+}
+
+// FsyncEachCommit makes every WAL group commit fsync before the ingest is
+// acknowledged, extending the crash-consistency guarantee from process
+// crashes to power failures at the cost of ingest latency. Off (the default)
+// records are written to the OS before acknowledgment but not synced.
+func FsyncEachCommit(on bool) DurabilityOption {
+	return func(cfg *collectorConfig) { cfg.fsync = on }
+}
+
+// DurabilityStatus is a durable collector's recovery and WAL-lag status — the
+// same structure /healthz serves for a durable ldpserve shard.
+type DurabilityStatus = transport.DurabilityHealth
+
+// durableState is the per-collector durability runtime: the store, the
+// checkpoint trigger, and the barrier that makes checkpoints exact.
+type durableState struct {
+	store     *durable.Store
+	ckptEvery int64
+	fsync     bool
+
+	// gate orders ingest against checkpoint cuts: an ingest holds the read
+	// side across WAL-append + absorb, so under the write side the WAL and
+	// the in-memory accumulator agree exactly — the checkpoint invariant.
+	gate sync.RWMutex
+	// ckptMu makes checkpoints single-flight; an ingest that finds it taken
+	// skips (the running checkpoint covers its trigger).
+	ckptMu sync.Mutex
+	// sinceCkpt counts reports absorbed since the last checkpoint cut.
+	sinceCkpt atomic.Int64
+
+	// Recovery facts, fixed at open.
+	recovered        bool
+	recoveredReports int64
+	replayedRecords  int64
+	droppedTail      int64
+	keys             []transport.SeededKey
+
+	// statusMu guards lastErr (background checkpoint failures).
+	statusMu sync.Mutex
+	lastErr  string
+}
+
+// openDurable attaches a durable store to a freshly built collector: it
+// restores the directory's checkpoint and WAL tail into shard 0 (merging is
+// element-wise, so which shard holds recovered state is immaterial), seeds
+// the snapshot epoch past anything the previous process can have served, and
+// records the idempotency keys the log proves absorbed.
+func (c *Collector) openDurable(cfg collectorConfig) error {
+	sh := &c.shards[0]
+	d := &durableState{ckptEvery: cfg.ckptEvery, fsync: cfg.fsync}
+	var ckptEpoch uint64
+	restore := func(snap transport.Snapshot) error {
+		if len(snap.State) != c.agg.StateLen() {
+			return fmt.Errorf("checkpoint has %d state entries, mechanism expects %d", len(snap.State), c.agg.StateLen())
+		}
+		if err := infoMismatch(c.info, snap.Info); err != nil {
+			return fmt.Errorf("checkpoint was written under a different mechanism configuration: %w", err)
+		}
+		for i, v := range snap.State {
+			sh.acc[i] += v
+		}
+		sh.count.Add(int64(snap.Count))
+		ckptEpoch = snap.Epoch
+		d.recoveredReports += int64(snap.Count)
+		return nil
+	}
+	replay := func(rec durable.Record) error {
+		for i, r := range rec.Reports {
+			if err := c.agg.Check(r); err != nil {
+				return fmt.Errorf("report %d: %w", i, err)
+			}
+		}
+		for _, r := range rec.Reports {
+			if err := c.agg.Absorb(sh.acc, r); err != nil {
+				return fmt.Errorf("validated report failed to absorb: %w", err)
+			}
+		}
+		sh.count.Add(int64(len(rec.Reports)))
+		d.recoveredReports += int64(len(rec.Reports))
+		return nil
+	}
+	store, rec, err := durable.Open(cfg.durDir, durable.Options{
+		Digest:  walDigest(c.info),
+		Fsync:   cfg.fsync,
+		Restore: restore,
+		Replay:  replay,
+	})
+	if err != nil {
+		return fmt.Errorf("ldp: open durable store: %w", err)
+	}
+	// The store's key table spans checkpoints: a keyed request whose records
+	// straddle a checkpoint cut still seeds its FULL absorbed count, so the
+	// retrying client trims exactly what landed.
+	for _, k := range rec.Keys {
+		d.keys = append(d.keys, transport.SeededKey{Key: k.Key, Accepted: int(k.Reports)})
+	}
+	d.store = store
+	d.replayedRecords = rec.ReplayedRecords
+	d.droppedTail = rec.DroppedTailBytes
+	d.recovered = rec.HasCheckpoint || rec.ReplayedRecords > 0
+	d.sinceCkpt.Store(rec.ReplayedReports)
+	if d.recovered {
+		// Seed the snapshot epoch strictly past anything the previous process
+		// can have served: each served epoch needs an observed count change,
+		// and counts changed at most once per checkpoint plus once per
+		// replayed record. Remote readers therefore never see the epoch move
+		// backwards across a clean recovery (see EpochRegressionError for the
+		// lossy-restart symptom this preserves).
+		c.cache.count = c.totalCount()
+		c.cache.epoch = ckptEpoch + uint64(rec.ReplayedRecords) + 1
+	}
+	c.dur = d
+	return nil
+}
+
+// walDigest is the mechanism fingerprint stamped into (and checked against)
+// every WAL record. Strategy mechanisms use the StrategyDigest; oracles —
+// which carry no digest because (name, domain, ε) fully determines them —
+// get exactly that triple, so a WAL written under OUE can never replay into
+// RAPPOR, nor an ε=1 log into an ε=2 collector, even before the first
+// checkpoint exists to carry the full identity. Always non-empty, so the
+// record-level check is never silently skipped.
+func walDigest(info MechanismInfo) string {
+	if info.Digest != "" {
+		return info.Digest
+	}
+	return fmt.Sprintf("%s|n=%d|eps=%g", info.Mechanism, info.Domain, info.Epsilon)
+}
+
+// durableAbsorb is the durable ingest path: the already-validated batch is
+// appended to the WAL — group-committed with concurrent ingests — and only
+// then absorbed and acknowledged. The WAL append happening first is the
+// durability guarantee; the absorb completing before the gate is released is
+// the checkpoint-exactness guarantee.
+func (c *Collector) durableAbsorb(sh *collectorShard, reports []Report, key string) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	d := c.dur
+	d.gate.RLock()
+	if err := d.store.Append(reports, key); err != nil {
+		d.gate.RUnlock()
+		return fmt.Errorf("ldp: write-ahead log: %w", err)
+	}
+	sh.mu.Lock()
+	c.absorbValidatedLocked(sh, reports)
+	sh.mu.Unlock()
+	d.gate.RUnlock()
+	if n := d.sinceCkpt.Add(int64(len(reports))); d.ckptEvery > 0 && n >= d.ckptEvery {
+		c.checkpointIfDue()
+	}
+	return nil
+}
+
+// checkpointIfDue runs one checkpoint unless another is already in flight or
+// the trigger has been covered in the meantime. Failures don't fail ingest —
+// the WAL alone still recovers — but are retained for /healthz.
+func (c *Collector) checkpointIfDue() {
+	d := c.dur
+	if !d.ckptMu.TryLock() {
+		return
+	}
+	defer d.ckptMu.Unlock()
+	if d.sinceCkpt.Load() < d.ckptEvery {
+		return
+	}
+	err := c.checkpointLocked()
+	d.statusMu.Lock()
+	if err != nil {
+		d.lastErr = err.Error()
+	} else {
+		d.lastErr = ""
+	}
+	d.statusMu.Unlock()
+}
+
+// Checkpoint forces a checkpoint now: the WAL rotates to a fresh segment and
+// the current merged accumulator is pinned, so a subsequent restart replays
+// nothing older. Useful before a planned shutdown.
+func (c *Collector) Checkpoint() error {
+	if c.dur == nil {
+		return errors.New("ldp: collector has no durability configured")
+	}
+	c.dur.ckptMu.Lock()
+	defer c.dur.ckptMu.Unlock()
+	return c.checkpointLocked()
+}
+
+// checkpointLocked cuts and writes one checkpoint. Caller holds d.ckptMu.
+// The gate's write side is held only across the cheap part — snapshotting the
+// accumulator and rotating the WAL — so ingest stalls for microseconds; the
+// checkpoint file itself is written with ingest flowing into the new segment.
+func (c *Collector) checkpointLocked() error {
+	d := c.dur
+	d.gate.Lock()
+	snap := c.Snap()
+	err := d.store.Rotate()
+	d.sinceCkpt.Store(0)
+	d.gate.Unlock()
+	if err != nil {
+		return fmt.Errorf("ldp: %w", err)
+	}
+	tsnap := transport.Snapshot{State: snap.State(), Count: snap.Count(), Epoch: snap.Epoch(), Info: snap.Info()}
+	if err := d.store.WriteCheckpoint(tsnap); err != nil {
+		return fmt.Errorf("ldp: %w", err)
+	}
+	return nil
+}
+
+// Durability reports the collector's durable-ingest status; ok is false for
+// an in-memory collector.
+func (c *Collector) Durability() (status DurabilityStatus, ok bool) {
+	d := c.dur
+	if d == nil {
+		return DurabilityStatus{}, false
+	}
+	d.statusMu.Lock()
+	lastErr := d.lastErr
+	d.statusMu.Unlock()
+	return DurabilityStatus{
+		Recovered:        d.recovered,
+		RecoveredReports: d.recoveredReports,
+		ReplayedRecords:  d.replayedRecords,
+		DroppedTailBytes: d.droppedTail,
+		CheckpointSeq:    d.store.CheckpointSeq(),
+		WALRecordLag:     d.store.RecordLag(),
+		WALByteLag:       d.store.ByteLag(),
+		Fsync:            d.fsync,
+		LastError:        lastErr,
+	}, true
+}
+
+// recoveredIdempotencyKeys returns the idempotency keys the WAL proved
+// absorbed before the last restart, oldest first, with the report counts
+// absorbed under them — what NewCollectorServer seeds the transport's
+// idempotency cache with.
+func (c *Collector) recoveredIdempotencyKeys() []transport.SeededKey {
+	if c.dur == nil {
+		return nil
+	}
+	return c.dur.keys
+}
+
+// Sync forces any group-commit-buffered WAL records to disk regardless of
+// the fsync mode. No-op without durability.
+func (c *Collector) Sync() error {
+	if c.dur == nil {
+		return nil
+	}
+	if err := c.dur.store.Sync(); err != nil {
+		return fmt.Errorf("ldp: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the durable store, releasing the data directory.
+// The collector must not ingest afterwards. No-op without durability.
+func (c *Collector) Close() error {
+	if c.dur == nil {
+		return nil
+	}
+	if err := c.dur.store.Close(); err != nil {
+		return fmt.Errorf("ldp: %w", err)
+	}
+	return nil
+}

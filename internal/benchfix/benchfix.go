@@ -7,6 +7,7 @@ package benchfix
 import (
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -232,6 +233,109 @@ func OLHAbsorb(batched bool, n int) func(b *testing.B) {
 				err = o.AbsorbScan(acc, r)
 			}
 			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// WALAppend benchmarks durable batch ingest against the in-memory baseline
+// the durability layer wraps: per op, one batch-report batch flows through
+// Collector.IngestBatch. mode "memory" is the plain sharded collector;
+// "buffered" adds the write-ahead log with group-commit buffered writes (the
+// production default — within 2× of memory at the transport's default batch
+// size); "fsync" additionally fsyncs every group commit before acknowledging.
+// The gap between the three is the price of each durability level on the hot
+// path. Small batches pay the fixed write(2) per record without amortizing
+// it (a single-goroutine bench cannot group-commit with anyone), so the
+// ratio is measured at both 64 and the transport's 4096-report default.
+func WALAppend(mode string, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n = 64
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []ldp.CollectorOption
+		var dir string
+		if mode != "memory" {
+			if dir, err = os.MkdirTemp("", "walbench"); err != nil {
+				b.Fatal(err)
+			}
+			// Checkpoints off: the benchmark isolates the append path.
+			dopts := []ldp.DurabilityOption{ldp.CheckpointEvery(0), ldp.FsyncEachCommit(mode == "fsync")}
+			opts = append(opts, ldp.WithDurability(dir, dopts...))
+		}
+		col, err := ldp.NewCollector(agg, workload.NewHistogram(n), 0, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		reports := make([]ldp.Report, batch)
+		for i := range reports {
+			reports[i] = ldp.Report{Index: rng.Intn(n)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := col.IngestBatch(reports); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := col.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+}
+
+// RecoverReplay benchmarks crash recovery: per op, a collector opens a data
+// directory holding 256 WAL records × 64 reports (no checkpoint — the pure
+// replay path) and reconstructs its state. The ns/op is the restart cost a
+// checkpoint interval amortizes away.
+func RecoverReplay() func(b *testing.B) {
+	return func(b *testing.B) {
+		const n, records, batch = 64, 256, 64
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := workload.NewHistogram(n)
+		dir, err := os.MkdirTemp("", "recoverbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		seedCol, err := ldp.NewCollector(agg, w, 0, ldp.WithDurability(dir, ldp.CheckpointEvery(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(22))
+		reports := make([]ldp.Report, batch)
+		for r := 0; r < records; r++ {
+			for i := range reports {
+				reports[i] = ldp.Report{Index: rng.Intn(n)}
+			}
+			if err := seedCol.IngestBatch(reports); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := seedCol.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			col, err := ldp.NewCollector(agg, w, 0, ldp.WithDurability(dir, ldp.CheckpointEvery(0)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := col.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}

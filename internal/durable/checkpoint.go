@@ -1,0 +1,235 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/transport"
+)
+
+// A checkpoint file pins the merged accumulator at a WAL rotation point, so
+// recovery replays only the segments written after it. The state itself
+// travels as a version-2 transport snapshot frame — count, epoch, and the full
+// mechanism identity included — wrapped in a CRC'd envelope that also names
+// the WAL segment the checkpoint precedes and carries the idempotency-key
+// table of everything the checkpoint covers:
+//
+//	magic   [4]byte  "LDPC"
+//	version uint8    (1)
+//	crc     uint32   big-endian IEEE CRC-32 of the payload
+//	length  uint32   big-endian payload byte count
+//	payload:
+//	  seq      uint64 big-endian  segment sequence this checkpoint precedes
+//	  snapshot one v2 snapshot frame (transport.EncodeSnapshotFrame)
+//	  keyCount uint32 big-endian, then keyCount entries, oldest first:
+//	    keyLen uint8, then keyLen bytes    idempotency key
+//	    reports uint64 big-endian          reports absorbed under the key
+//
+// Invariant: state(checkpoint-<g>) equals the replay of every WAL segment
+// with sequence < g, so state(checkpoint-<g>) + replay(wal-<g>, wal-<g+1>, …)
+// is always the full collector state, whichever rotation the crash
+// interrupted. The key table obeys the same invariant — it totals the keyed
+// records of every segment < g (bounded: the oldest keys beyond the table
+// cap are dropped, mirroring the transport's idempotency LRU) — so a keyed
+// request whose records straddle a checkpoint still recovers its full
+// absorbed count, not just the replayed tail's share.
+const (
+	checkpointMagic   = "LDPC"
+	checkpointVersion = 1
+
+	// maxCheckpointSize bounds a checkpoint file read: envelope + the
+	// transport's own snapshot frame cap + a full key table.
+	maxCheckpointSize = transport.MaxSnapshotPayload + maxTrackedKeys*(2+maxRecordMeta+8) + 1024
+
+	// maxTrackedKeys bounds the per-key totals carried across checkpoints,
+	// matching the transport idempotency LRU's horizon: a retry older than
+	// the newest maxTrackedKeys keyed requests re-absorbs, with or without a
+	// crash in between.
+	maxTrackedKeys = 4096
+)
+
+// KeyCount is one idempotency key's recovered total: how many reports the
+// log proves were absorbed under it.
+type KeyCount struct {
+	Key     string
+	Reports int64
+}
+
+var errInvalidCheckpoint = errors.New("durable: invalid checkpoint file")
+
+// encodeCheckpoint serializes the envelope around an already-framed snapshot.
+func encodeCheckpoint(seq uint64, snap transport.Snapshot, keys []KeyCount) ([]byte, error) {
+	if len(keys) > maxTrackedKeys {
+		keys = keys[len(keys)-maxTrackedKeys:] // newest win, as in the LRU
+	}
+	var pb bytes.Buffer
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	pb.Write(s[:])
+	if err := transport.EncodeSnapshotFrame(&pb, snap); err != nil {
+		return nil, fmt.Errorf("durable: encode checkpoint snapshot: %w", err)
+	}
+	var kc [4]byte
+	binary.BigEndian.PutUint32(kc[:], uint32(len(keys)))
+	pb.Write(kc[:])
+	for _, k := range keys {
+		if len(k.Key) > maxRecordMeta {
+			return nil, fmt.Errorf("durable: checkpoint key exceeds %d bytes", maxRecordMeta)
+		}
+		pb.WriteByte(byte(len(k.Key)))
+		pb.WriteString(k.Key)
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(k.Reports))
+		pb.Write(n[:])
+	}
+	payload := pb.Bytes()
+	out := make([]byte, 0, recordHeaderLen+len(payload))
+	out = append(out, checkpointMagic...)
+	out = append(out, checkpointVersion)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// DecodeCheckpoint parses one checkpoint envelope and returns the segment
+// sequence it precedes, the snapshot it pins, and its idempotency-key table.
+// Any defect — short file, bad magic, CRC mismatch, trailing bytes, an
+// unreadable snapshot frame or key table — returns an error; recovery then
+// falls back to the previous checkpoint.
+func DecodeCheckpoint(data []byte) (uint64, transport.Snapshot, []KeyCount, error) {
+	fail := func(format string, args ...any) (uint64, transport.Snapshot, []KeyCount, error) {
+		return 0, transport.Snapshot{}, nil, fmt.Errorf("%w: %s", errInvalidCheckpoint, fmt.Sprintf(format, args...))
+	}
+	if len(data) < recordHeaderLen {
+		return fail("%d bytes is shorter than the header", len(data))
+	}
+	if string(data[:4]) != checkpointMagic {
+		return fail("bad magic %q", data[:4])
+	}
+	if data[4] != checkpointVersion {
+		return fail("unsupported version %d", data[4])
+	}
+	wantCRC := binary.BigEndian.Uint32(data[5:])
+	plen := binary.BigEndian.Uint32(data[9:])
+	payload := data[recordHeaderLen:]
+	if uint64(plen) != uint64(len(payload)) {
+		return fail("declares %d payload bytes, carries %d", plen, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return fail("CRC mismatch")
+	}
+	if len(payload) < 8 {
+		return fail("truncated at its sequence")
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	fr := bytes.NewReader(payload[8:])
+	snap, err := transport.DecodeSnapshotFrame(fr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var kc [4]byte
+	if _, err := io.ReadFull(fr, kc[:]); err != nil {
+		return fail("truncated at its key-table count")
+	}
+	nkeys := binary.BigEndian.Uint32(kc[:])
+	if nkeys > maxTrackedKeys {
+		return fail("declares %d keys, limit %d", nkeys, maxTrackedKeys)
+	}
+	keys := make([]KeyCount, 0, nkeys)
+	for i := uint32(0); i < nkeys; i++ {
+		l, err := fr.ReadByte()
+		if err != nil {
+			return fail("truncated at key %d", i)
+		}
+		kb := make([]byte, int(l)+8)
+		if _, err := io.ReadFull(fr, kb); err != nil {
+			return fail("truncated at key %d", i)
+		}
+		keys = append(keys, KeyCount{
+			Key:     string(kb[:l]),
+			Reports: int64(binary.BigEndian.Uint64(kb[l:])),
+		})
+	}
+	if fr.Len() != 0 {
+		return fail("%d trailing bytes after the key table", fr.Len())
+	}
+	return seq, snap, keys, nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file, additionally pinning
+// the envelope's sequence to the one its filename declares.
+func loadCheckpoint(path string, wantSeq uint64) (transport.Snapshot, []KeyCount, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return transport.Snapshot{}, nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxCheckpointSize+1))
+	if err != nil {
+		return transport.Snapshot{}, nil, err
+	}
+	if len(data) > maxCheckpointSize {
+		return transport.Snapshot{}, nil, fmt.Errorf("%w: exceeds the %d-byte checkpoint limit", errInvalidCheckpoint, maxCheckpointSize)
+	}
+	seq, snap, keys, err := DecodeCheckpoint(data)
+	if err != nil {
+		return transport.Snapshot{}, nil, err
+	}
+	if seq != wantSeq {
+		return transport.Snapshot{}, nil, fmt.Errorf("%w: envelope sequence %d does not match filename sequence %d", errInvalidCheckpoint, seq, wantSeq)
+	}
+	return snap, keys, nil
+}
+
+// writeCheckpointFile writes the checkpoint atomically: temp file in the same
+// directory, fsync, rename, directory fsync. A crash leaves either the old
+// directory contents or the complete new file — never a half-written
+// checkpoint under the final name. The file and directory are synced even in
+// no-fsync WAL mode because a checkpoint's durability gates the pruning of
+// the segments it replaces.
+func writeCheckpointFile(dir string, seq uint64, snap transport.Snapshot, keys []KeyCount) (string, error) {
+	data, err := encodeCheckpoint(seq, snap, keys)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creations within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

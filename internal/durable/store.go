@@ -1,0 +1,513 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Directory layout: numbered WAL segments and the checkpoints that precede
+// them.
+//
+//	<dir>/wal-00000003.log        records appended since checkpoint 3
+//	<dir>/checkpoint-00000003.ckpt state of all segments < 3
+//
+// The active segment is the highest-numbered one. A checkpoint rotates the
+// WAL to a fresh segment and then pins the pre-rotation state; the two
+// newest checkpoints are retained (so a checkpoint that lands corrupt on disk
+// still leaves a recoverable older one) and everything older is pruned.
+func segmentName(seq uint64) string    { return fmt.Sprintf("wal-%08d.log", seq) }
+func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", seq) }
+
+// Options configures Open.
+type Options struct {
+	// Digest is the mechanism digest stamped into every appended record and
+	// verified against every replayed one (when both sides declare one):
+	// a WAL written under one strategy matrix must never replay into another.
+	Digest string
+	// Fsync makes every group commit fsync before acknowledging. Off, records
+	// are written (not buffered in-process) on acknowledgment: a process
+	// crash loses nothing, a power failure can lose the OS-cached tail.
+	Fsync bool
+	// Restore is called once, before any Replay, with the snapshot of the
+	// latest valid checkpoint — the caller seeds its accumulator from it and
+	// rejects a mechanism mismatch by returning an error.
+	Restore func(snap transport.Snapshot) error
+	// Replay is called for every valid WAL record after the checkpoint, in
+	// append order. Returning an error aborts recovery.
+	Replay func(rec Record) error
+}
+
+// Recovery reports what Open found and restored.
+type Recovery struct {
+	// HasCheckpoint is true when a valid checkpoint seeded the state.
+	HasCheckpoint bool
+	// CheckpointSeq is the sequence of that checkpoint (0 without one).
+	CheckpointSeq uint64
+	// ReplayedRecords and ReplayedReports count the WAL tail fed to Replay.
+	ReplayedRecords int64
+	ReplayedReports int64
+	// DroppedTailBytes counts the torn/invalid bytes truncated from the end
+	// of the final segment — the unacknowledged remains of a crash.
+	DroppedTailBytes int64
+	// Keys are the idempotency-key totals the log proves absorbed, oldest
+	// first: the checkpoint's carried-forward table plus the replayed tail.
+	// A keyed request whose records straddle a checkpoint therefore reports
+	// its full absorbed count.
+	Keys []KeyCount
+}
+
+// keyTable is the bounded, insertion-ordered per-key report-count table the
+// store maintains across its whole life (seeded from the checkpoint, advanced
+// on every keyed append, carried into the next checkpoint). Oldest keys
+// beyond the cap are evicted — the same horizon as the transport's LRU.
+type keyTable struct {
+	mu    sync.Mutex
+	order []string
+	count map[string]int64
+}
+
+func newKeyTable() *keyTable {
+	return &keyTable{count: make(map[string]int64)}
+}
+
+func (t *keyTable) add(key string, reports int64) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.count[key]; !ok {
+		t.order = append(t.order, key)
+		for len(t.order) > maxTrackedKeys {
+			delete(t.count, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.count[key] += reports
+}
+
+func (t *keyTable) snapshot() []KeyCount {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]KeyCount, 0, len(t.order))
+	for _, k := range t.order {
+		out = append(out, KeyCount{Key: k, Reports: t.count[k]})
+	}
+	return out
+}
+
+// Store is the durable half of a collector: an append-only WAL plus rotation
+// and checkpointing over a data directory. Append may be called from any
+// number of goroutines; Rotate must exclude Append (the caller holds its
+// write barrier — the same one that makes the checkpoint snapshot exact), and
+// Checkpointing is single-flight by caller contract.
+type Store struct {
+	dir    string
+	digest string
+	fsync  bool
+
+	// mu orders Append (read side) against Rotate (write side); the WAL file
+	// itself serializes concurrent appends internally via group commit.
+	mu  sync.RWMutex
+	wal *walFile
+	seq uint64
+
+	// keys carries per-key absorbed totals across the store's life; the
+	// snapshot taken at each rotation rides into the following checkpoint.
+	keys *keyTable
+	// pendingCut* are the totals (and key table) captured at the last Rotate
+	// — what the in-flight checkpoint will cover once durable. Written under
+	// mu's write side, read by WriteCheckpoint (the caller serializes the
+	// Rotate → WriteCheckpoint flow).
+	pendingCutRecords int64
+	pendingCutBytes   int64
+	pendingKeys       []KeyCount
+
+	// totalRecords/totalBytes count everything appended or replayed since
+	// Open; covered* are the totals as of the last DURABLE checkpoint, so
+	// lag = total − covered stays honest when a checkpoint write fails.
+	totalRecords   atomic.Int64
+	totalBytes     atomic.Int64
+	coveredRecords atomic.Int64
+	coveredBytes   atomic.Int64
+	// ckptSeq is the newest durable checkpoint's sequence.
+	ckptSeq atomic.Uint64
+}
+
+// Open prepares dir (creating it if needed), recovers its contents — latest
+// valid checkpoint through opts.Restore, then every complete WAL record after
+// it through opts.Replay, truncating a torn tail — and returns the store
+// ready for appending.
+func Open(dir string, opts Options) (*Store, Recovery, error) {
+	var rec Recovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("durable: %w", err)
+	}
+	ckptSeqs, segSeqs, err := scanDir(dir)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	// Latest checkpoint that actually loads wins; a corrupt one falls back
+	// to its predecessor (retained exactly for this). If checkpoints exist
+	// but NONE validates, recovery must refuse: the segments a checkpoint
+	// covered have been pruned, so starting from an empty base would serve a
+	// consistent-looking undercount of the whole checkpointed population.
+	keys := newKeyTable()
+	base := uint64(0)
+	for i := len(ckptSeqs) - 1; i >= 0; i-- {
+		snap, ckptKeys, err := loadCheckpoint(filepath.Join(dir, checkpointName(ckptSeqs[i])), ckptSeqs[i])
+		if err != nil {
+			continue
+		}
+		if opts.Restore != nil {
+			if err := opts.Restore(snap); err != nil {
+				return nil, rec, fmt.Errorf("durable: restore checkpoint %d: %w", ckptSeqs[i], err)
+			}
+		}
+		for _, k := range ckptKeys {
+			keys.add(k.Key, k.Reports)
+		}
+		rec.HasCheckpoint = true
+		rec.CheckpointSeq = ckptSeqs[i]
+		base = ckptSeqs[i]
+		break
+	}
+	if !rec.HasCheckpoint && len(ckptSeqs) > 0 {
+		return nil, rec, fmt.Errorf("durable: %d checkpoint file(s) present but none validates — the WAL they covered has been pruned, so recovery would silently lose it; restore a checkpoint from backup or remove the data directory to accept the loss", len(ckptSeqs))
+	}
+
+	// Replay every segment the checkpoint does not cover, oldest first. The
+	// run must be contiguous and start at the checkpoint's segment — a gap
+	// means acknowledged history was deleted, which recovery refuses to
+	// paper over. Only the final segment may end torn (a crash mid-append);
+	// a defect anywhere else is corruption.
+	var replay []uint64
+	for _, s := range segSeqs {
+		if s >= base {
+			replay = append(replay, s)
+		}
+	}
+	for i, seq := range replay {
+		if want := base + uint64(i); seq != want {
+			return nil, rec, fmt.Errorf("durable: WAL segment %s is missing (found %s) — acknowledged history is gone; refusing to recover an undercount", segmentName(want), segmentName(seq))
+		}
+	}
+	var totalBytes int64
+	for i, seq := range replay {
+		final := i == len(replay)-1
+		kept, dropped, err := replaySegment(filepath.Join(dir, segmentName(seq)), seq, final, opts, &rec, keys)
+		if err != nil {
+			return nil, rec, err
+		}
+		totalBytes += kept
+		rec.DroppedTailBytes += dropped
+	}
+	rec.Keys = keys.snapshot()
+
+	// The active segment is the newest one (created now if none exists yet).
+	active := base
+	if len(replay) > 0 {
+		active = replay[len(replay)-1]
+	}
+	wal, err := openWALFile(filepath.Join(dir, segmentName(active)), opts.Fsync)
+	if err != nil {
+		return nil, rec, fmt.Errorf("durable: open WAL segment: %w", err)
+	}
+	s := &Store{dir: dir, digest: opts.Digest, fsync: opts.Fsync, wal: wal, seq: active, keys: keys}
+	s.totalRecords.Store(rec.ReplayedRecords)
+	s.totalBytes.Store(totalBytes)
+	s.ckptSeq.Store(rec.CheckpointSeq)
+	return s, rec, nil
+}
+
+// scanDir lists checkpoint and segment sequences, ascending, ignoring
+// anything else (temp files from interrupted checkpoint writes included).
+func scanDir(dir string) (ckpts, segs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, seq)
+		} else if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return ckpts, segs, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) < 8 { // zero-padded to width 8, wider once seq outgrows it
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// replaySegment feeds every complete record of one segment to opts.Replay
+// and returns (kept, dropped) byte counts. In the final segment a torn or
+// invalid tail is truncated away and counted as dropped; elsewhere it is an
+// error.
+func replaySegment(path string, seq uint64, final bool, opts Options, rec *Recovery, keys *keyTable) (int64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("durable: %w", err)
+	}
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<16)}
+	var lastGood int64
+	for {
+		r, err := DecodeRecord(cr)
+		if err == io.EOF {
+			return lastGood, 0, nil // clean end at a record boundary
+		}
+		if err != nil {
+			if errors.Is(err, errCorruptRecord) {
+				// CRC-valid garbage: the writer produced it, never drop it
+				// silently.
+				return 0, 0, fmt.Errorf("durable: WAL segment %s corrupt at offset %d: %w", filepath.Base(path), lastGood, err)
+			}
+			if !errors.Is(err, ErrTornRecord) && !errors.Is(err, errInvalidRecord) {
+				// A real I/O failure, not evidence about the bytes: abort
+				// without mutating anything — a retry after the fault must
+				// still see every record.
+				return 0, 0, fmt.Errorf("durable: read WAL segment %s: %w", filepath.Base(path), err)
+			}
+			if !final {
+				return 0, 0, fmt.Errorf("durable: WAL segment %s damaged at offset %d (only the final segment may end torn): %w", filepath.Base(path), lastGood, err)
+			}
+			// Sequential O_APPEND writes tear only at the physical end of the
+			// file, so a decodable record anywhere past the damage proves
+			// this is corruption (bit rot, out-of-order writeback), not a
+			// crash tear — refuse loudly instead of truncating acknowledged
+			// records away.
+			if off, found := scanForRecord(f, lastGood+1, st.Size(), seq); found {
+				return 0, 0, fmt.Errorf("durable: WAL segment %s damaged at offset %d but an intact record follows at offset %d — corruption, not a crash tear; refusing to truncate", filepath.Base(path), lastGood, off)
+			}
+			// The crash signature: drop the torn tail so appends resume at
+			// the last record boundary.
+			if err := os.Truncate(path, lastGood); err != nil {
+				return 0, 0, fmt.Errorf("durable: truncate torn WAL tail: %w", err)
+			}
+			return lastGood, st.Size() - lastGood, nil
+		}
+		if r.Epoch != seq {
+			return 0, 0, fmt.Errorf("durable: WAL segment %s record at offset %d carries epoch %d, segment is %d", filepath.Base(path), lastGood, r.Epoch, seq)
+		}
+		if r.Digest != "" && opts.Digest != "" && r.Digest != opts.Digest {
+			return 0, 0, fmt.Errorf("durable: WAL record was written under mechanism digest %s, collector aggregates under %s", r.Digest, opts.Digest)
+		}
+		if opts.Replay != nil {
+			if err := opts.Replay(r); err != nil {
+				return 0, 0, fmt.Errorf("durable: replay WAL record: %w", err)
+			}
+		}
+		keys.add(r.Key, int64(len(r.Reports)))
+		rec.ReplayedRecords++
+		rec.ReplayedReports += int64(len(r.Reports))
+		lastGood = cr.n
+	}
+}
+
+// scanForRecord looks for a complete, CRC-valid record of the expected epoch
+// anywhere in f's byte range [from, end): the existence of one past a damaged
+// record distinguishes corruption (refuse) from a genuine torn tail
+// (truncate). Only runs on the error path; cost is proportional to the
+// damaged tail.
+func scanForRecord(f *os.File, from, end int64, epoch uint64) (int64, bool) {
+	if from >= end {
+		return 0, false
+	}
+	tail := make([]byte, end-from)
+	if _, err := f.ReadAt(tail, from); err != nil {
+		return 0, false // unreadable tail: treat as torn, nothing provable follows
+	}
+	for i := 0; i+recordHeaderLen <= len(tail); i++ {
+		if string(tail[i:i+4]) != recordMagic {
+			continue
+		}
+		if rec, err := DecodeRecord(bytes.NewReader(tail[i:])); err == nil && rec.Epoch == epoch {
+			return from + int64(i), true
+		}
+	}
+	return 0, false
+}
+
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// recBufPool recycles record-encoding buffers: the WAL copies a record into
+// its group-commit buffer synchronously, so the encode buffer is reusable the
+// moment append returns — Append then costs no steady-state allocation.
+var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Append durably logs one batch under the given idempotency key (may be
+// empty) before the caller absorbs it. Safe for concurrent use; concurrent
+// appends group-commit into shared writes.
+func (s *Store) Append(reports []protocol.Report, key string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bp := recBufPool.Get().(*[]byte)
+	data, err := AppendRecord((*bp)[:0], Record{Epoch: s.seq, Key: key, Digest: s.digest, Reports: reports})
+	if err != nil {
+		recBufPool.Put(bp)
+		return err
+	}
+	n := int64(len(data))
+	err = s.wal.append(data)
+	*bp = data[:0]
+	recBufPool.Put(bp)
+	if err != nil {
+		return fmt.Errorf("durable: append WAL record: %w", err)
+	}
+	s.keys.add(key, int64(len(reports)))
+	s.totalRecords.Add(1)
+	s.totalBytes.Add(n)
+	return nil
+}
+
+// Rotate closes the active segment and starts the next one. The caller must
+// exclude Append for the duration and snapshot its accumulator in the same
+// exclusion window — that pairing is what makes the subsequent WriteCheckpoint
+// exact. Cheap: one file create and one close.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.seq + 1
+	nf, err := openWALFile(filepath.Join(s.dir, segmentName(next)), s.fsync)
+	if err != nil {
+		return fmt.Errorf("durable: rotate WAL: %w", err)
+	}
+	old := s.wal
+	s.wal = nf
+	s.seq = next
+	// Capture what the coming checkpoint will cover. The lag gauges keep
+	// counting against the last DURABLE checkpoint — they drop only when
+	// WriteCheckpoint succeeds, so a failing checkpoint leaves the replay
+	// debt visible instead of zeroing it.
+	s.pendingCutRecords = s.totalRecords.Load()
+	s.pendingCutBytes = s.totalBytes.Load()
+	s.pendingKeys = s.keys.snapshot()
+	if err := old.close(); err != nil {
+		return fmt.Errorf("durable: close rotated WAL segment: %w", err)
+	}
+	return nil
+}
+
+// WriteCheckpoint pins snap as the state of every segment before the active
+// one (the caller took snap in the exclusion window of the latest Rotate),
+// then prunes: the two newest checkpoints are kept, segments older than the
+// retained pair are deleted. The checkpoint is fsynced before anything is
+// pruned, in every fsync mode — losing a checkpoint is harmless only while
+// the WAL it replaces still exists.
+func (s *Store) WriteCheckpoint(snap transport.Snapshot) error {
+	s.mu.RLock()
+	seq := s.seq
+	keys := s.pendingKeys
+	cutRecords, cutBytes := s.pendingCutRecords, s.pendingCutBytes
+	s.mu.RUnlock()
+	if _, err := writeCheckpointFile(s.dir, seq, snap, keys); err != nil {
+		return fmt.Errorf("durable: write checkpoint: %w", err)
+	}
+	s.ckptSeq.Store(seq)
+	s.coveredRecords.Store(cutRecords)
+	s.coveredBytes.Store(cutBytes)
+	s.prune(seq)
+	return nil
+}
+
+// prune deletes artifacts no recovery path can need once checkpoint seq is
+// durable: checkpoints older than the previous one, and WAL segments older
+// than the oldest retained checkpoint. Best-effort — a leftover file is
+// re-pruned by the next checkpoint.
+func (s *Store) prune(seq uint64) {
+	ckpts, segs, err := scanDir(s.dir)
+	if err != nil {
+		return
+	}
+	keepFrom := seq
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		if ckpts[i] < seq {
+			keepFrom = ckpts[i] // the predecessor checkpoint stays too
+			break
+		}
+	}
+	for _, c := range ckpts {
+		if c < keepFrom {
+			os.Remove(filepath.Join(s.dir, checkpointName(c)))
+		}
+	}
+	for _, g := range segs {
+		if g < keepFrom {
+			os.Remove(filepath.Join(s.dir, segmentName(g)))
+		}
+	}
+}
+
+// Seq returns the active segment sequence.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// CheckpointSeq returns the newest durable checkpoint's sequence.
+func (s *Store) CheckpointSeq() uint64 { return s.ckptSeq.Load() }
+
+// RecordLag returns the number of records no durable checkpoint covers yet —
+// what a restart right now would replay. It keeps growing while checkpoint
+// writes fail, which is exactly when an operator needs to see it.
+func (s *Store) RecordLag() int64 { return s.totalRecords.Load() - s.coveredRecords.Load() }
+
+// ByteLag returns the WAL bytes no durable checkpoint covers yet.
+func (s *Store) ByteLag() int64 { return s.totalBytes.Load() - s.coveredBytes.Load() }
+
+// Sync forces staged records to disk regardless of the fsync mode.
+func (s *Store) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.sync()
+}
+
+// Close flushes and closes the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.close()
+}

@@ -169,8 +169,19 @@ const (
 	flagBits = 1 << 1
 )
 
-// appendReport serializes one report.
-func appendReport(buf []byte, r protocol.Report) []byte {
+// appendReport serializes one report. The pointer parameter and the
+// index-only fast path matter: this is the per-report inner loop of the
+// durable WAL's ingest-path encoder.
+func appendReport(buf []byte, r *protocol.Report) []byte {
+	idx := int64(r.Index)
+	zig := uint64(idx)<<1 ^ uint64(idx>>63)
+	if r.Seed == 0 && r.Bits == nil {
+		// Index-only report (strategy mechanisms): flags byte + varint.
+		if zig < 0x80 {
+			return append(buf, 0, byte(zig))
+		}
+		return binary.AppendUvarint(append(buf, 0), zig)
+	}
 	var flags byte
 	if r.Seed != 0 {
 		flags |= flagSeed
@@ -179,8 +190,7 @@ func appendReport(buf []byte, r protocol.Report) []byte {
 		flags |= flagBits
 	}
 	buf = append(buf, flags)
-	idx := int64(r.Index)
-	buf = binary.AppendUvarint(buf, uint64(idx)<<1^uint64(idx>>63))
+	buf = binary.AppendUvarint(buf, zig)
 	if flags&flagSeed != 0 {
 		buf = binary.AppendUvarint(buf, r.Seed)
 	}
@@ -203,22 +213,46 @@ func appendReport(buf []byte, r protocol.Report) []byte {
 	return buf
 }
 
+// AppendReportsFrame appends one complete report-batch frame to buf and
+// returns the extended slice — the allocation-free form of EncodeReports for
+// callers that embed frames into their own buffers (the durable WAL's record
+// encoder is the motivating one: it pools buffers on a hot ingest path). The
+// batch must respect the frame limits; on error buf is returned unchanged.
+func AppendReportsFrame(buf []byte, reports []protocol.Report) ([]byte, error) {
+	if len(reports) > MaxBatchReports {
+		return buf, fmt.Errorf("transport: %d reports exceed the %d-report frame limit; split the batch", len(reports), MaxBatchReports)
+	}
+	start := len(buf)
+	out := append(buf, frameMagic...)
+	out = append(out, frameVersion, kindReports)
+	out = append(out, 0, 0, 0, 0) // payload length, patched below
+	payloadStart := len(out)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(reports)))
+	for i := range reports {
+		r := &reports[i]
+		if len(r.Bits) > MaxReportBits {
+			return buf, fmt.Errorf("transport: report %d carries %d bits, over the %d-bit frame limit", i, len(r.Bits), MaxReportBits)
+		}
+		out = appendReport(out, r)
+	}
+	plen := len(out) - payloadStart
+	if plen > MaxReportsPayload {
+		return buf, fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", plen, MaxReportsPayload)
+	}
+	binary.BigEndian.PutUint32(out[start+6:], uint32(plen))
+	return out, nil
+}
+
 // EncodeReports writes one report-batch frame. The batch must respect the
 // frame limits (report count, per-report bit width, total payload bytes);
 // EncodeReportsChunked splits arbitrarily large batches instead of erroring.
 func EncodeReports(w io.Writer, reports []protocol.Report) error {
-	if len(reports) > MaxBatchReports {
-		return fmt.Errorf("transport: %d reports exceed the %d-report frame limit; split the batch", len(reports), MaxBatchReports)
+	buf, err := AppendReportsFrame(make([]byte, 0, headerLen+4+8*len(reports)), reports)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 4, 4+8*len(reports))
-	binary.BigEndian.PutUint32(buf, uint32(len(reports)))
-	for i, r := range reports {
-		if len(r.Bits) > MaxReportBits {
-			return fmt.Errorf("transport: report %d carries %d bits, over the %d-bit frame limit", i, len(r.Bits), MaxReportBits)
-		}
-		buf = appendReport(buf, r)
-	}
-	return writeFrame(w, frameVersion, kindReports, buf)
+	_, err = w.Write(buf)
+	return err
 }
 
 // EncodeReportsChunked writes a batch as one or more frames, cutting a new
@@ -238,7 +272,8 @@ func EncodeReportsChunked(w io.Writer, reports []protocol.Report) error {
 		buf, count = buf[:4], 0
 		return nil
 	}
-	for i, r := range reports {
+	for i := range reports {
+		r := &reports[i]
 		if len(r.Bits) > MaxReportBits {
 			return fmt.Errorf("transport: report %d carries %d bits, over the %d-bit frame limit", i, len(r.Bits), MaxReportBits)
 		}

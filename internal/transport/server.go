@@ -29,6 +29,51 @@ type Backend interface {
 	CountEpoch() (count float64, epoch uint64)
 }
 
+// KeyedBackend is optionally implemented by backends that persist ingested
+// batches (a write-ahead log): the transport hands the request's idempotency
+// key down with each frame so the key is logged alongside the batch, and a
+// client retry arriving after a crash-restart still absorbs exactly once —
+// the recovered key seeds the idempotency cache via SeedIdempotency.
+type KeyedBackend interface {
+	// IngestBatchKeyed is IngestBatch with the idempotency key the request
+	// declared (never empty; unkeyed requests use plain IngestBatch).
+	IngestBatchKeyed(reports []protocol.Report, key string) error
+}
+
+// DurabilityHealth is the durable-ingest status a backend exposes through
+// /healthz: what recovery restored at startup and how far the WAL has run
+// ahead of the last checkpoint (the replay cost of a crash right now).
+type DurabilityHealth struct {
+	// Recovered is true when startup restored prior state (checkpoint and/or
+	// WAL records) rather than starting empty.
+	Recovered bool `json:"recovered"`
+	// RecoveredReports counts the reports restored at startup.
+	RecoveredReports int64 `json:"recovered_reports"`
+	// ReplayedRecords counts the WAL records replayed on top of the
+	// checkpoint at startup.
+	ReplayedRecords int64 `json:"replayed_records"`
+	// DroppedTailBytes counts torn trailing WAL bytes discarded at startup —
+	// the unacknowledged remains of the previous crash.
+	DroppedTailBytes int64 `json:"dropped_tail_bytes"`
+	// CheckpointSeq is the newest durable checkpoint's sequence number.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// WALRecordLag and WALByteLag measure the WAL tail no checkpoint covers
+	// yet — what a restart right now would have to replay.
+	WALRecordLag int64 `json:"wal_record_lag"`
+	WALByteLag   int64 `json:"wal_byte_lag"`
+	// Fsync reports whether every group commit fsyncs before acknowledging.
+	Fsync bool `json:"fsync"`
+	// LastError carries the most recent background checkpoint failure, if
+	// any — ingest continues on the WAL alone, but an operator should know.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// DurableBackend is optionally implemented by backends with durable ingest;
+// /healthz includes the returned status when ok is true.
+type DurableBackend interface {
+	Durability() (health DurabilityHealth, ok bool)
+}
+
 // Info describes the mechanism a server fronts; /healthz and every v2
 // snapshot frame report it so clients can verify they randomize through the
 // configuration the collector aggregates under.
@@ -50,6 +95,9 @@ type Health struct {
 	Count  float64 `json:"count"`
 	Epoch  uint64  `json:"epoch"`
 	Info
+	// Durability reports the backend's durable-ingest status; nil for a
+	// purely in-memory collector.
+	Durability *DurabilityHealth `json:"durability,omitempty"`
 }
 
 // IdempotencyKeyHeader is the request header a client stamps a POST /reports
@@ -112,9 +160,15 @@ func (c *idemCache) begin(key string) (entry *idemOutcome, owner bool) {
 	}
 	entry = &idemOutcome{key: key, done: make(chan struct{})}
 	c.byKey[key] = c.order.PushFront(entry)
-	// Evict finished entries past capacity; in-flight claims are skipped (an
-	// unbounded number would need that many concurrent distinct keys, which
-	// the server's connection limits bound long before this map matters).
+	c.evictLocked()
+	return entry, true
+}
+
+// evictLocked removes finished entries past capacity; in-flight claims are
+// skipped (an unbounded number would need that many concurrent distinct keys,
+// which the server's connection limits bound long before this map matters).
+// Caller holds c.mu.
+func (c *idemCache) evictLocked() {
 	for el := c.order.Back(); c.order.Len() > c.cap && el != nil; {
 		prev := el.Prev()
 		if out := el.Value.(*idemOutcome); isDone(out.done) {
@@ -123,7 +177,21 @@ func (c *idemCache) begin(key string) (entry *idemOutcome, owner bool) {
 		}
 		el = prev
 	}
-	return entry, true
+}
+
+// seed inserts an already-finished outcome for key (skipped if the key is
+// present). Recovery uses it to pre-answer retries of batches the write-ahead
+// log proves were absorbed before a restart.
+func (c *idemCache) seed(key string, status int, resp ingestResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	entry := &idemOutcome{key: key, done: make(chan struct{}), status: status, resp: resp}
+	close(entry.done)
+	c.byKey[key] = c.order.PushFront(entry)
+	c.evictLocked()
 }
 
 // finish records the outcome on a claimed entry and wakes every waiter. The
@@ -202,6 +270,40 @@ func NewServer(b Backend, info Info) (*Server, error) {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SeededKey is one idempotency key recovered from a durable backend's log,
+// together with the report count absorbed under it.
+type SeededKey struct {
+	Key      string
+	Accepted int
+}
+
+// SeedIdempotency pre-fills the idempotency cache with keys a recovery proved
+// absorbed, oldest first: a client that retries a batch whose response was
+// lost to a crash gets a recorded outcome replayed instead of a second
+// absorb. Call before serving traffic. Keys the transport would not have
+// accepted (empty or oversized) are skipped; when there are more keys than
+// the cache holds, the newest win.
+//
+// The seeded outcome is deliberately a definitive 409, not a 200: the log
+// proves Accepted reports landed under the key, but not that they were the
+// request's *entire* batch — a multi-frame request interrupted mid-way logs
+// only its absorbed prefix. Replaying a 409 with the recovered count makes
+// the retrying client trim exactly that prefix and re-send any remainder
+// under a fresh key (the transport's definitive-rejection path), so a
+// complete batch costs the client one extra round trip after a crash and a
+// partial one is completed instead of silently losing its suffix.
+func (s *Server) SeedIdempotency(keys []SeededKey) {
+	for _, k := range keys {
+		if k.Key == "" || len(k.Key) > maxIdemKeyLen {
+			continue
+		}
+		s.idem.seed(k.Key, http.StatusConflict, ingestResponse{
+			Accepted: k.Accepted,
+			Error:    "request interrupted by a collector restart; the accepted count is what the write-ahead log recovered under this key",
+		})
+	}
+}
+
 // ingestResponse is the POST /reports JSON response body.
 type ingestResponse struct {
 	Accepted int    `json:"accepted"`
@@ -256,6 +358,13 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, resp)
 	}
+	// A keyed request against a durable backend logs the key with each frame,
+	// so the batch's idempotency survives a crash-restart (the recovered key
+	// re-seeds this cache).
+	ingest := s.backend.IngestBatch
+	if kb, ok := s.backend.(KeyedBackend); ok && key != "" {
+		ingest = func(reports []protocol.Report) error { return kb.IngestBatchKeyed(reports, key) }
+	}
 	accepted := 0
 	for {
 		reports, err := DecodeReports(r.Body)
@@ -266,7 +375,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			finish(http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
-		if err := s.backend.IngestBatch(reports); err != nil {
+		if err := ingest(reports); err != nil {
 			finish(http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
@@ -295,7 +404,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	count, epoch := s.backend.CountEpoch()
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Count: count, Epoch: epoch, Info: s.info})
+	h := Health{Status: "ok", Count: count, Epoch: epoch, Info: s.info}
+	if db, ok := s.backend.(DurableBackend); ok {
+		if d, ok := db.Durability(); ok {
+			h.Durability = &d
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -47,6 +47,33 @@ type RemoteCollector struct {
 	mu     sync.Mutex
 	buf    []Report     // ingested, not yet carved into a keyed batch
 	unsent []keyedBatch // carved batches awaiting a shipper
+
+	// lastEpoch/lastCount remember the highest snapshot epoch this client has
+	// observed (under mu): a later Snap returning a smaller epoch is the
+	// signature of a lossy server restart and surfaces as EpochRegressionError.
+	lastEpoch uint64
+	lastCount float64
+}
+
+// EpochRegressionError reports that the server's snapshot epoch moved
+// backwards between two Snap calls on the same RemoteCollector. A collector's
+// epoch is monotonic for its lifetime and durable recovery re-seeds it past
+// every previously served value, so a regression means the server restarted
+// and lost state (or was swapped for a different instance): estimates derived
+// from the regressed snapshot would silently undercount every report absorbed
+// before the restart. Detect it with errors.As.
+type EpochRegressionError struct {
+	// Prev and PrevCount are the last snapshot this client accepted.
+	Prev      uint64
+	PrevCount float64
+	// Observed and ObservedCount are the regressed snapshot the server served.
+	Observed      uint64
+	ObservedCount float64
+}
+
+func (e *EpochRegressionError) Error() string {
+	return fmt.Sprintf("snapshot epoch regressed from %d (count %g) to %d (count %g): the server appears to have restarted without recovering its state",
+		e.Prev, e.PrevCount, e.Observed, e.ObservedCount)
 }
 
 // keyedBatch is one carved batch with the idempotency key that makes its
@@ -272,6 +299,21 @@ func (rc *RemoteCollector) Snap(ctx context.Context) (Snapshot, error) {
 	if err := infoMismatch(rc.info, ts.Info); err != nil {
 		return Snapshot{}, fmt.Errorf("ldp: remote snapshot aggregated under a different mechanism configuration: %w", err)
 	}
+	// The epoch must never move backwards across Snap calls: a collector's
+	// epoch is monotonic and survives a durable restart, so a regression is
+	// exactly the symptom of a lossy restart — reject the snapshot instead of
+	// letting a consistent-looking undercount through. (A v1 server reports
+	// epoch 0 always, which never regresses from itself.)
+	rc.mu.Lock()
+	if ts.Epoch < rc.lastEpoch {
+		prev, prevCount := rc.lastEpoch, rc.lastCount
+		rc.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("ldp: %w", &EpochRegressionError{
+			Prev: prev, PrevCount: prevCount, Observed: ts.Epoch, ObservedCount: ts.Count,
+		})
+	}
+	rc.lastEpoch, rc.lastCount = ts.Epoch, ts.Count
+	rc.mu.Unlock()
 	// ts.State is freshly decoded and exclusively ours — no defensive copy.
 	return Snapshot{state: ts.State, count: ts.Count, epoch: ts.Epoch, info: mergeInfo(ts.Info, rc.info)}, nil
 }
@@ -334,12 +376,24 @@ type collectorBackend struct {
 
 func (b collectorBackend) IngestBatch(reports []Report) error { return b.c.IngestBatch(reports) }
 
+// IngestBatchKeyed satisfies transport.KeyedBackend: a durable collector logs
+// the idempotency key with the batch, closing the crash-restart replay hole.
+func (b collectorBackend) IngestBatchKeyed(reports []Report, key string) error {
+	return b.c.IngestBatchKeyed(reports, key)
+}
+
 func (b collectorBackend) SnapshotEpoch() ([]float64, float64, uint64) {
 	return b.c.snapshot()
 }
 
 func (b collectorBackend) CountEpoch() (float64, uint64) {
 	return b.c.countEpoch()
+}
+
+// Durability satisfies transport.DurableBackend so /healthz reports recovery
+// status and WAL lag for a durable collector.
+func (b collectorBackend) Durability() (transport.DurabilityHealth, bool) {
+	return b.c.Durability()
 }
 
 // NewCollectorServer binds an in-process Collector to the HTTP transport —
@@ -354,6 +408,12 @@ func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error)
 	s, err := transport.NewServer(collectorBackend{c}, info)
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
+	}
+	// A durable collector's recovery proves which keyed batches were absorbed
+	// before the restart; seeding them lets a client retry of a lost response
+	// replay instead of double-absorbing.
+	if keys := c.recoveredIdempotencyKeys(); len(keys) > 0 {
+		s.SeedIdempotency(keys)
 	}
 	return s.Handler(), nil
 }

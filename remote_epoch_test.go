@@ -1,0 +1,105 @@
+package ldp_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	ldp "repro"
+	"repro/internal/benchfix"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// epochBackend is a scriptable transport backend whose snapshot epoch the
+// test moves at will — the stand-in for a server that restarted and lost its
+// durable state.
+type epochBackend struct {
+	mu    sync.Mutex
+	state []float64
+	count float64
+	epoch uint64
+}
+
+func (b *epochBackend) IngestBatch(reports []protocol.Report) error { return nil }
+
+func (b *epochBackend) SnapshotEpoch() ([]float64, float64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := append([]float64(nil), b.state...)
+	return st, b.count, b.epoch
+}
+
+func (b *epochBackend) CountEpoch() (float64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count, b.epoch
+}
+
+func (b *epochBackend) set(count float64, epoch uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.count, b.epoch = count, epoch
+}
+
+// A snapshot epoch moving backwards between Snap calls is exactly the symptom
+// of an undetected lossy restart; RemoteCollector must surface it as the
+// typed EpochRegressionError instead of handing back a consistent-looking
+// undercount.
+func TestRemoteSnapDetectsEpochRegression(t *testing.T) {
+	const n = 8
+	w := ldp.Histogram(n)
+	s := benchfix.RRStrategy(n, 1.0)
+	agg, err := ldp.NewAggregator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &epochBackend{state: make([]float64, n), count: 40, epoch: 5}
+	srv, err := transport.NewServer(backend, transport.Info{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	rc, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteHTTPClient(hs.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := rc.Snap(ctx); err != nil {
+		t.Fatalf("first snap: %v", err)
+	}
+	// Same epoch again is fine (identical snapshot), and advancing is fine.
+	if _, err := rc.Snap(ctx); err != nil {
+		t.Fatalf("same-epoch snap: %v", err)
+	}
+	backend.set(55, 9)
+	if _, err := rc.Snap(ctx); err != nil {
+		t.Fatalf("advanced snap: %v", err)
+	}
+
+	// The lossy restart: epoch (and count) fall back.
+	backend.set(3, 2)
+	_, err = rc.Snap(ctx)
+	var reg *ldp.EpochRegressionError
+	if !errors.As(err, &reg) {
+		t.Fatalf("regressed snap returned %v, want an EpochRegressionError", err)
+	}
+	if reg.Prev != 9 || reg.Observed != 2 || reg.PrevCount != 55 || reg.ObservedCount != 3 {
+		t.Fatalf("regression details %+v", reg)
+	}
+
+	// The client keeps refusing until the server's epoch catches back up —
+	// the high-water mark is not reset by the failed call.
+	backend.set(4, 3)
+	if _, err := rc.Snap(ctx); !errors.As(err, &reg) {
+		t.Fatalf("still-regressed snap returned %v", err)
+	}
+	backend.set(60, 9)
+	if _, err := rc.Snap(ctx); err != nil {
+		t.Fatalf("recovered snap: %v", err)
+	}
+}
