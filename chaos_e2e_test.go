@@ -1,0 +1,393 @@
+package ldp_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ldp "repro"
+	"repro/internal/chaos"
+)
+
+// The chaos fan-in scenario: 4 shards behind fault-injecting proxies, one of
+// them a separate durable OS process that is SIGKILLed mid-ingest and
+// restarted from its write-ahead log. Sustained keyed ingest runs through a
+// Fleet across drops, delays, connection resets, 503 bursts, and truncated
+// responses; the acceptance criteria are exactly-once delivery end to end
+// (the merged state is bit-identical to a reference collector fed the same
+// reports), an honest degraded merge while the killed shard is down
+// (coverage 3/4), and a final estimate inside the repo's 6σ statistical
+// envelopes.
+const (
+	chaosDomain = 32
+	chaosUsers  = 20000
+	chaosBatch  = 125
+	chaosEps    = 1.0
+)
+
+// TestChaosShardProcess is not a test in the normal run: it is the shard
+// subprocess body, re-executed from the test binary with LDP_CHAOS_SHARD=1.
+// It serves a durable OUE collector on a loopback port, publishes the
+// address, and runs until killed — SIGKILL included; recovery on the next
+// start comes from the write-ahead log alone.
+func TestChaosShardProcess(t *testing.T) {
+	if os.Getenv("LDP_CHAOS_SHARD") != "1" {
+		t.Skip("subprocess body; driven by TestChaosFanInUnderFailure")
+	}
+	o, err := ldp.OracleByName("OUE", chaosDomain, chaosEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ldp.Histogram(chaosDomain)
+	col, err := ldp.NewCollector(o, w, 0, ldp.WithDurability(os.Getenv("LDP_CHAOS_DATA_DIR")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := ldp.NewCollectorService(col, ldp.MechanismInfoOf(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the address atomically so the parent never reads a torn write.
+	addrFile := os.Getenv("LDP_CHAOS_ADDR_FILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until the parent SIGKILLs us. There is deliberately no shutdown
+	// path: the whole point is dying without one.
+	_ = http.Serve(ln, svc.Handler())
+}
+
+// startShardProcess re-execs the test binary as a durable shard over
+// dataDir and returns its base URL and process handle.
+func startShardProcess(t *testing.T, dataDir string) (string, *exec.Cmd) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(t.TempDir(), fmt.Sprintf("addr-%d", time.Now().UnixNano()))
+	cmd := exec.Command(exe, "-test.run=^TestChaosShardProcess$")
+	cmd.Env = append(os.Environ(),
+		"LDP_CHAOS_SHARD=1",
+		"LDP_CHAOS_DATA_DIR="+dataDir,
+		"LDP_CHAOS_ADDR_FILE="+addrFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait() // reap; error is expected after a kill
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return "http://" + string(b), cmd
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("shard subprocess never published its address")
+	return "", nil
+}
+
+// dynamicProxy forwards to a retargetable backend, so the fleet keeps one
+// stable endpoint for a shard whose process (and port) is replaced after a
+// crash. While the backend is down, requests fail with a retryable 502.
+type dynamicProxy struct {
+	mu     sync.Mutex
+	target *url.URL
+	rp     *httputil.ReverseProxy
+}
+
+func newDynamicProxy(t *testing.T, rawURL string) *dynamicProxy {
+	t.Helper()
+	d := &dynamicProxy{}
+	d.retarget(t, rawURL)
+	d.rp = &httputil.ReverseProxy{
+		Director: func(req *http.Request) {
+			d.mu.Lock()
+			tgt := d.target
+			d.mu.Unlock()
+			req.URL.Scheme = tgt.Scheme
+			req.URL.Host = tgt.Host
+		},
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			w.WriteHeader(http.StatusBadGateway)
+		},
+		ErrorLog: nil,
+	}
+	return d
+}
+
+func (d *dynamicProxy) retarget(t *testing.T, rawURL string) {
+	t.Helper()
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	d.target = u
+	d.mu.Unlock()
+}
+
+func (d *dynamicProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { d.rp.ServeHTTP(w, r) }
+
+func TestChaosFanInUnderFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos scenario")
+	}
+	o, err := ldp.OracleByName("OUE", chaosDomain, chaosEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ldp.Histogram(chaosDomain)
+
+	// Ground truth and the full randomized report stream, fixed seeds.
+	x := make([]float64, chaosDomain)
+	rng := rand.New(rand.NewSource(42))
+	client, err := ldp.NewClient(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make([]ldp.Report, chaosUsers)
+	for i := range reports {
+		v := rng.Intn(chaosDomain)
+		x[v]++
+		if reports[i], err = client.Randomize(v, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shard 0: a separate durable process behind a retargetable proxy —
+	// the one that gets SIGKILLed and recovered. Shards 1–3: in-process.
+	dataDir := t.TempDir()
+	addr0, proc := startShardProcess(t, dataDir)
+	dyn := newDynamicProxy(t, addr0)
+	plan := chaos.Plan{
+		DropBefore:  0.02, // connection reset before the backend sees the request
+		DropAfter:   0.02, // absorbed, response lost — the ambiguous failure
+		Truncate:    0.02, // mid-frame response kill
+		Unavailable: 0.03, // 503 bursts
+		BurstLen:    2,
+		Delay:       0.05,
+		DelayFor:    time.Millisecond,
+	}
+	proxies := make([]*chaos.Proxy, 4)
+	endpoints := make([]string, 4)
+	proxies[0] = chaos.New(dyn, plan, 101)
+	hs0 := httptest.NewServer(proxies[0])
+	t.Cleanup(hs0.Close)
+	endpoints[0] = hs0.URL
+	inProc := make([]*fleetShard, 0, 3)
+	for i := 1; i < 4; i++ {
+		sh := newFleetShard(t, o, w)
+		inProc = append(inProc, sh)
+		proxies[i] = chaos.New(sh.svc.Handler(), plan, uint64(100+i))
+		hs := httptest.NewServer(proxies[i])
+		t.Cleanup(hs.Close)
+		endpoints[i] = hs.URL
+	}
+
+	fleet, err := ldp.NewFleet(o, w,
+		ldp.WithFleetRetryPolicy(ldp.RetryPolicy{
+			MaxAttempts:       8,
+			InitialBackoff:    time.Millisecond,
+			MaxBackoff:        20 * time.Millisecond,
+			Multiplier:        2,
+			Jitter:            0.5,
+			PerAttemptTimeout: 10 * time.Second,
+		}),
+		ldp.WithFleetRemoteOptions(ldp.WithRemoteBatch(chaosBatch)),
+		ldp.WithFleetUnhealthyAfter(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, ep := range endpoints {
+		if err := fleet.Register(ctx, ep); err != nil {
+			t.Fatalf("register %s: %v", ep, err)
+		}
+	}
+	waitFleet(t, "all 4 shards routable", func() bool {
+		fleet.Probe(ctx)
+		return fleet.ReadyCount() == 4
+	})
+
+	// Phase 1: sustained keyed ingest through the chaos. A batch whose
+	// retries exhaust stays queued against its shard — nothing is dropped.
+	ingest := func(lo, hi int) {
+		for i := lo; i < hi; i += chaosBatch {
+			end := i + chaosBatch
+			if end > hi {
+				end = hi
+			}
+			_ = fleet.IngestBatch(ctx, reports[i:end]) // failures stay queued; FlushAll settles them
+			if (i/chaosBatch)%8 == 7 {
+				fleet.Probe(ctx)
+			}
+		}
+	}
+	ingest(0, 12000)
+
+	// Phase 2: SIGKILL the durable shard mid-stream and keep ingesting.
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = proc.Wait()
+	ingest(12000, 16000)
+
+	// The degraded merge: with the killed shard unreachable (and never yet
+	// snapshotted, so there is no stale state to fall back on), the merge
+	// still answers and says exactly what it covers: 3 of 4 shards.
+	fleet.Probe(ctx)
+	fleet.Probe(ctx)
+	_, cov, err := fleet.Snap(ctx)
+	if err != nil {
+		t.Fatalf("degraded snap with 1 shard down: %v", err)
+	}
+	if cov.Merged() != 3 || cov.Total != 4 {
+		t.Fatalf("degraded coverage = %s, want 3/4", cov)
+	}
+	if !strings.HasPrefix(cov.String(), "3/4 shards") {
+		t.Fatalf("coverage string = %q", cov.String())
+	}
+
+	// Phase 3: crash-recover-rejoin. The restarted process recovers count,
+	// epoch, and the idempotency keys of every acknowledged batch from its
+	// WAL, so stranded retries replay instead of double-absorbing.
+	addr0again, _ := startShardProcess(t, dataDir)
+	dyn.retarget(t, addr0again)
+	waitFleet(t, "killed shard to rejoin after recovery", func() bool {
+		fleet.Probe(ctx)
+		for _, m := range fleet.Members() {
+			if m.Endpoint == endpoints[0] {
+				return m.Ready
+			}
+		}
+		return false
+	})
+	ingest(16000, chaosUsers)
+
+	// Phase 4: settle. Chaos off, then flush until every queue drains —
+	// including batches stranded on the killed shard across its restart.
+	for _, p := range proxies {
+		p.SetPlan(chaos.Plan{})
+	}
+	var flushErr error
+	for attempt := 0; attempt < 30; attempt++ {
+		if flushErr = fleet.FlushAll(ctx); flushErr == nil {
+			break
+		}
+		fleet.Probe(ctx)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if flushErr != nil {
+		t.Fatalf("queues never drained: %v", flushErr)
+	}
+
+	// Acceptance: the chaos actually fired — every proxy injected faults,
+	// and every fault category fired somewhere in the fleet.
+	var agg chaos.Stats
+	for i, p := range proxies {
+		st := p.Stats()
+		if st.Requests == 0 || st.Requests == st.Forwarded {
+			t.Fatalf("proxy %d injected no chaos at all: %+v", i, st)
+		}
+		agg.DropsBefore += st.DropsBefore
+		agg.DropsAfter += st.DropsAfter
+		agg.Truncated += st.Truncated
+		agg.Unavailable += st.Unavailable
+		agg.Delayed += st.Delayed
+	}
+	if agg.DropsBefore == 0 || agg.DropsAfter == 0 || agg.Truncated == 0 || agg.Unavailable == 0 || agg.Delayed == 0 {
+		t.Fatalf("some fault category never fired across the fleet: %+v", agg)
+	}
+	// ...and exactly-once held through all of it: the merged fleet state is
+	// bit-identical to one reference collector fed the same 20k reports
+	// (accumulators are order-independent sums, so equality is exact).
+	snap, cov, err := fleet.Snap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Complete() {
+		t.Fatalf("final coverage = %s, want 4/4 fresh", cov)
+	}
+	if snap.Count() != chaosUsers {
+		t.Fatalf("merged count %v, want exactly %d (every acknowledged report, no duplicates)", snap.Count(), chaosUsers)
+	}
+	var perShard float64
+	for _, sc := range cov.Shards {
+		perShard += sc.Count
+	}
+	if perShard != chaosUsers {
+		t.Fatalf("per-shard counts sum to %v, want %d", perShard, chaosUsers)
+	}
+	ref, err := ldp.NewServer(o, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.IngestBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	refState, gotState := ref.Snap().State(), snap.State()
+	for i := range refState {
+		if gotState[i] != refState[i] {
+			t.Fatalf("state[%d]: fleet %v != reference %v — reports were lost or duplicated", i, gotState[i], refState[i])
+		}
+	}
+
+	// And the estimate is statistically sound: every cell inside the same
+	// 6σ envelope the repo's acceptance tests use (σ² = N·VariancePerUser,
+	// inflated 1.5× for occupied cells).
+	est, err := ldp.NewEstimator(o, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := est.Answers(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 6.0 * math.Sqrt(float64(chaosUsers)*o.VariancePerUser()*1.5)
+	for v := range x {
+		if d := answers[v] - x[v]; math.Abs(d) > bound {
+			t.Errorf("count[%d] estimate %.1f is %.1f off the truth %.0f — outside the ±%.1f envelope", v, answers[v], d, x[v], bound)
+		}
+	}
+	t.Logf("chaos totals: %+v / %+v / %+v / %+v", proxies[0].Stats(), proxies[1].Stats(), proxies[2].Stats(), proxies[3].Stats())
+}
+
+// waitFleet polls cond with a generous deadline.
+func waitFleet(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,25 +1,32 @@
 // Command ldpfed is the multi-collector fan-in driver: it polls several
 // ldpserve shards that aggregate the same mechanism, verifies each shard's
 // mechanism identity (digest included — two strategy matrices sharing
-// name/domain/ε are still different channels), merges their snapshots with
-// Snapshot.Merge, and emits one estimate, exactly as if every report had
-// been ingested into a single collector. The accumulator contract makes the
-// merge an element-wise sum, so the fan-in answers are bit-identical to a
+// name/domain/ε are still different channels), merges their snapshots, and
+// emits one estimate, exactly as if every report had been ingested into a
+// single collector. The accumulator contract makes the merge an element-wise
+// sum, so a full-coverage fan-in answer is bit-identical to a
 // single-collector run over the same reports.
+//
+// The fan-in is failure-aware: shards live in a health-gated Fleet, so a
+// shard that is down contributes its last-good snapshot (marked stale in the
+// coverage line) or becomes an explicit coverage gap, instead of killing the
+// merge or silently undercounting. -quorum N refuses to print an estimate
+// covering fewer than N shards; -no-stale turns the stale fallback off.
 //
 // Usage:
 //
 //	ldpfed -servers http://10.0.0.1:8089,http://10.0.0.2:8089 -mech oue -n 256 -eps 1.0
 //	ldpfed -servers shardA:8089,shardB:8089 -strategy prefix64.strategy -workload Prefix
-//	ldpfed -servers shardA:8089,shardB:8089 -mech rappor -n 64 -watch 15s
+//	ldpfed -servers shardA:8089,shardB:8089 -mech rappor -n 64 -watch 15s -quorum 2
 //
-// Each shard line reports its count, snapshot epoch, and digest, so a stale
-// or mismatched shard is visible before its snapshot poisons the merge; a
-// shard whose count diverges from its peers by more than -drift (the
+// Each shard line reports its contribution (fresh, stale, or missing), count,
+// and snapshot epoch, so a degraded or diverged shard is visible next to its
+// peers; a shard whose count diverges from its peers by more than -drift (the
 // signature of a shard restored from a stale checkpoint) is called out
 // explicitly. With -watch the command keeps running: it re-polls the shards'
 // /healthz on the interval and re-merges only when some shard's snapshot
-// epoch advances, so an idle fleet costs one cheap health round per tick.
+// epoch advances. A flapping shard, a below-quorum pass, or a detected epoch
+// regression logs and retries next tick rather than killing the watcher.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -35,22 +43,21 @@ import (
 	"repro/internal/mechflag"
 )
 
-// shard is one polled endpoint plus the snapshot epoch of the last merge it
-// contributed to (what -watch compares /healthz against).
-type shard struct {
-	endpoint  string
-	rc        *ldp.RemoteCollector
-	lastEpoch uint64
-}
-
-// fed is the merge pipeline shared by the one-shot and -watch modes.
+// fed is the merge pipeline shared by the one-shot and -watch modes, with
+// its outputs injectable so tests drive the loop directly.
 type fed struct {
-	shards  []*shard
+	fleet   *ldp.Fleet
 	est     *ldp.Estimator
 	info    ldp.MechanismInfo
 	level   float64
 	drift   float64
 	timeout time.Duration
+	out     io.Writer
+	errw    io.Writer
+
+	// lastEpochs is endpoint→epoch as of the last successful merge — what
+	// the cheap watch round compares /healthz against.
+	lastEpochs map[string]uint64
 }
 
 func main() {
@@ -65,6 +72,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-pass deadline for polling the shards")
 	watch := flag.Duration("watch", 0, "continuous mode: re-poll /healthz on this interval and re-merge when a shard's epoch advances (0 = one shot)")
 	drift := flag.Float64("drift", 10, "warn when the largest shard count exceeds the smallest by this ratio — a stale-checkpoint recovery symptom (0 disables)")
+	quorum := flag.Int("quorum", 0, "refuse to print an estimate covering fewer than this many shards (0 = any non-empty coverage)")
+	noStale := flag.Bool("no-stale", false, "disable the stale-snapshot fallback: an unreachable shard becomes a coverage gap instead of a stale contribution")
 	flag.Parse()
 
 	endpoints := splitServers(*servers)
@@ -75,7 +84,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	info := ldp.MechanismInfoOf(agg)
 	w, err := ldp.WorkloadByName(*wname, agg.Domain())
 	if err != nil {
 		fatal(err)
@@ -84,98 +92,113 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fleet, err := ldp.NewFleet(agg, w,
+		ldp.WithFleetQuorum(*quorum),
+		ldp.WithFleetStaleFallback(!*noStale))
+	if err != nil {
+		fatal(err)
+	}
 
-	f := &fed{est: est, info: info, level: *level, drift: *drift, timeout: *timeout}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	// Handshake every shard up front: a mismatched mechanism is fatal
-	// configuration, in either mode, before a byte of state moves.
+	f := &fed{
+		fleet: fleet, est: est, info: ldp.MechanismInfoOf(agg),
+		level: *level, drift: *drift, timeout: *timeout,
+		out: os.Stdout, errw: os.Stderr,
+		lastEpochs: make(map[string]uint64),
+	}
+	regCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	// Register every shard up front: a mismatched mechanism is fatal
+	// configuration in either mode, before a byte of state moves; a shard
+	// that is merely down right now is admitted as a coverage gap and joins
+	// the merge when it comes back.
 	for _, ep := range endpoints {
-		rc, err := ldp.NewRemoteCollector(ep, agg, w)
-		if err != nil {
+		if err := fleet.Register(regCtx, ep); err != nil {
 			cancel()
 			fatal(err)
 		}
-		if err := rc.Verify(ctx, info.Mechanism, info.Epsilon, info.Digest); err != nil {
-			cancel()
-			fatal(fmt.Errorf("%s: %w", ep, err))
-		}
-		f.shards = append(f.shards, &shard{endpoint: ep, rc: rc})
 	}
 	cancel()
 
-	if err := f.mergeAndReport(); err != nil {
+	if err := f.mergeAndReport(context.Background()); err != nil {
 		fatal(err)
 	}
 	if *watch <= 0 {
 		return
 	}
-	// Continuous mode: one cheap /healthz round per tick; a full snapshot
-	// pull + re-merge only when some shard observed a new state. A flapping
-	// shard (or a detected epoch regression) logs and retries next tick
-	// rather than killing the watcher.
-	for range time.Tick(*watch) {
-		advanced, err := f.anyEpochAdvanced()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ldpfed: %v (retrying in %s)\n", err, *watch)
-			continue
-		}
-		if !advanced {
-			continue
-		}
-		if err := f.mergeAndReport(); err != nil {
-			fmt.Fprintf(os.Stderr, "ldpfed: %v (retrying in %s)\n", err, *watch)
+	f.watch(context.Background(), *watch)
+}
+
+// watch is the continuous mode: one cheap /healthz round per tick, a full
+// snapshot pull + re-merge only when some shard observed a new state. Any
+// failure — a flapping shard, a below-quorum pass, an epoch regression —
+// logs and retries next tick rather than killing the watcher. It returns
+// when ctx is done.
+func (f *fed) watch(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if !f.epochsAdvanced(ctx) {
+				continue
+			}
+			if err := f.mergeAndReport(ctx); err != nil {
+				fmt.Fprintf(f.errw, "ldpfed: %v (retrying in %s)\n", err, interval)
+			}
 		}
 	}
 }
 
-// anyEpochAdvanced asks every shard's /healthz for its (count, epoch) pair
-// and reports whether any epoch differs from the last merged one.
-func (f *fed) anyEpochAdvanced() (bool, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+// epochsAdvanced runs the cheap watch round: true when any reachable shard's
+// /healthz epoch differs from the one it contributed to the last merge —
+// including a shard reappearing after an outage. Unreachable shards are
+// skipped (their epoch cannot have been observed to move).
+func (f *fed) epochsAdvanced(ctx context.Context) bool {
+	pctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
-	advanced := false
-	for _, sh := range f.shards {
-		h, err := sh.rc.Healthz(ctx)
-		if err != nil {
-			return false, fmt.Errorf("%s: %w", sh.endpoint, err)
-		}
-		if h.Epoch != sh.lastEpoch {
-			advanced = true
+	for ep, epoch := range f.fleet.Epochs(pctx) {
+		if epoch != f.lastEpochs[ep] {
+			return true
 		}
 	}
-	return advanced, nil
+	return false
 }
 
-// mergeAndReport pulls one consistent snapshot per shard, warns on count
-// drift, merges, and prints the estimate table.
-func (f *fed) mergeAndReport() error {
-	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+// mergeAndReport pulls one degraded-tolerant merged snapshot, reports the
+// per-shard coverage, warns on count drift, and prints the estimate table.
+func (f *fed) mergeAndReport(ctx context.Context) error {
+	mctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 
-	snaps := make([]ldp.Snapshot, 0, len(f.shards))
-	fmt.Printf("%-32s %12s %8s %s\n", "shard", "count", "epoch", "digest")
-	for _, sh := range f.shards {
-		snap, err := sh.rc.Snap(ctx)
-		if err != nil {
-			return fmt.Errorf("%s: %w", sh.endpoint, err)
-		}
-		fmt.Printf("%-32s %12d %8d %s\n", sh.endpoint, int(snap.Count()), snap.Epoch(), snap.Info().Digest)
-		snaps = append(snaps, snap)
-	}
-	f.warnDrift(snaps)
-
-	merged, err := ldp.MergeSnapshots(snaps...)
+	merged, cov, err := f.fleet.Snap(mctx)
 	if err != nil {
 		return err
 	}
-	// Commit the epochs only after the whole pass succeeded, so a failed
-	// merge is retried by the next -watch tick.
-	for i, sh := range f.shards {
-		sh.lastEpoch = snaps[i].Epoch()
+	fmt.Fprintf(f.out, "%-32s %8s %12s %8s\n", "shard", "status", "count", "epoch")
+	for _, sc := range cov.Shards {
+		fmt.Fprintf(f.out, "%-32s %8s %12d %8d\n", sc.Endpoint, sc.Status, int(sc.Count), sc.Epoch)
+		if sc.Err != "" {
+			// The degradation reason — an unreachable shard, an epoch
+			// regression the snapshot path refused — is operator-facing.
+			fmt.Fprintf(f.errw, "ldpfed: shard %s %s: %s\n", sc.Endpoint, sc.Status, sc.Err)
+		}
 	}
-	fmt.Printf("\nmerged %d shards: %d reports under %s (n=%d, ε=%g) at %s\n",
-		len(snaps), int(merged.Count()), f.info.Mechanism, f.info.Domain, f.info.Epsilon,
-		time.Now().Format(time.RFC3339))
+	f.warnDrift(cov.Shards)
+	if !cov.Complete() {
+		fmt.Fprintf(f.errw, "ldpfed: WARNING: partial merge, coverage %s — the estimate undercounts the missing/stale shards' recent reports\n", cov)
+	}
+
+	// Commit the watch epochs only after a successful pass, and only for the
+	// shards that contributed fresh state — a stale contribution leaves its
+	// epoch un-advanced so the next tick re-pulls when the shard returns.
+	for _, sc := range cov.Shards {
+		if sc.Status == ldp.CoverageFresh {
+			f.lastEpochs[sc.Endpoint] = sc.Epoch
+		}
+	}
+	fmt.Fprintf(f.out, "\nmerged coverage %s: %d reports under %s (n=%d, ε=%g)\n",
+		cov, int(merged.Count()), f.info.Mechanism, f.info.Domain, f.info.Epsilon)
 
 	unbiased, err := f.est.Answers(merged)
 	if err != nil {
@@ -191,28 +214,28 @@ func (f *fed) mergeAndReport() error {
 	var intervals []ldp.Interval
 	if f.level > 0 {
 		if intervals, err = f.est.ConfidenceIntervals(merged, f.level); err != nil {
-			fmt.Fprintf(os.Stderr, "ldpfed: confidence intervals unavailable: %v\n", err)
+			fmt.Fprintf(f.errw, "ldpfed: confidence intervals unavailable: %v\n", err)
 		}
 	}
 
-	fmt.Printf("\n%-8s %14s %14s", "query", "unbiased", "consistent")
+	fmt.Fprintf(f.out, "\n%-8s %14s %14s", "query", "unbiased", "consistent")
 	if intervals != nil {
-		fmt.Printf("   %g%% interval", 100*f.level)
+		fmt.Fprintf(f.out, "   %g%% interval", 100*f.level)
 	}
-	fmt.Println()
+	fmt.Fprintln(f.out)
 	show := len(unbiased)
 	if show > 12 {
 		show = 12
 	}
 	for i := 0; i < show; i++ {
-		fmt.Printf("%-8d %14.1f %14.1f", i, unbiased[i], consistent[i])
+		fmt.Fprintf(f.out, "%-8d %14.1f %14.1f", i, unbiased[i], consistent[i])
 		if intervals != nil {
-			fmt.Printf("   [%.1f, %.1f]", intervals[i].Low, intervals[i].High)
+			fmt.Fprintf(f.out, "   [%.1f, %.1f]", intervals[i].Low, intervals[i].High)
 		}
-		fmt.Println()
+		fmt.Fprintln(f.out)
 	}
 	if len(unbiased) > show {
-		fmt.Printf("... (%d more queries)\n", len(unbiased)-show)
+		fmt.Fprintf(f.out, "... (%d more queries)\n", len(unbiased)-show)
 	}
 	return nil
 }
@@ -220,23 +243,29 @@ func (f *fed) mergeAndReport() error {
 // warnDrift flags a shard population that has diverged past the configured
 // ratio — exactly what a shard silently restored from a stale checkpoint
 // looks like next to its peers. Counts need not be equal (shards can serve
-// uneven populations); an order-of-magnitude split warrants an operator look.
-func (f *fed) warnDrift(snaps []ldp.Snapshot) {
-	if f.drift <= 0 || len(snaps) < 2 {
+// uneven populations); an order-of-magnitude split warrants an operator
+// look. Missing shards are excluded — their gap is already reported.
+func (f *fed) warnDrift(shards []ldp.ShardCoverage) {
+	if f.drift <= 0 {
 		return
 	}
-	minC, maxC := snaps[0].Count(), snaps[0].Count()
-	minEp, maxEp := f.shards[0].endpoint, f.shards[0].endpoint
-	for i, s := range snaps[1:] {
-		switch c := s.Count(); {
-		case c < minC:
-			minC, minEp = c, f.shards[i+1].endpoint
-		case c > maxC:
-			maxC, maxEp = c, f.shards[i+1].endpoint
+	first := true
+	var minC, maxC float64
+	var minEp, maxEp string
+	for _, sc := range shards {
+		if sc.Status == ldp.CoverageMissing {
+			continue
 		}
+		if first || sc.Count < minC {
+			minC, minEp = sc.Count, sc.Endpoint
+		}
+		if first || sc.Count > maxC {
+			maxC, maxEp = sc.Count, sc.Endpoint
+		}
+		first = false
 	}
-	if maxC > minC*f.drift && maxC > 0 {
-		fmt.Fprintf(os.Stderr,
+	if !first && maxC > minC*f.drift && maxC > 0 {
+		fmt.Fprintf(f.errw,
 			"ldpfed: WARNING: shard counts diverge beyond the %gx drift threshold: %s holds %d reports, %s only %d — %s may have recovered from a stale checkpoint or lost its state\n",
 			f.drift, maxEp, int(maxC), minEp, int(minC), minEp)
 	}

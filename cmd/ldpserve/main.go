@@ -81,12 +81,24 @@ func main() {
 		fmt.Printf("ldpserve: durable ingest in %s (fsync=%v): recovered %d reports (%d WAL records replayed, %d torn tail bytes dropped, checkpoint seq %d)\n",
 			*dataDir, st.Fsync, st.RecoveredReports, st.ReplayedRecords, st.DroppedTailBytes, st.CheckpointSeq)
 	}
-	handler, err := ldp.NewCollectorServer(col, info)
+	svc, err := ldp.NewCollectorService(col, info)
 	if err != nil {
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	// Full server-side timeouts: a stalled or hostile peer cannot hold a
+	// connection open forever, and request bodies are already bounded by the
+	// transport's MaxBytesReader. The read/write budgets are generous — a
+	// snapshot of a wide mechanism is a large frame on a slow link.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -100,8 +112,12 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	// Graceful drain: in-flight ingests finish; the final count is logged so
-	// an operator can reconcile against their drivers.
+	// Graceful drain: new ingest is refused with a retryable 503 (clients
+	// keep their keyed batches and land them on another shard or a restart)
+	// while /readyz flips not-ready for the router tier; in-flight ingests
+	// finish; the final count is logged so an operator can reconcile
+	// against their drivers.
+	svc.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,769 @@
+package ldp
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/retry"
+	"repro/internal/transport"
+)
+
+// StatusError re-exports the transport's definitive-response error so fleet
+// and remote-collector callers can classify failures (Temporary or not)
+// without importing an internal package.
+type StatusError = transport.StatusError
+
+// BreakerPolicy shapes the per-shard circuit breaker a Fleet keeps: how many
+// consecutive failures trip it open and how long it refuses before probing
+// again. The zero value uses sane defaults (5 failures, 5s cooldown); the
+// Now field is injectable so tests pin the clock.
+type BreakerPolicy = retry.BreakerPolicy
+
+// ErrNoReadyShards reports that an ingest had no live backend to route to:
+// every member is gated out (not ready, breaker open, or never registered).
+var ErrNoReadyShards = errors.New("ldp: no ready shards to route to")
+
+// QuorumError reports a merge refused in strict mode: fewer shards
+// contributed than the configured quorum, so a partial estimate was withheld
+// rather than served. The Coverage says exactly who was missing and why.
+type QuorumError struct {
+	Merged   int
+	Quorum   int
+	Coverage Coverage
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("ldp: merged %d of %d shards, below the quorum of %d (%s)",
+		e.Merged, e.Coverage.Total, e.Quorum, e.Coverage)
+}
+
+// CoverageStatus is one shard's contribution to a merged snapshot.
+type CoverageStatus int
+
+const (
+	// CoverageFresh: the shard answered this merge with a live snapshot.
+	CoverageFresh CoverageStatus = iota
+	// CoverageStale: the shard was unreachable (or its breaker open); its
+	// last successfully fetched snapshot was merged instead, so the estimate
+	// undercounts only what the shard absorbed since then.
+	CoverageStale
+	// CoverageMissing: the shard contributed nothing — unreachable with no
+	// stale snapshot to fall back on (or stale fallback disabled).
+	CoverageMissing
+)
+
+func (s CoverageStatus) String() string {
+	switch s {
+	case CoverageFresh:
+		return "fresh"
+	case CoverageStale:
+		return "stale"
+	case CoverageMissing:
+		return "missing"
+	}
+	return "unknown"
+}
+
+// ShardCoverage annotates one shard's part in a merged snapshot: what it
+// contributed (fresh, stale, nothing), the epoch and count of that
+// contribution — for a missing shard, the last-good epoch and count the
+// fleet ever saw, so an operator knows how much the partial merge is missing
+// — and the error that degraded it.
+type ShardCoverage struct {
+	Endpoint string
+	Status   CoverageStatus
+	// Epoch and Count describe the merged contribution (fresh/stale), or the
+	// last-good snapshot the fleet holds for a missing shard (zero if none).
+	Epoch uint64
+	Count float64
+	// Err is why the shard did not contribute fresh state ("" when fresh).
+	Err string
+}
+
+// Coverage is the honesty annotation on a degraded merge: how many of the
+// fleet's shards contributed, how (fresh vs stale), and per-shard detail for
+// the ones that did not. A merge under failure returns a partial Snapshot
+// plus a Coverage saying exactly what it covers, instead of failing — or
+// worse, silently undercounting.
+type Coverage struct {
+	Total int // registered shards at merge time
+	Fresh int // shards that answered this merge
+	Stale int // shards merged from their last-good snapshot
+	// Shards has one entry per member in registration order.
+	Shards []ShardCoverage
+}
+
+// Merged returns the number of shards that contributed state (fresh+stale).
+func (c Coverage) Merged() int { return c.Fresh + c.Stale }
+
+// Complete reports whether every registered shard contributed fresh state.
+func (c Coverage) Complete() bool { return c.Fresh == c.Total }
+
+// String renders the operator-facing summary, e.g. "3/4 shards (1 missing)".
+func (c Coverage) String() string {
+	s := fmt.Sprintf("%d/%d shards", c.Merged(), c.Total)
+	var notes []string
+	if c.Stale > 0 {
+		notes = append(notes, fmt.Sprintf("%d stale", c.Stale))
+	}
+	if missing := c.Total - c.Merged(); missing > 0 {
+		notes = append(notes, fmt.Sprintf("%d missing", missing))
+	}
+	if len(notes) > 0 {
+		s += " (" + strings.Join(notes, ", ") + ")"
+	}
+	return s
+}
+
+// MemberState is a shard's position in the fleet's health gate.
+type MemberState struct {
+	Endpoint string `json:"endpoint"`
+	// Ready is the gate: only ready members receive routed ingest. A member
+	// turns not-ready when its readiness probe says so (draining,
+	// recovering) or after UnhealthyAfter consecutive failed probes.
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	// Breaker is the circuit breaker position ("closed", "open", "half-open").
+	Breaker string `json:"breaker"`
+	// LastEpoch/LastCount are from the last successful snapshot fetch — the
+	// "last good" state a degraded merge falls back on.
+	LastEpoch uint64  `json:"last_epoch"`
+	LastCount float64 `json:"last_count"`
+	// Verified reports whether the mechanism-identity handshake succeeded;
+	// a member registered while unreachable is verified on first contact.
+	Verified bool `json:"verified"`
+}
+
+// fleetMember is one registered shard: its client, breaker, health gate, and
+// last-good snapshot.
+type fleetMember struct {
+	endpoint string
+	rc       *RemoteCollector
+	breaker  *retry.Breaker
+
+	mu          sync.Mutex
+	ready       bool
+	reason      string
+	probeFails  int
+	verified    bool
+	hasLastGood bool
+	lastGood    Snapshot
+}
+
+// setReady updates the gate under the member lock.
+func (m *fleetMember) setReady(ready bool, reason string) {
+	m.mu.Lock()
+	m.ready, m.reason = ready, reason
+	m.mu.Unlock()
+}
+
+// Fleet is the failure-aware fan-in layer over N collector shards: dynamic
+// membership (Register/Deregister), health-gated routing (a shard that is
+// draining, recovering, unreachable, or circuit-broken stops receiving
+// ingest), and merges with graceful degradation — Snap returns a partial
+// merged Snapshot annotated with Coverage instead of failing when k of N
+// shards are down, and refuses below the quorum in strict mode.
+//
+// Every member shares one retry discipline (jittered exponential backoff,
+// per-attempt timeouts, definitive-vs-retryable classification) and gets its
+// own circuit breaker, so a flapping shard degrades to "stale snapshot +
+// annotation" rather than head-of-line-blocking every merge.
+//
+// A Fleet is safe for concurrent use.
+type Fleet struct {
+	agg            Aggregator
+	w              Workload
+	info           MechanismInfo
+	policy         RetryPolicy
+	breakerPolicy  BreakerPolicy
+	quorum         int
+	staleFallback  bool
+	unhealthyAfter int
+	hc             *http.Client
+	remoteOpts     []RemoteOption
+
+	mu       sync.Mutex
+	members  map[string]*fleetMember
+	order    []string // registration order: deterministic iteration + routing
+	next     int      // round-robin routing cursor
+	bindings *keyBindings
+}
+
+// bindingCap bounds the idempotency-key→shard binding LRU, matching the
+// shard-side idempotency cache horizon: a key evicted here would also be
+// forgotten by the shard that absorbed it.
+const bindingCap = 4096
+
+// keyBindings is a bounded LRU mapping an idempotency key to the shard it
+// was first routed to. A keyed request that failed ambiguously (the shard
+// may have absorbed it and the response was lost) MUST replay on the same
+// shard — any other shard's idempotency cache has never seen the key and
+// would absorb a second copy. Only a never-sent key may pick a fresh shard.
+type keyBindings struct {
+	cap   int
+	byKey map[string]*list.Element
+	order *list.List // front = most recent; values are *keyBinding
+}
+
+type keyBinding struct {
+	key      string
+	endpoint string
+}
+
+func newKeyBindings(capacity int) *keyBindings {
+	return &keyBindings{cap: capacity, byKey: make(map[string]*list.Element, capacity), order: list.New()}
+}
+
+// get looks a key up and marks it most-recent. Not locked: callers hold f.mu.
+func (b *keyBindings) get(key string) (string, bool) {
+	el, ok := b.byKey[key]
+	if !ok {
+		return "", false
+	}
+	b.order.MoveToFront(el)
+	return el.Value.(*keyBinding).endpoint, true
+}
+
+func (b *keyBindings) put(key, endpoint string) {
+	if el, ok := b.byKey[key]; ok {
+		el.Value.(*keyBinding).endpoint = endpoint
+		b.order.MoveToFront(el)
+		return
+	}
+	b.byKey[key] = b.order.PushFront(&keyBinding{key: key, endpoint: endpoint})
+	for b.order.Len() > b.cap {
+		el := b.order.Back()
+		b.order.Remove(el)
+		delete(b.byKey, el.Value.(*keyBinding).key)
+	}
+}
+
+func (b *keyBindings) remove(key string) {
+	if el, ok := b.byKey[key]; ok {
+		b.order.Remove(el)
+		delete(b.byKey, key)
+	}
+}
+
+// FleetOption configures a Fleet.
+type FleetOption func(*Fleet)
+
+// WithFleetRetryPolicy sets the retry discipline every member's client uses
+// (default DefaultRemoteRetryPolicy). Tests pin it deterministic.
+func WithFleetRetryPolicy(p RetryPolicy) FleetOption {
+	return func(f *Fleet) { f.policy = p }
+}
+
+// WithFleetBreakerPolicy shapes each member's circuit breaker (default: 5
+// consecutive failures trip it, 5s cooldown).
+func WithFleetBreakerPolicy(p BreakerPolicy) FleetOption {
+	return func(f *Fleet) { f.breakerPolicy = p }
+}
+
+// WithFleetQuorum sets strict mode: a merge that would cover fewer than q
+// shards (fresh + stale) returns a *QuorumError instead of a partial
+// snapshot. 0 (the default) serves any non-empty coverage.
+func WithFleetQuorum(q int) FleetOption {
+	return func(f *Fleet) { f.quorum = q }
+}
+
+// WithFleetStaleFallback controls whether an unreachable or circuit-broken
+// shard contributes its last-good snapshot to a merge (marked stale in the
+// Coverage) or is left out entirely (marked missing). Default true: a
+// flapping shard degrades the estimate's freshness, not its coverage.
+func WithFleetStaleFallback(on bool) FleetOption {
+	return func(f *Fleet) { f.staleFallback = on }
+}
+
+// WithFleetUnhealthyAfter sets how many consecutive failed health probes
+// gate a member out of ingest routing (default 2). A shard that reports
+// itself not-ready is gated immediately regardless.
+func WithFleetUnhealthyAfter(n int) FleetOption {
+	return func(f *Fleet) {
+		if n > 0 {
+			f.unhealthyAfter = n
+		}
+	}
+}
+
+// WithFleetHTTPClient substitutes the http.Client every member's transport
+// uses (timeouts, test doubles).
+func WithFleetHTTPClient(hc *http.Client) FleetOption {
+	return func(f *Fleet) { f.hc = hc }
+}
+
+// WithFleetRemoteOptions appends extra options (batch size, etc.) to every
+// member's RemoteCollector. The fleet's retry policy and HTTP client are
+// applied first, so these can override them per deployment if needed.
+func WithFleetRemoteOptions(opts ...RemoteOption) FleetOption {
+	return func(f *Fleet) { f.remoteOpts = append(f.remoteOpts, opts...) }
+}
+
+// NewFleet prepares an empty fleet aggregating under agg's mechanism and
+// answering w. Register shards with Register; route with IngestBatch; read
+// with Snap.
+func NewFleet(agg Aggregator, w Workload, opts ...FleetOption) (*Fleet, error) {
+	if agg == nil {
+		return nil, errors.New("ldp: nil aggregator")
+	}
+	f := &Fleet{
+		agg:            agg,
+		w:              w,
+		info:           MechanismInfoOf(agg),
+		policy:         DefaultRemoteRetryPolicy(),
+		staleFallback:  true,
+		unhealthyAfter: 2,
+		members:        make(map[string]*fleetMember),
+		bindings:       newKeyBindings(bindingCap),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f, nil
+}
+
+// Info returns the mechanism identity the fleet aggregates under.
+func (f *Fleet) Info() MechanismInfo { return f.info }
+
+// Register adds a shard endpoint to the fleet after a mechanism-identity
+// handshake. A mismatched mechanism is a definitive configuration error and
+// the shard is refused; an unreachable shard is admitted not-ready (it may
+// be booting or recovering) and verified on first successful contact — the
+// snapshot path re-checks identity on every fetch regardless, so an
+// unverified shard can never poison a merge. Registering an endpoint twice
+// is a no-op.
+func (f *Fleet) Register(ctx context.Context, endpoint string) error {
+	f.mu.Lock()
+	if _, ok := f.members[endpoint]; ok {
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Unlock()
+
+	rc, err := NewRemoteCollector(endpoint, f.agg, f.w, f.remoteOptions()...)
+	if err != nil {
+		return err
+	}
+	m := &fleetMember{
+		endpoint: endpoint,
+		rc:       rc,
+		breaker:  retry.NewBreaker(f.breakerPolicy),
+	}
+	if err := rc.Verify(ctx, f.info.Mechanism, f.info.Epsilon, f.info.Digest); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && !se.Temporary() || isMismatch(err) {
+			// The shard answered and it is the wrong mechanism: refuse.
+			return fmt.Errorf("ldp: register %s: %w", endpoint, err)
+		}
+		// Unreachable: admit gated-out; the probe loop brings it in when it
+		// comes up and verifies then.
+		m.setReady(false, "unreachable at registration")
+	} else {
+		m.mu.Lock()
+		m.ready, m.verified = true, true
+		m.mu.Unlock()
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.members[endpoint]; ok {
+		return nil // lost a registration race; keep the winner
+	}
+	f.members[endpoint] = m
+	f.order = append(f.order, endpoint)
+	return nil
+}
+
+// remoteOptions assembles the per-member client options.
+func (f *Fleet) remoteOptions() []RemoteOption {
+	opts := []RemoteOption{WithRemoteRetryPolicy(f.policy)}
+	if f.hc != nil {
+		opts = append(opts, WithRemoteHTTPClient(f.hc))
+	}
+	return append(opts, f.remoteOpts...)
+}
+
+// isMismatch reports whether err is the Verify handshake's identity
+// rejection (as opposed to the shard being unreachable): the shard answered
+// and declared a different mechanism or domain.
+func isMismatch(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "different mechanism configuration") ||
+		strings.Contains(msg, "local mechanism domain")
+}
+
+// Deregister removes a shard from membership. Reports still queued in its
+// client are dropped with it — deregistration is the operator's statement
+// that the shard is gone, not a health event (health gating handles those).
+// It reports whether the endpoint was a member.
+func (f *Fleet) Deregister(endpoint string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.members[endpoint]; !ok {
+		return false
+	}
+	delete(f.members, endpoint)
+	for i, ep := range f.order {
+		if ep == endpoint {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	if f.next >= len(f.order) {
+		f.next = 0
+	}
+	return true
+}
+
+// list snapshots the membership in registration order.
+func (f *Fleet) list() []*fleetMember {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*fleetMember, 0, len(f.order))
+	for _, ep := range f.order {
+		out = append(out, f.members[ep])
+	}
+	return out
+}
+
+// Probe runs one health round: every member's readiness endpoint is asked
+// (concurrently), the gate updates — a shard reporting not-ready (draining,
+// recovering) is gated out immediately, an unreachable one after
+// UnhealthyAfter consecutive failures, a recovered one is re-admitted and
+// verified if registration never managed to. Call it on an interval; the
+// fleet does not poll on its own.
+func (f *Fleet) Probe(ctx context.Context) []MemberState {
+	members := f.list()
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *fleetMember) {
+			defer wg.Done()
+			f.probeMember(ctx, m)
+		}(m)
+	}
+	wg.Wait()
+	return f.Members()
+}
+
+func (f *Fleet) probeMember(ctx context.Context, m *fleetMember) {
+	ready, reason, err := m.rc.Readyz(ctx)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case err != nil:
+		m.probeFails++
+		if m.probeFails >= f.unhealthyAfter {
+			m.ready, m.reason = false, fmt.Sprintf("unreachable (%d consecutive probe failures): %v", m.probeFails, err)
+		}
+	case !ready:
+		// The shard said so itself: gate immediately, no threshold.
+		m.probeFails = 0
+		m.ready, m.reason = false, reason
+	default:
+		m.probeFails = 0
+		m.ready, m.reason = true, ""
+		if !m.verified {
+			// First successful contact with a shard admitted unreachable:
+			// complete the handshake before routing to it.
+			m.mu.Unlock()
+			verr := m.rc.Verify(ctx, f.info.Mechanism, f.info.Epsilon, f.info.Digest)
+			m.mu.Lock()
+			if verr != nil {
+				m.ready, m.reason = false, fmt.Sprintf("mechanism handshake failed: %v", verr)
+			} else {
+				m.verified = true
+			}
+		}
+	}
+}
+
+// Epochs polls every member's cheap /healthz (count, epoch) view
+// concurrently and returns endpoint→epoch for the members that answered —
+// the inexpensive "did anything change" round a watcher runs between full
+// snapshot merges. Unreachable members are simply absent from the map; a
+// flapping shard makes the round partial, not failed.
+func (f *Fleet) Epochs(ctx context.Context) map[string]uint64 {
+	members := f.list()
+	type probe struct {
+		epoch uint64
+		ok    bool
+	}
+	out := make([]probe, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *fleetMember) {
+			defer wg.Done()
+			if h, err := m.rc.Healthz(ctx); err == nil {
+				out[i] = probe{h.Epoch, true}
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	res := make(map[string]uint64, len(members))
+	for i, p := range out {
+		if p.ok {
+			res[members[i].endpoint] = p.epoch
+		}
+	}
+	return res
+}
+
+// Members reports every member's health-gate state in registration order.
+func (f *Fleet) Members() []MemberState {
+	members := f.list()
+	out := make([]MemberState, 0, len(members))
+	for _, m := range members {
+		m.mu.Lock()
+		st := MemberState{
+			Endpoint: m.endpoint,
+			Ready:    m.ready,
+			Reason:   m.reason,
+			Breaker:  m.breaker.State().String(),
+			Verified: m.verified,
+		}
+		if m.hasLastGood {
+			st.LastEpoch, st.LastCount = m.lastGood.Epoch(), m.lastGood.Count()
+		}
+		m.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// ReadyCount returns how many members are currently routable.
+func (f *Fleet) ReadyCount() int {
+	n := 0
+	for _, m := range f.list() {
+		if f.routable(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// routable reports whether ingest may be routed to m right now.
+func (f *Fleet) routable(m *fleetMember) bool {
+	m.mu.Lock()
+	ready := m.ready
+	m.mu.Unlock()
+	return ready && m.breaker.State() != retry.BreakerOpen
+}
+
+// pick chooses the next routable member round-robin, or nil.
+func (f *Fleet) pick() *fleetMember {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pickLocked()
+}
+
+func (f *Fleet) pickLocked() *fleetMember {
+	n := len(f.order)
+	for i := 0; i < n; i++ {
+		m := f.members[f.order[(f.next+i)%n]]
+		m.mu.Lock()
+		ready := m.ready
+		m.mu.Unlock()
+		if ready && m.breaker.State() != retry.BreakerOpen {
+			f.next = (f.next + i + 1) % n
+			return m
+		}
+	}
+	return nil
+}
+
+// IngestBatch routes one batch of reports to a live shard. The batch becomes
+// the chosen member's responsibility: its client carves it into keyed
+// batches, retries transient failures with backoff under the same keys, and
+// keeps anything unacknowledged queued against that shard — so a retry after
+// an ambiguous failure (response lost mid-crash) replays on the SAME shard
+// and stays exactly-once, instead of double-absorbing on a neighbor. A later
+// FlushAll (or the next IngestBatch that picks this member) resumes the
+// queue; a batch is never silently dropped.
+func (f *Fleet) IngestBatch(ctx context.Context, reports []Report) error {
+	m := f.pick()
+	if m == nil {
+		return ErrNoReadyShards
+	}
+	err := m.rc.IngestBatch(ctx, reports)
+	if err != nil {
+		m.breaker.Failure()
+		return fmt.Errorf("ldp: shard %s: %w", m.endpoint, err)
+	}
+	m.breaker.Success()
+	return nil
+}
+
+// bindMember resolves the shard a keyed request must go to: the one the key
+// is bound to if it was ever forwarded (even if that shard is currently
+// gated out or circuit-broken — replay safety beats availability), otherwise
+// the next routable member, binding the key to it atomically. An unkeyed
+// request just rotates. Returns nil when a fresh key has no routable shard.
+func (f *Fleet) bindMember(key string) *fleetMember {
+	if key == "" {
+		return f.pick()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep, ok := f.bindings.get(key); ok {
+		if m, ok := f.members[ep]; ok {
+			return m
+		}
+		// The bound shard was deregistered — the operator declared it gone,
+		// taking its idempotency history with it. Rebind.
+		f.bindings.remove(key)
+	}
+	m := f.pickLocked()
+	if m != nil {
+		f.bindings.put(key, m.endpoint)
+	}
+	return m
+}
+
+// IngestKeyed forwards one already-keyed batch — a request arriving at a
+// router from a remote client — to a shard, preserving the client's
+// idempotency key end to end. The first forward of a key binds it to the
+// chosen shard; every retry (the client's or this call's internal backoff)
+// replays on that same shard, where the key is remembered, so an ambiguous
+// failure can never double-absorb on a neighbor. It returns the shard's
+// accepted count; the error, if any, carries the shard's *StatusError for
+// status relay (or ErrNoReadyShards when a fresh key had nowhere to go).
+func (f *Fleet) IngestKeyed(ctx context.Context, reports []Report, key string) (int, error) {
+	m := f.bindMember(key)
+	if m == nil {
+		return 0, ErrNoReadyShards
+	}
+	var accepted int
+	err := retry.Do(ctx, f.policy, func(actx context.Context) error {
+		a, perr := m.rc.client.PostReportsKeyed(actx, reports, key)
+		accepted = a
+		return classifyTransportErr(perr)
+	})
+	if err != nil {
+		m.breaker.Failure()
+		return accepted, fmt.Errorf("ldp: shard %s: %w", m.endpoint, err)
+	}
+	m.breaker.Success()
+	return accepted, nil
+}
+
+// FlushAll ships every member's queued reports (concurrently), joining the
+// failures. Reports queued against a shard that is still down stay queued —
+// call FlushAll again once it recovers; keys make the replay exact.
+func (f *Fleet) FlushAll(ctx context.Context) error {
+	members := f.list()
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *fleetMember) {
+			defer wg.Done()
+			if err := m.rc.Flush(ctx); err != nil {
+				m.breaker.Failure()
+				errs[i] = fmt.Errorf("ldp: shard %s: %w", m.endpoint, err)
+			} else {
+				m.breaker.Success()
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Snap merges the fleet into one Snapshot with graceful degradation. Every
+// member is asked concurrently (members with open breakers are not even
+// asked — that is the point of the breaker); a member that answers
+// contributes fresh state and refreshes its last-good snapshot, a member
+// that fails contributes its last-good snapshot (marked stale) when the
+// fallback is enabled, and otherwise is reported missing with the last-good
+// epoch and count the estimate now lacks. The returned Coverage says exactly
+// what the Snapshot covers; it is never silently partial.
+//
+// In strict mode (WithFleetQuorum) a merge covering fewer shards than the
+// quorum returns *QuorumError. A fleet with no members, or one where nothing
+// at all contributed, returns an error rather than a zero snapshot.
+func (f *Fleet) Snap(ctx context.Context) (Snapshot, Coverage, error) {
+	members := f.list()
+	cov := Coverage{Total: len(members), Shards: make([]ShardCoverage, len(members))}
+	if len(members) == 0 {
+		return Snapshot{}, cov, errors.New("ldp: fleet has no members")
+	}
+
+	type result struct {
+		snap Snapshot
+		ok   bool
+	}
+	results := make([]result, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *fleetMember) {
+			defer wg.Done()
+			sc := ShardCoverage{Endpoint: m.endpoint}
+			var snap Snapshot
+			var err error
+			if berr := m.breaker.Allow(); berr != nil {
+				err = berr
+			} else if snap, err = m.rc.Snap(ctx); err == nil {
+				m.breaker.Success()
+				m.mu.Lock()
+				m.lastGood, m.hasLastGood = snap, true
+				m.mu.Unlock()
+				sc.Status, sc.Epoch, sc.Count = CoverageFresh, snap.Epoch(), snap.Count()
+				results[i] = result{snap, true}
+				cov.Shards[i] = sc
+				return
+			} else {
+				m.breaker.Failure()
+			}
+			// Degraded path: stale fallback or an honest gap.
+			sc.Err = err.Error()
+			m.mu.Lock()
+			hasLast, last := m.hasLastGood, m.lastGood
+			m.mu.Unlock()
+			if f.staleFallback && hasLast {
+				sc.Status, sc.Epoch, sc.Count = CoverageStale, last.Epoch(), last.Count()
+				results[i] = result{last, true}
+			} else {
+				sc.Status = CoverageMissing
+				if hasLast {
+					sc.Epoch, sc.Count = last.Epoch(), last.Count()
+				}
+			}
+			cov.Shards[i] = sc
+		}(i, m)
+	}
+	wg.Wait()
+
+	var snaps []Snapshot
+	for i := range results {
+		if results[i].ok {
+			snaps = append(snaps, results[i].snap)
+			if cov.Shards[i].Status == CoverageFresh {
+				cov.Fresh++
+			} else {
+				cov.Stale++
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		return Snapshot{}, cov, fmt.Errorf("ldp: no shard contributed a snapshot (%s)", cov)
+	}
+	if f.quorum > 0 && len(snaps) < f.quorum {
+		return Snapshot{}, cov, &QuorumError{Merged: len(snaps), Quorum: f.quorum, Coverage: cov}
+	}
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		return Snapshot{}, cov, err
+	}
+	return merged, cov, nil
+}

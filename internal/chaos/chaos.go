@@ -1,0 +1,189 @@
+// Package chaos is the in-repo fault-injection harness: an http.Handler
+// proxy that stands between a client and a collector backend and injects the
+// failures a production fleet actually sees — connections dropped before the
+// backend hears the request, responses lost after the backend absorbed it,
+// added latency, 503 bursts from an overloaded or draining shard, and
+// responses killed mid-frame. Faults are drawn from a seeded PRNG, so a CI
+// run at a fixed seed exercises the same fault mix every time, and every
+// injection is counted so a test can assert the scenario actually bit.
+//
+// The proxy exists to prove the failure discipline end-to-end: retries with
+// backoff must converge, idempotency keys must keep absorbs exactly-once
+// through lost responses, and degraded merges must stay honest — all under
+// sustained injected failure. See the chaos end-to-end test in the root
+// package and the CI chaos smoke job.
+package chaos
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Plan is one fault mix: per-request probabilities for each injection, drawn
+// independently in the order the fields are declared. Zero value injects
+// nothing (a transparent proxy).
+type Plan struct {
+	// DropBefore aborts the connection before the backend sees the request:
+	// the client observes a transport error and the request was never
+	// absorbed. Safe to retry blindly.
+	DropBefore float64
+	// DropAfter runs the backend, then aborts the connection instead of
+	// returning its response: the client observes a transport error for a
+	// request the backend absorbed — the lost-response ambiguity idempotency
+	// keys exist for.
+	DropAfter float64
+	// Truncate runs the backend, returns roughly half of its response body,
+	// and aborts mid-frame: a decoder on the client side must fail cleanly,
+	// never hand back a short read as truth.
+	Truncate float64
+	// Unavailable short-circuits with 503 without touching the backend, and
+	// keeps doing so for the next BurstLen-1 requests — an overload burst,
+	// not an independent coin per request.
+	Unavailable float64
+	// BurstLen is the 503 burst length once Unavailable triggers (values < 1
+	// mean 1: a single 503).
+	BurstLen int
+	// Delay stalls the request by DelayFor before forwarding — injected
+	// latency that retry budgets and per-attempt timeouts must absorb.
+	Delay    float64
+	DelayFor time.Duration
+}
+
+// Stats counts what the proxy actually injected, so a chaos scenario can
+// prove its faults fired rather than silently testing the happy path.
+type Stats struct {
+	Requests    int64 // requests that reached the proxy
+	Forwarded   int64 // reached the backend and returned normally
+	DropsBefore int64 // aborted before the backend
+	DropsAfter  int64 // absorbed, response dropped
+	Truncated   int64 // absorbed, response cut mid-body
+	Unavailable int64 // 503 without touching the backend
+	Delayed     int64 // stalled by DelayFor before forwarding
+}
+
+// Proxy is the fault-injecting middleman. Wrap a backend handler and serve
+// the proxy instead; SetPlan swaps the fault mix mid-test (heal, storm).
+type Proxy struct {
+	inner http.Handler
+
+	mu    sync.Mutex
+	plan  Plan
+	rng   *rand.Rand
+	burst int // remaining forced-503 requests
+	stats Stats
+}
+
+// New wraps inner with the plan's faults, drawing from a PRNG seeded with
+// seed — the same seed replays the same injection sequence for a serial
+// client (concurrent clients race for draws, but the mix stays seeded).
+func New(inner http.Handler, plan Plan, seed uint64) *Proxy {
+	return &Proxy{inner: inner, plan: plan, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// SetPlan replaces the fault mix; in-flight requests finish under the old
+// one. An empty Plan heals the proxy.
+func (p *Proxy) SetPlan(plan Plan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plan = plan
+	p.burst = 0
+}
+
+// Stats returns a snapshot of the injection counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// verdict is the fate the seeded PRNG assigns one request.
+type verdict int
+
+const (
+	passThrough verdict = iota
+	dropBefore
+	dropAfter
+	truncate
+	unavailable
+)
+
+// decide draws one request's fate and updates burst state under the lock.
+func (p *Proxy) decide() (v verdict, delay time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	if p.burst > 0 {
+		p.burst--
+		p.stats.Unavailable++
+		return unavailable, 0
+	}
+	if p.plan.Delay > 0 && p.rng.Float64() < p.plan.Delay {
+		delay = p.plan.DelayFor
+		p.stats.Delayed++
+	}
+	switch {
+	case p.plan.DropBefore > 0 && p.rng.Float64() < p.plan.DropBefore:
+		p.stats.DropsBefore++
+		return dropBefore, delay
+	case p.plan.DropAfter > 0 && p.rng.Float64() < p.plan.DropAfter:
+		p.stats.DropsAfter++
+		return dropAfter, delay
+	case p.plan.Truncate > 0 && p.rng.Float64() < p.plan.Truncate:
+		p.stats.Truncated++
+		return truncate, delay
+	case p.plan.Unavailable > 0 && p.rng.Float64() < p.plan.Unavailable:
+		if p.plan.BurstLen > 1 {
+			p.burst = p.plan.BurstLen - 1
+		}
+		p.stats.Unavailable++
+		return unavailable, delay
+	}
+	p.stats.Forwarded++
+	return passThrough, delay
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	v, delay := p.decide()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch v {
+	case dropBefore:
+		// The body is deliberately unread: the backend never saw a byte.
+		panic(http.ErrAbortHandler)
+	case unavailable:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "chaos: injected overload", http.StatusServiceUnavailable)
+	case dropAfter:
+		// The backend fully absorbs the request; its response dies with the
+		// connection. A recorder keeps the inner handler oblivious.
+		p.inner.ServeHTTP(httptest.NewRecorder(), r)
+		panic(http.ErrAbortHandler)
+	case truncate:
+		rec := httptest.NewRecorder()
+		p.inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		for k, vals := range rec.Header() {
+			for _, val := range vals {
+				w.Header().Add(k, val)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		if len(body) > 1 {
+			_, _ = w.Write(body[:len(body)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		p.inner.ServeHTTP(w, r)
+	}
+}

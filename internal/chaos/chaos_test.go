@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoBackend counts the requests that actually reach it and returns a fixed
+// body, so each fault's backend-visibility contract is checkable.
+func echoBackend(hits *atomic.Int64, body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.Copy(io.Discard, r.Body)
+		_, _ = io.WriteString(w, body)
+	})
+}
+
+func TestTransparentWhenPlanEmpty(t *testing.T) {
+	var hits atomic.Int64
+	p := New(echoBackend(&hits, "ok"), Plan{}, 1)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	for i := 0; i < 10; i++ {
+		resp, err := hs.Client().Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(b) != "ok" {
+			t.Fatalf("got %d %q", resp.StatusCode, b)
+		}
+	}
+	st := p.Stats()
+	if hits.Load() != 10 || st.Forwarded != 10 || st.Requests != 10 {
+		t.Fatalf("hits=%d stats=%+v", hits.Load(), st)
+	}
+}
+
+// DropBefore must surface as a client transport error with the backend never
+// seeing the request; DropAfter must surface the same error with the backend
+// having absorbed it — the distinction the idempotency machinery hinges on.
+func TestDropSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		plan        Plan
+		backendSees bool
+	}{
+		{"before", Plan{DropBefore: 1}, false},
+		{"after", Plan{DropAfter: 1}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int64
+			p := New(echoBackend(&hits, "ok"), tc.plan, 7)
+			hs := httptest.NewServer(p)
+			defer hs.Close()
+			resp, err := hs.Client().Post(hs.URL, "text/plain", strings.NewReader("payload"))
+			if err == nil {
+				resp.Body.Close()
+				t.Fatal("dropped request returned a response")
+			}
+			if got := hits.Load() == 1; got != tc.backendSees {
+				t.Fatalf("backend saw request: %v, want %v", got, tc.backendSees)
+			}
+		})
+	}
+}
+
+func TestTruncateCutsBodyMidFrame(t *testing.T) {
+	var hits atomic.Int64
+	const body = "0123456789abcdef0123456789abcdef"
+	p := New(echoBackend(&hits, body), Plan{Truncate: 1}, 7)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		// Some transports surface the abort before any body byte; both
+		// shapes are a failed read, which is the contract.
+		return
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	if rerr == nil && len(b) >= len(body) {
+		t.Fatalf("truncated response delivered %d bytes intact", len(b))
+	}
+	if len(b) > len(body)/2 {
+		t.Fatalf("got %d bytes, want at most half of %d", len(b), len(body))
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend hits %d, want 1 (truncate runs the backend)", hits.Load())
+	}
+}
+
+// Unavailable with BurstLen must 503 the triggering request and the next
+// BurstLen-1, without the backend hearing any of them.
+func TestUnavailableBurst(t *testing.T) {
+	var hits atomic.Int64
+	p := New(echoBackend(&hits, "ok"), Plan{Unavailable: 1, BurstLen: 3}, 7)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := hs.Client().Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" && i == 0 {
+			t.Error("503 missing Retry-After")
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("backend saw %d requests through a 503 burst", hits.Load())
+	}
+	if st := p.Stats(); st.Unavailable != 3 {
+		t.Fatalf("stats %+v, want 3 unavailable", st)
+	}
+}
+
+func TestDelayStallsRequest(t *testing.T) {
+	var hits atomic.Int64
+	p := New(echoBackend(&hits, "ok"), Plan{Delay: 1, DelayFor: 30 * time.Millisecond}, 7)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	start := time.Now()
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms of injected delay", el)
+	}
+}
+
+// SetPlan must heal the proxy: the same client that failed through the storm
+// succeeds afterwards, and the burst state is cleared.
+func TestSetPlanHeals(t *testing.T) {
+	var hits atomic.Int64
+	p := New(echoBackend(&hits, "ok"), Plan{Unavailable: 1, BurstLen: 100}, 7)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("storm request got %d", resp.StatusCode)
+	}
+	p.SetPlan(Plan{})
+	resp, err = hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed request got %d, want 200 (burst must clear)", resp.StatusCode)
+	}
+}
+
+// The seeded mix must be reproducible: the same seed over a serial request
+// sequence yields identical stats; a different seed yields a different mix.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed uint64) Stats {
+		var hits atomic.Int64
+		p := New(echoBackend(&hits, "ok"), Plan{DropBefore: 0.3, DropAfter: 0.2, Unavailable: 0.1}, seed)
+		hs := httptest.NewServer(p)
+		defer hs.Close()
+		for i := 0; i < 60; i++ {
+			resp, err := hs.Client().Get(hs.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		return p.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if c := run(43); a == c {
+		t.Fatalf("different seeds produced the identical mix %+v — PRNG not wired to the seed", a)
+	}
+	if a.DropsBefore == 0 || a.DropsAfter == 0 || a.Unavailable == 0 {
+		t.Fatalf("mix %+v left a fault class untouched at these probabilities", a)
+	}
+}
+
+// A request aborted by the proxy must not take the server down; subsequent
+// requests keep working (http.ErrAbortHandler is the sanctioned abort).
+func TestAbortDoesNotPoisonServer(t *testing.T) {
+	var hits atomic.Int64
+	p := New(echoBackend(&hits, "ok"), Plan{DropBefore: 1}, 7)
+	hs := httptest.NewServer(p)
+	defer hs.Close()
+	if resp, err := hs.Client().Get(hs.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("expected a dropped connection")
+	}
+	p.SetPlan(Plan{})
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatalf("server unusable after an injected abort: %v", err)
+	}
+	resp.Body.Close()
+	if errors.Is(err, io.EOF) || resp.StatusCode != 200 {
+		t.Fatalf("got %d", resp.StatusCode)
+	}
+}

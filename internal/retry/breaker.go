@@ -1,0 +1,155 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that a circuit breaker refused the call without
+// trying the backend: enough consecutive failures have accumulated that
+// hammering it further only slows everyone down. The caller should degrade
+// (serve stale, skip the shard) and let the cooldown probe rediscover health.
+var ErrBreakerOpen = errors.New("retry: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every call through (healthy backend).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses every call until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe through; its outcome closes or reopens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerPolicy shapes a Breaker: how many consecutive failures trip it and
+// how long it stays open before probing again.
+type BreakerPolicy struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open. Values < 1 mean 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses before allowing one
+	// half-open probe. Values <= 0 mean 5s.
+	Cooldown time.Duration
+
+	// Now is the clock; nil uses time.Now. Tests pin it.
+	Now func() time.Time
+}
+
+func (p BreakerPolicy) threshold() int {
+	if p.FailureThreshold < 1 {
+		return 5
+	}
+	return p.FailureThreshold
+}
+
+func (p BreakerPolicy) cooldown() time.Duration {
+	if p.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return p.Cooldown
+}
+
+func (p BreakerPolicy) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// Breaker is a per-backend circuit breaker: consecutive failures trip it
+// open, an open breaker refuses calls for the cooldown, then exactly one
+// probe is let through and its outcome decides (half-open). Safe for
+// concurrent use.
+type Breaker struct {
+	policy BreakerPolicy
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker under the policy.
+func NewBreaker(p BreakerPolicy) *Breaker {
+	return &Breaker{policy: p}
+}
+
+// Allow asks whether a call may proceed. It returns nil (go ahead) or
+// ErrBreakerOpen. In half-open, only the first caller after the cooldown gets
+// through; concurrent callers are refused until the probe reports.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.policy.now().Sub(b.openedAt) < b.policy.cooldown() {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success reports a call that went through and succeeded: the breaker closes
+// and the failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a call that went through and failed. A closed breaker
+// accumulates toward the threshold; a half-open probe failure reopens
+// immediately (the cooldown restarts).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.policy.now()
+		b.probing = false
+	default:
+		b.failures++
+		if b.failures >= b.policy.threshold() {
+			b.state = BreakerOpen
+			b.openedAt = b.policy.now()
+			b.failures = 0
+		}
+	}
+}
+
+// State returns the breaker's current position (open flips to half-open only
+// on the next Allow, so an idle open breaker reads open past its cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,196 @@
+// Package retry is the failure discipline shared by every networked client
+// in this repository: a jittered exponential backoff policy with per-attempt
+// timeouts and bounded attempts, a definitive-vs-retryable error
+// classification, and a per-backend circuit breaker. RemoteCollector, the
+// fan-in Fleet, and cmd/ldprouter all drive their requests through it, so
+// "how hard do we hammer a struggling shard" is decided in exactly one place.
+//
+// The randomness and the clock are injectable, so tests pin a policy fully
+// deterministic (zero jitter, recorded sleeps) while production gets full
+// jitter — two retrying clients that failed together must not retry together.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy bounds a retry loop: how many attempts, how long each may take, and
+// how the pauses between them grow. The zero Policy retries nothing (one
+// attempt, no pause); DefaultPolicy is a sane production shape.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first included. Values < 1
+	// mean one attempt (no retries).
+	MaxAttempts int
+	// InitialBackoff is the pause after the first failed attempt.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the grown pause. 0 means no cap.
+	MaxBackoff time.Duration
+	// Multiplier grows the pause between attempts (values < 1 mean 2).
+	Multiplier float64
+	// Jitter randomizes each pause within ±Jitter×pause (clamped to [0,1]).
+	// Jittered clients that failed together do not retry together.
+	Jitter float64
+	// PerAttemptTimeout bounds each attempt with its own deadline, so one
+	// black-holed request cannot consume the whole loop's budget. 0 inherits
+	// the caller's context deadline alone.
+	PerAttemptTimeout time.Duration
+
+	// Rand supplies the jitter draw in [0,1); nil uses math/rand/v2. Tests
+	// pin it for deterministic schedules.
+	Rand func() float64
+	// Sleep pauses between attempts; nil uses a context-aware timer. Tests
+	// substitute a recorder so a schedule is asserted, not slept.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy is the production shape: four attempts spaced 100ms → 200ms →
+// 400ms (full ±50% jitter, capped at 2s), each attempt individually bounded
+// at 30s so a black-holed connection fails over instead of hanging.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:       4,
+		InitialBackoff:    100 * time.Millisecond,
+		MaxBackoff:        2 * time.Second,
+		Multiplier:        2,
+		Jitter:            0.5,
+		PerAttemptTimeout: 30 * time.Second,
+	}
+}
+
+// attempts returns the effective total attempt count.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the pause after failed attempt i (0-based), jitter applied.
+func (p Policy) Backoff(i int) time.Duration {
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.InitialBackoff)
+	for k := 0; k < i; k++ {
+		d *= mult
+		if p.MaxBackoff > 0 && d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		r := p.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		// Uniform in [1-j, 1+j): full spread both ways keeps the mean pause
+		// at the nominal value.
+		d *= 1 - j + 2*j*r()
+	}
+	return time.Duration(d)
+}
+
+// sleep pauses for d or until ctx is done, whichever comes first.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// definitive wraps an error the retry loop must not retry: the failure is a
+// fact (a 4xx rejection, a mechanism mismatch), not weather.
+type definitive struct{ err error }
+
+func (d definitive) Error() string { return d.err.Error() }
+func (d definitive) Unwrap() error { return d.err }
+
+// Definitive marks err as non-retryable: Do returns it immediately. A nil
+// err stays nil.
+func Definitive(err error) error {
+	if err == nil {
+		return nil
+	}
+	return definitive{err}
+}
+
+// IsDefinitive reports whether err (anywhere in its chain) was marked
+// Definitive. Context cancellation and deadline expiry of the caller's
+// context are handled separately by Do and need no marking.
+func IsDefinitive(err error) bool {
+	var d definitive
+	return errors.As(err, &d)
+}
+
+// AttemptsError annotates the final error of an exhausted retry loop with
+// how many attempts were spent, so an operator reading a log line can tell a
+// first-try rejection from a worn-down outage.
+type AttemptsError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *AttemptsError) Error() string {
+	return fmt.Sprintf("after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *AttemptsError) Unwrap() error { return e.Err }
+
+// Do runs op under the policy: each attempt gets its own per-attempt
+// deadline, failures classified retryable pause (jittered, growing) and try
+// again, and the loop stops on success, a Definitive error, the caller's
+// context ending, or attempts running out. The returned error is the last
+// attempt's, wrapped in *AttemptsError when more than one attempt ran.
+func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	attempts := p.attempts()
+	var err error
+	ran := 0
+	for i := 0; i < attempts; i++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.PerAttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
+		}
+		err = op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		ran = i + 1
+		if err == nil {
+			return nil
+		}
+		// A definitive failure, a dead parent context, or spent attempts end
+		// the loop. A per-attempt deadline alone is retryable — that is what
+		// it is for — but the parent's is not.
+		if IsDefinitive(err) || ctx.Err() != nil || i+1 >= attempts {
+			break
+		}
+		if serr := p.sleep(ctx, p.Backoff(i)); serr != nil {
+			break
+		}
+	}
+	if err != nil && ran > 1 {
+		return &AttemptsError{Attempts: ran, Err: err}
+	}
+	return err
+}

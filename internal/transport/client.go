@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -124,6 +125,50 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 		return Health{}, fmt.Errorf("transport: bad healthz response: %w", err)
 	}
 	return h, nil
+}
+
+// Readyz asks the server's readiness probe: (true, "") for a shard that
+// should receive traffic, (false, reason) for one that is alive but gated
+// out (draining, recovering). A server predating /readyz answers 404; its
+// liveness probe stands in, so old shards read as ready-while-alive. The
+// error is non-nil only when the shard could not be reached at all.
+func (c *Client) Readyz(ctx context.Context) (bool, string, error) {
+	resp, err := c.get(ctx, "/readyz")
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			switch se.StatusCode {
+			case http.StatusNotFound:
+				// Pre-readiness server: fall back to liveness.
+				if _, herr := c.Healthz(ctx); herr != nil {
+					return false, "", herr
+				}
+				return true, "", nil
+			case http.StatusServiceUnavailable:
+				reason := se.Msg
+				// The 503 body is the readyz JSON; surface its reason field
+				// when it parses, the raw text otherwise.
+				var rr struct {
+					Ready  bool   `json:"ready"`
+					Reason string `json:"reason"`
+				}
+				if jerr := json.Unmarshal([]byte(se.Msg), &rr); jerr == nil && rr.Reason != "" {
+					reason = rr.Reason
+				}
+				return false, reason, nil
+			}
+		}
+		return false, "", err
+	}
+	defer drain(resp)
+	var rr struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr); err != nil {
+		return false, "", fmt.Errorf("transport: bad readyz response: %w", err)
+	}
+	return rr.Ready, rr.Reason, nil
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {

@@ -90,10 +90,21 @@ type Info struct {
 // Health is the /healthz response body. Count and Epoch are one consistent
 // snapshot view, so an operator (or ldpfed) comparing two shards sees a
 // stale or diverged one without pulling either full snapshot.
+//
+// /healthz is liveness: it answers 200 for as long as the process can serve
+// reads at all, including while draining or otherwise not accepting ingest.
+// Readiness — "should a router send this shard traffic" — is the separate
+// Ready/Reason pair, also served standalone by GET /readyz (200/503), so a
+// recovering or draining shard reports alive-but-not-ready and a fan-in tier
+// gates it out of membership without declaring it dead.
 type Health struct {
 	Status string  `json:"status"`
 	Count  float64 `json:"count"`
 	Epoch  uint64  `json:"epoch"`
+	// Ready reports whether the shard is accepting ingest traffic; Reason
+	// says why not (e.g. "draining") when false.
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 	Info
 	// Durability reports the backend's durable-ingest status; nil for a
 	// purely in-memory collector.
@@ -253,22 +264,90 @@ type Server struct {
 	info    Info
 	mux     *http.ServeMux
 	idem    *idemCache
+
+	// maxRequestBytes bounds one POST /reports body before any frame decoding
+	// runs (http.MaxBytesReader); past it the request fails 413 with the
+	// accepted count so the client trims and re-sends the remainder.
+	maxRequestBytes int64
+
+	// readiness state: draining is one-way (a shard that started its drain
+	// never comes back on this process), notReadyReason covers transient
+	// not-ready phases an embedder declares (recovery, rebalancing).
+	readyMu        sync.Mutex
+	draining       bool
+	notReadyReason string
 }
+
+// DefaultMaxRequestBytes bounds a POST /reports body. The per-frame caps
+// bound each frame long before this, but a request may carry many frames —
+// 64 MiB is ~8M unary-report frames, far past any sane client batch, while
+// still refusing an unbounded streaming body before it parks in memory.
+const DefaultMaxRequestBytes = 64 << 20
 
 // NewServer wraps a collector backend for serving.
 func NewServer(b Backend, info Info) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("transport: nil backend")
 	}
-	s := &Server{backend: b, info: info, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize)}
+	s := &Server{backend: b, info: info, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize),
+		maxRequestBytes: DefaultMaxRequestBytes}
 	s.mux.HandleFunc("POST /reports", s.handleReports)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetMaxRequestBytes overrides the POST /reports body bound (n <= 0 keeps
+// the default). Call before serving traffic.
+func (s *Server) SetMaxRequestBytes(n int64) {
+	if n > 0 {
+		s.maxRequestBytes = n
+	}
+}
+
+// Drain marks the server draining: ingest answers 503 + Retry-After instead
+// of hanging into a shutdown, /readyz flips to 503, and /healthz keeps
+// answering 200 (alive, not ready) with the final count — reads stay up so a
+// fan-in tier can pull the last snapshot. Drain is one-way.
+func (s *Server) Drain() {
+	s.readyMu.Lock()
+	s.draining = true
+	s.readyMu.Unlock()
+}
+
+// SetReady declares a transient readiness state: ready=false with a reason
+// (e.g. "recovering") gates the shard out of router membership while it
+// stays alive; ready=true clears it. Draining overrides — a draining server
+// never reports ready again.
+func (s *Server) SetReady(ready bool, reason string) {
+	s.readyMu.Lock()
+	if ready {
+		s.notReadyReason = ""
+	} else {
+		if reason == "" {
+			reason = "not ready"
+		}
+		s.notReadyReason = reason
+	}
+	s.readyMu.Unlock()
+}
+
+// readiness returns the current (ready, reason) pair.
+func (s *Server) readiness() (bool, string) {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	if s.draining {
+		return false, "draining"
+	}
+	if s.notReadyReason != "" {
+		return false, s.notReadyReason
+	}
+	return true, ""
+}
 
 // SeededKey is one idempotency key recovered from a durable backend's log,
 // together with the report count absorbed under it.
@@ -311,6 +390,18 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	// A draining (or otherwise not-ready) shard refuses ingest up front with
+	// a retryable 503 instead of racing the listener shutdown: the client's
+	// keyed batch stays intact and lands on a ready shard or a later retry.
+	if ready, reason := s.readiness(); !ready {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "collector not ready: " + reason})
+		return
+	}
+	// Bound the body before any decoding: a frame decoder never sees more
+	// than maxRequestBytes, and an overlong request fails 413 (definitive)
+	// with the accepted count, so the client trims and re-sends the rest.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxRequestBytes)
 	key := r.Header.Get(IdempotencyKeyHeader)
 	if len(key) > maxIdemKeyLen {
 		key = ""
@@ -372,7 +463,12 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			finish(http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			finish(status, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
 		if err := ingest(reports); err != nil {
@@ -404,13 +500,36 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	count, epoch := s.backend.CountEpoch()
-	h := Health{Status: "ok", Count: count, Epoch: epoch, Info: s.info}
+	ready, reason := s.readiness()
+	status := "ok"
+	if !ready {
+		status = reason
+	}
+	h := Health{Status: status, Count: count, Epoch: epoch, Ready: ready, Reason: reason, Info: s.info}
 	if db, ok := s.backend.(DurableBackend); ok {
 		if d, ok := db.Durability(); ok {
 			h.Durability = &d
 		}
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// readyzResponse is the GET /readyz JSON body.
+type readyzResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 when the shard should receive
+// traffic, 503 (alive, not ready) while recovering or draining. Liveness
+// stays on /healthz, which answers 200 in both cases.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.readiness()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, readyzResponse{Ready: ready, Reason: reason})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -436,4 +555,14 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("transport: server returned %d: %s", e.StatusCode, e.Msg)
 	}
 	return fmt.Sprintf("transport: server returned %d", e.StatusCode)
+}
+
+// Temporary reports whether the response is worth retrying: 408 (request
+// timeout), 429 (throttled), and every 5xx mean the server is alive but
+// cannot serve right now. Everything else — the 4xx family in particular —
+// is a definitive answer that a retry of the same request cannot change.
+func (e *StatusError) Temporary() bool {
+	return e.StatusCode == http.StatusRequestTimeout ||
+		e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode >= 500
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
+	"repro/internal/retry"
 	"repro/internal/transport"
 )
 
@@ -39,6 +41,7 @@ type RemoteCollector struct {
 	est    *Estimator
 	info   MechanismInfo
 	batch  int
+	policy RetryPolicy
 
 	// mu guards the buffers and is never held across a request. A batch is
 	// popped from unsent under mu before it ships, so concurrent shippers
@@ -94,6 +97,43 @@ func newIdemKey() string {
 	return hex.EncodeToString(b[:])
 }
 
+// RetryPolicy is the failure discipline a networked client applies per
+// request: total attempts, jittered exponential backoff between them, and a
+// per-attempt timeout. The Rand and Sleep fields are injectable so a test
+// can pin the whole schedule deterministic; see DefaultRemoteRetryPolicy.
+type RetryPolicy = retry.Policy
+
+// DefaultRemoteRetryPolicy is the retry discipline a RemoteCollector ships
+// and snapshots under when none is configured: four attempts backing off
+// 100ms → 200ms → 400ms with ±50% jitter (capped at 2s), each attempt
+// individually bounded at 30s. Idempotency keys make the retries safe; the
+// jitter keeps a fleet of clients that failed together from retrying
+// together.
+func DefaultRemoteRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       4,
+		InitialBackoff:    100 * time.Millisecond,
+		MaxBackoff:        2 * time.Second,
+		Multiplier:        2,
+		Jitter:            0.5,
+		PerAttemptTimeout: 30 * time.Second,
+	}
+}
+
+// classifyTransportErr marks definitively answered requests non-retryable: a
+// non-temporary status (the 4xx family) is a fact a retry cannot change,
+// while network failures, timeouts, and 5xx/429 responses are weather.
+func classifyTransportErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *transport.StatusError
+	if errors.As(err, &se) && !se.Temporary() {
+		return retry.Definitive(err)
+	}
+	return err
+}
+
 // RemoteOption configures a RemoteCollector.
 type RemoteOption func(*RemoteCollector)
 
@@ -117,6 +157,16 @@ func WithRemoteHTTPClient(hc *http.Client) RemoteOption {
 	}
 }
 
+// WithRemoteRetryPolicy replaces the retry discipline (default
+// DefaultRemoteRetryPolicy) applied to shipped batches and snapshot fetches.
+// Tests pin MaxAttempts/backoff/Rand/Sleep for a deterministic schedule; a
+// deployment that wants the old fail-fast behavior sets MaxAttempts to 1.
+func WithRemoteRetryPolicy(p RetryPolicy) RemoteOption {
+	return func(rc *RemoteCollector) {
+		rc.policy = p
+	}
+}
+
 // NewRemoteCollector prepares a client for the collector server at baseURL
 // ("host:port" or a full http:// URL). The aggregator must match the
 // mechanism the server was started with — Verify (or a /healthz check)
@@ -130,7 +180,8 @@ func NewRemoteCollector(baseURL string, agg Aggregator, w Workload, opts ...Remo
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
 	}
-	rc := &RemoteCollector{client: tc, agg: agg, est: est, info: est.Info(), batch: DefaultRemoteBatch}
+	rc := &RemoteCollector{client: tc, agg: agg, est: est, info: est.Info(),
+		batch: DefaultRemoteBatch, policy: DefaultRemoteRetryPolicy()}
 	for _, o := range opts {
 		o(rc)
 	}
@@ -213,11 +264,17 @@ func (rc *RemoteCollector) carveLocked(all bool) {
 // stops this shipper. Each iteration pops one batch under the lock, so
 // concurrent callers ship distinct batches in parallel — the fleet pattern
 // of many ingestion goroutines sharing one RemoteCollector keeps its
-// concurrent POSTs. The key travels with its batch across retries; it is
-// replaced only when the server definitively answered — a lost response
-// therefore replays as the recorded answer instead of a second absorb,
-// while a definitive rejection re-keys the unaccepted suffix (the old key
-// has the old response recorded against it).
+// concurrent POSTs.
+//
+// Each batch is driven through the retry policy: transient failures (network
+// errors, lost responses, 5xx) back off with jitter and try again under the
+// SAME idempotency key, so a retry of a request whose response was lost
+// replays the recorded answer instead of a second absorb. A definitive
+// response (4xx) stops the retries immediately: the server applied exactly
+// the accepted prefix, so the unaccepted suffix is re-queued under a fresh
+// key (the old key has the old response recorded against it). Only when the
+// policy is exhausted does the batch return to the front of the queue — key
+// intact — for a later Flush to continue exactly where this one stopped.
 func (rc *RemoteCollector) ship(ctx context.Context, all bool) error {
 	for {
 		rc.mu.Lock()
@@ -230,14 +287,19 @@ func (rc *RemoteCollector) ship(ctx context.Context, all bool) error {
 		rc.unsent = rc.unsent[1:]
 		rc.mu.Unlock()
 
-		accepted, err := rc.client.PostReportsKeyed(ctx, b.reports, b.key)
+		accepted := 0
+		err := retry.Do(ctx, rc.policy, func(actx context.Context) error {
+			a, perr := rc.client.PostReportsKeyed(actx, b.reports, b.key)
+			accepted = a
+			return classifyTransportErr(perr)
+		})
 		if err == nil {
 			// Acknowledged in full (a 200 means every frame of the request
 			// was absorbed — or already had been, under this key).
 			continue
 		}
 		var se *transport.StatusError
-		if errors.As(err, &se) {
+		if errors.As(err, &se) && !se.Temporary() {
 			// Definitive response: the server applied exactly the accepted
 			// prefix and rejected the rest. Keep the suffix under a fresh key
 			// (the old key now has this rejection recorded against it).
@@ -250,8 +312,9 @@ func (rc *RemoteCollector) ship(ctx context.Context, all bool) error {
 			b = keyedBatch{key: newIdemKey(), reports: b.reports[accepted:]}
 		}
 		// Return the unacknowledged batch to the front of the queue — with
-		// its key intact when the response was lost (no StatusError), so the
-		// retry is idempotent server-side.
+		// its key intact when no definitive answer arrived (the response may
+		// have been lost after an absorb), so the next retry stays idempotent
+		// server-side.
 		rc.mu.Lock()
 		rc.unsent = append([]keyedBatch{b}, rc.unsent...)
 		rc.mu.Unlock()
@@ -263,6 +326,15 @@ func (rc *RemoteCollector) ship(ctx context.Context, all bool) error {
 // (count, snapshot epoch) pair, and the declared mechanism identity — enough
 // to spot a stale or mismatched shard without pulling a full snapshot.
 type Health = transport.Health
+
+// Readyz asks the server's readiness probe: (true, "") for a shard that
+// should receive traffic, (false, reason) for one that is alive but gated
+// out (draining, recovering). Servers predating /readyz read as
+// ready-while-alive. The error is non-nil only when the shard could not be
+// reached at all.
+func (rc *RemoteCollector) Readyz(ctx context.Context) (bool, string, error) {
+	return rc.client.Readyz(ctx)
+}
 
 // Healthz fetches the server's health report.
 func (rc *RemoteCollector) Healthz(ctx context.Context) (Health, error) {
@@ -289,7 +361,16 @@ func (rc *RemoteCollector) Count(ctx context.Context) (float64, error) {
 // before the snapshot is accepted). Against an old server speaking v1 frames
 // the identity gaps are filled from the local mechanism.
 func (rc *RemoteCollector) Snap(ctx context.Context) (Snapshot, error) {
-	ts, err := rc.client.Snap(ctx)
+	var ts transport.Snapshot
+	err := retry.Do(ctx, rc.policy, func(actx context.Context) error {
+		s, serr := rc.client.Snap(actx)
+		if serr == nil {
+			ts = s
+		}
+		// A truncated or garbled frame reads as a decode error, not a status:
+		// it is transient (the next fetch re-reads), so it retries too.
+		return classifyTransportErr(serr)
+	})
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("ldp: fetch snapshot: %w", err)
 	}
@@ -396,12 +477,20 @@ func (b collectorBackend) Durability() (transport.DurabilityHealth, bool) {
 	return b.c.Durability()
 }
 
-// NewCollectorServer binds an in-process Collector to the HTTP transport —
-// the handler cmd/ldpserve serves, exposed for embedding a collector
-// endpoint into an existing process. info describes the mechanism for
-// /healthz and the snapshot frames; pass MechanismInfoOf(agg) unless the
-// deployment has a reason to declare less.
-func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error) {
+// CollectorService is a served collector endpoint plus its lifecycle
+// controls: the HTTP handler cmd/ldpserve binds, a Drain switch that flips
+// ingest to 503 + not-ready while reads stay alive, and a SetReady gate for
+// transient not-ready phases (recovery, rebalancing) a router's health
+// probes should see.
+type CollectorService struct {
+	ts *transport.Server
+}
+
+// NewCollectorService binds an in-process Collector to the HTTP transport
+// and returns the service handle. info describes the mechanism for /healthz
+// and the snapshot frames; pass MechanismInfoOf(agg) unless the deployment
+// has a reason to declare less.
+func NewCollectorService(c *Collector, info transport.Info) (*CollectorService, error) {
 	if c == nil {
 		return nil, errors.New("ldp: nil collector")
 	}
@@ -414,6 +503,32 @@ func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error)
 	// replay instead of double-absorbing.
 	if keys := c.recoveredIdempotencyKeys(); len(keys) > 0 {
 		s.SeedIdempotency(keys)
+	}
+	return &CollectorService{ts: s}, nil
+}
+
+// Handler returns the HTTP handler serving /reports, /snapshot, /healthz,
+// and /readyz.
+func (s *CollectorService) Handler() http.Handler { return s.ts.Handler() }
+
+// Drain marks the service draining: POST /reports answers a retryable 503,
+// /readyz flips to 503 so a router gates the shard out of membership, and
+// /healthz plus /snapshot keep serving so the fan-in tier can pull the final
+// state. Call before http.Server.Shutdown; Drain is one-way.
+func (s *CollectorService) Drain() { s.ts.Drain() }
+
+// SetReady declares a transient readiness state (false gates the shard out
+// of router membership with the given reason while it stays alive). A
+// draining service never reports ready again.
+func (s *CollectorService) SetReady(ready bool, reason string) { s.ts.SetReady(ready, reason) }
+
+// NewCollectorServer binds an in-process Collector to the HTTP transport and
+// returns just the handler — NewCollectorService without the lifecycle
+// controls, kept for embedders that never drain.
+func NewCollectorServer(c *Collector, info transport.Info) (http.Handler, error) {
+	s, err := NewCollectorService(c, info)
+	if err != nil {
+		return nil, err
 	}
 	return s.Handler(), nil
 }

@@ -6,18 +6,37 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	ldp "repro"
 	"repro/internal/benchfix"
 )
 
-// The at-least-once regression the idempotency keys exist for: the server
-// absorbs a batch, the HTTP response is lost, the client retries — and the
-// reports must land exactly once. Before keyed batches the retry was a
-// double absorb; now the server recognizes the batch's key and replays the
-// recorded response instead.
-func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
-	const n, total = 16, 95
+// fastRetryPolicy is a fully deterministic retry discipline for tests: no
+// jitter, no real sleeping (the schedule is recorded into *slept when
+// non-nil), bounded attempts.
+func fastRetryPolicy(attempts int, slept *[]time.Duration) ldp.RetryPolicy {
+	return ldp.RetryPolicy{
+		MaxAttempts:    attempts,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0,
+		Rand:           func() float64 { return 0 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if slept != nil {
+				*slept = append(*slept, d)
+			}
+			return ctx.Err()
+		},
+	}
+}
+
+// retryHarness builds a collector behind an outer handler that kills the
+// response of selected POSTs after the collector has fully absorbed them —
+// the lost-response failure idempotency keys exist for.
+func retryHarness(t *testing.T, n int, loseResponse func(post int64) bool) (*ldp.Collector, *httptest.Server, ldp.Aggregator, ldp.Workload) {
+	t.Helper()
 	w := ldp.Histogram(n)
 	s := benchfix.RRStrategy(n, 1.0)
 	agg, err := ldp.NewAggregator(s)
@@ -32,13 +51,9 @@ func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Kill the response of the first POST /reports *after* the collector has
-	// fully absorbed it: the inner handler runs against a throwaway recorder,
-	// then the connection is aborted, so the client sees a transport error
-	// for a request the server in fact applied.
 	var posts atomic.Int64
 	outer := http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
-		if req.Method == http.MethodPost && posts.Add(1) == 1 {
+		if req.Method == http.MethodPost && loseResponse(posts.Add(1)) {
 			inner.ServeHTTP(httptest.NewRecorder(), req)
 			panic(http.ErrAbortHandler)
 		}
@@ -46,9 +61,20 @@ func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
 	})
 	hs := httptest.NewServer(outer)
 	t.Cleanup(hs.Close)
+	return col, hs, agg, w
+}
+
+// The at-least-once regression the idempotency keys exist for, under the
+// fail-fast policy (MaxAttempts 1, the pre-backoff behavior): the server
+// absorbs a batch, the HTTP response is lost, the client surfaces the error
+// — and the caller-driven retry must land exactly once via key replay.
+func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
+	const n, total = 16, 95
+	col, hs, agg, w := retryHarness(t, n, func(post int64) bool { return post == 1 })
 
 	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(512),
-		ldp.WithRemoteHTTPClient(hs.Client()))
+		ldp.WithRemoteHTTPClient(hs.Client()),
+		ldp.WithRemoteRetryPolicy(fastRetryPolicy(1, nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +85,8 @@ func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
 		}
 	}
 	// First Flush ships the whole buffer as one keyed batch; the server
-	// absorbs it and the response dies.
+	// absorbs it and the response dies. With retries disabled the failure
+	// surfaces to the caller.
 	if err := rcol.Flush(ctx); err == nil {
 		t.Fatal("flush through the aborted response unexpectedly succeeded")
 	}
@@ -71,76 +98,82 @@ func TestRemoteRetryAfterLostResponseAbsorbsOnce(t *testing.T) {
 	if err := rcol.Flush(ctx); err != nil {
 		t.Fatalf("retried flush: %v", err)
 	}
-	snap := col.Snap()
-	if snap.Count() != total {
-		t.Fatalf("server holds %v reports after the retry, want exactly %d (duplicate absorb)", snap.Count(), total)
-	}
-	var mass float64
-	for _, v := range snap.State() {
-		mass += v
-	}
-	if mass != total {
-		t.Fatalf("accumulator mass %v, want %d (loss or duplication)", mass, total)
-	}
+	assertExactMass(t, col, total)
 }
 
-// A lost response on an intermediate batch must not stall the later ones:
-// the retry ships the unacknowledged batch (replayed) and everything behind
-// it, and the final state is exactly one copy of every report.
-func TestRemoteRetryInterleavedWithIngestion(t *testing.T) {
-	const n = 16
-	w := ldp.Histogram(n)
-	s := benchfix.RRStrategy(n, 1.0)
-	agg, err := ldp.NewAggregator(s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	col, err := ldp.NewCollector(agg, w, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	inner, err := ldp.NewCollectorServer(col, ldp.MechanismInfoOf(agg))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Lose every other POST's response, always after the absorb.
-	var posts atomic.Int64
-	outer := http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
-		if req.Method == http.MethodPost && posts.Add(1)%2 == 1 {
-			inner.ServeHTTP(httptest.NewRecorder(), req)
-			panic(http.ErrAbortHandler)
-		}
-		inner.ServeHTTP(rw, req)
-	})
-	hs := httptest.NewServer(outer)
-	t.Cleanup(hs.Close)
+// With the retry policy on (the default posture), a lost response never
+// reaches the caller at all: ship backs off, retries under the same key, the
+// server replays, and one Flush call delivers everything exactly once. The
+// pinned deterministic policy also asserts the backoff schedule taken.
+func TestRemoteRetryPolicyRetriesLostResponseInternally(t *testing.T) {
+	const n, total = 16, 95
+	col, hs, agg, w := retryHarness(t, n, func(post int64) bool { return post == 1 })
 
-	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(10),
-		ldp.WithRemoteHTTPClient(hs.Client()))
+	var slept []time.Duration
+	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(512),
+		ldp.WithRemoteHTTPClient(hs.Client()),
+		ldp.WithRemoteRetryPolicy(fastRetryPolicy(4, &slept)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	const total = 95
 	for i := 0; i < total; i++ {
-		// Errors are expected whenever a full batch ships into an outage;
-		// the contract is that nothing is lost and nothing duplicates.
-		_ = rcol.Ingest(ctx, ldp.Report{Index: i % n})
-	}
-	for attempt := 0; attempt < 2*total; attempt++ {
-		if err := rcol.Flush(ctx); err == nil {
-			break
+		if err := rcol.Ingest(ctx, ldp.Report{Index: i % n}); err != nil {
+			t.Fatal(err)
 		}
 	}
+	if err := rcol.Flush(ctx); err != nil {
+		t.Fatalf("flush with retries enabled: %v", err)
+	}
+	// Exactly one pause (the first retry already succeeded via replay), at
+	// the pinned initial backoff.
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Fatalf("backoff schedule %v, want [10ms]", slept)
+	}
+	assertExactMass(t, col, total)
+}
+
+// A lost response on an intermediate batch must not stall the later ones:
+// the retrying ship replays the unacknowledged batch and everything behind
+// it, and the final state is exactly one copy of every report — here with
+// every other response dying.
+func TestRemoteRetryInterleavedWithIngestion(t *testing.T) {
+	const n, total = 16, 95
+	col, hs, agg, w := retryHarness(t, n, func(post int64) bool { return post%2 == 1 })
+
+	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(10),
+		ldp.WithRemoteHTTPClient(hs.Client()),
+		ldp.WithRemoteRetryPolicy(fastRetryPolicy(4, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < total; i++ {
+		// With half of all responses dying, the internal retry absorbs every
+		// failure: no error should surface at any point.
+		if err := rcol.Ingest(ctx, ldp.Report{Index: i % n}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	if err := rcol.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	assertExactMass(t, col, total)
+}
+
+// assertExactMass checks the collector holds exactly total reports of total
+// mass — the exactly-once invariant (no loss, no duplication).
+func assertExactMass(t *testing.T, col *ldp.Collector, total float64) {
+	t.Helper()
 	snap := col.Snap()
 	if snap.Count() != total {
-		t.Fatalf("server holds %v reports after retries, want exactly %d", snap.Count(), total)
+		t.Fatalf("server holds %v reports, want exactly %v", snap.Count(), total)
 	}
 	var mass float64
 	for _, v := range snap.State() {
 		mass += v
 	}
 	if mass != total {
-		t.Fatalf("accumulator mass %v, want %d (loss or duplication)", mass, total)
+		t.Fatalf("accumulator mass %v, want %v (loss or duplication)", mass, total)
 	}
 }

@@ -1,0 +1,320 @@
+package ldp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// IdempotencyKeyHeader re-exports the transport's retry-safety header for
+// clients building raw requests against a shard or router.
+const IdempotencyKeyHeader = transport.IdempotencyKeyHeader
+
+// EncodeReportsFrame writes one length-prefixed report frame — the POST
+// /reports body unit — re-exported for raw-protocol clients and tests.
+func EncodeReportsFrame(w io.Writer, reports []Report) error {
+	return transport.EncodeReports(w, reports)
+}
+
+// Coverage headers a FleetServer stamps on GET /snapshot responses, so a
+// client of the framed protocol (which has no field for partiality) still
+// learns when an estimate is degraded and by how much.
+const (
+	// CoverageHeader is the operator summary, e.g. "3/4 shards (1 stale)".
+	CoverageHeader = "Ldp-Fleet-Coverage"
+	// CoverageMergedHeader / CoverageTotalHeader / CoverageStaleHeader are
+	// the machine-readable counts behind the summary.
+	CoverageMergedHeader = "Ldp-Fleet-Shards-Merged"
+	CoverageTotalHeader  = "Ldp-Fleet-Shards-Total"
+	CoverageStaleHeader  = "Ldp-Fleet-Shards-Stale"
+)
+
+// FleetServer serves a Fleet over the same framed HTTP protocol a single
+// collector shard speaks, so any existing client — a RemoteCollector, an
+// ldpfed poller — can point at the router unchanged and transparently talk
+// to N health-gated shards behind it:
+//
+//	POST /reports    route a (keyed) batch to a live shard, key-sticky
+//	GET  /snapshot   degraded-tolerant merged snapshot + coverage headers
+//	GET  /healthz    liveness + mechanism identity + per-shard membership
+//	GET  /readyz     readiness: enough live shards to meet the quorum
+//	GET  /shards     membership listing (JSON)
+//	POST /shards     register a shard  {"endpoint": "http://..."}
+//	DELETE /shards   deregister        ?endpoint=http://...
+//
+// The router itself is stateless apart from the in-memory key→shard binding
+// (see Fleet.IngestKeyed): shard-side idempotency caches and write-ahead
+// logs remain the single source of exactly-once truth, which is why a
+// forwarding failure surfaces as a retryable 503 — the client retries the
+// same key, the binding replays it on the same shard, and the shard
+// deduplicates.
+type FleetServer struct {
+	fleet           *Fleet
+	mux             *http.ServeMux
+	maxRequestBytes int64
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// NewFleetServer wraps a Fleet in its HTTP tier.
+func NewFleetServer(f *Fleet) (*FleetServer, error) {
+	if f == nil {
+		return nil, errors.New("ldp: nil fleet")
+	}
+	s := &FleetServer{fleet: f, mux: http.NewServeMux(), maxRequestBytes: transport.DefaultMaxRequestBytes}
+	s.mux.HandleFunc("POST /reports", s.handleReports)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /shards", s.handleShardsList)
+	s.mux.HandleFunc("POST /shards", s.handleShardsRegister)
+	s.mux.HandleFunc("DELETE /shards", s.handleShardsDeregister)
+	return s, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (s *FleetServer) Handler() http.Handler { return s.mux }
+
+// SetMaxRequestBytes overrides the POST /reports body bound (n <= 0 keeps
+// the default). Call before serving traffic.
+func (s *FleetServer) SetMaxRequestBytes(n int64) {
+	if n > 0 {
+		s.maxRequestBytes = n
+	}
+}
+
+// Drain marks the router draining: ingest and membership changes answer 503,
+// snapshot reads stay up for a final pull. One-way.
+func (s *FleetServer) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+func (s *FleetServer) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ingestJSON mirrors the shard transport's POST /reports response body, so
+// transport.Client parses router responses identically.
+type ingestJSON struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *FleetServer) handleReports(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "1")
+		writeRouterJSON(w, http.StatusServiceUnavailable, ingestJSON{Error: "router draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxRequestBytes)
+	key := r.Header.Get(transport.IdempotencyKeyHeader)
+
+	// Decode the whole body first: the forward must be all-or-nothing so the
+	// key binds to exactly one downstream request and replays are exact.
+	var reports []Report
+	for {
+		batch, err := transport.DecodeReports(r.Body)
+		if err == transport.ErrFrameEOF {
+			break
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeRouterJSON(w, status, ingestJSON{Error: err.Error()})
+			return
+		}
+		reports = append(reports, batch...)
+	}
+
+	accepted, err := s.fleet.IngestKeyed(r.Context(), reports, key)
+	if err == nil {
+		writeRouterJSON(w, http.StatusOK, ingestJSON{Accepted: accepted})
+		return
+	}
+	// Relay the shard's definitive answer verbatim; everything else — no
+	// live shard, network failure, shard 5xx — is weather the client should
+	// retry through (same key, same binding, no double-absorb).
+	var se *StatusError
+	if errors.As(err, &se) && !se.Temporary() {
+		writeRouterJSON(w, se.StatusCode, ingestJSON{Accepted: accepted, Error: err.Error()})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeRouterJSON(w, http.StatusServiceUnavailable, ingestJSON{Accepted: accepted, Error: err.Error()})
+}
+
+func (s *FleetServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, cov, err := s.fleet.Snap(r.Context())
+	if err != nil {
+		var qe *QuorumError
+		status := http.StatusServiceUnavailable
+		if errors.As(err, &qe) {
+			// Below quorum is still 503 — the client should retry once
+			// shards return — but the body says exactly what was missing.
+			s.coverageHeaders(w, qe.Coverage)
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.coverageHeaders(w, cov)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = transport.EncodeSnapshotFrame(w, transport.Snapshot{
+		State: snap.State(),
+		Count: snap.Count(),
+		Epoch: snap.Epoch(),
+		Info:  s.fleet.Info(),
+	})
+}
+
+func (s *FleetServer) coverageHeaders(w http.ResponseWriter, cov Coverage) {
+	h := w.Header()
+	h.Set(CoverageHeader, cov.String())
+	h.Set(CoverageMergedHeader, strconv.Itoa(cov.Merged()))
+	h.Set(CoverageTotalHeader, strconv.Itoa(cov.Total))
+	h.Set(CoverageStaleHeader, strconv.Itoa(cov.Stale))
+}
+
+// fleetHealth extends the shard health body with the router's membership
+// view; clients decoding transport.Health ignore the extra fields, so
+// RemoteCollector.Verify works against a router unchanged.
+type fleetHealth struct {
+	transport.Health
+	Members []MemberState `json:"members"`
+	Quorum  int           `json:"quorum,omitempty"`
+}
+
+func (s *FleetServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness must stay cheap and answer even with every shard down: count
+	// and epoch are the fleet's last-good view, no network round-trips.
+	members := s.fleet.Members()
+	var count float64
+	var epoch uint64
+	for _, m := range members {
+		count += m.LastCount
+		if m.LastEpoch > epoch {
+			epoch = m.LastEpoch
+		}
+	}
+	ready, reason := s.readiness(members)
+	status := "ok"
+	if !ready {
+		status = reason
+	}
+	writeRouterJSON(w, http.StatusOK, fleetHealth{
+		Health: transport.Health{
+			Status: status,
+			Count:  count,
+			Epoch:  epoch,
+			Ready:  ready,
+			Reason: reason,
+			Info:   s.fleet.Info(),
+		},
+		Members: members,
+		Quorum:  s.fleet.quorum,
+	})
+}
+
+// readiness: the router should receive traffic when it is not draining and
+// enough shards are routable to meet the quorum (at least one without one).
+func (s *FleetServer) readiness(members []MemberState) (bool, string) {
+	if s.isDraining() {
+		return false, "draining"
+	}
+	need := s.fleet.quorum
+	if need < 1 {
+		need = 1
+	}
+	ready := 0
+	for _, m := range members {
+		if m.Ready && m.Breaker != "open" {
+			ready++
+		}
+	}
+	if ready < need {
+		return false, fmt.Sprintf("%d of %d required shards routable", ready, need)
+	}
+	return true, ""
+}
+
+func (s *FleetServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.readiness(s.fleet.Members())
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeRouterJSON(w, status, struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}{ready, reason})
+}
+
+// shardsJSON is the membership listing body.
+type shardsJSON struct {
+	Members []MemberState `json:"members"`
+}
+
+func (s *FleetServer) handleShardsList(w http.ResponseWriter, r *http.Request) {
+	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
+}
+
+func (s *FleetServer) handleShardsRegister(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req struct {
+		Endpoint string `json:"endpoint"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Endpoint == "" {
+		http.Error(w, "body must be {\"endpoint\": \"http://...\"}", http.StatusBadRequest)
+		return
+	}
+	if err := s.fleet.Register(r.Context(), req.Endpoint); err != nil {
+		// A mechanism mismatch is the caller's configuration error.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
+}
+
+func (s *FleetServer) handleShardsDeregister(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		return
+	}
+	endpoint := r.URL.Query().Get("endpoint")
+	if endpoint == "" {
+		http.Error(w, "missing ?endpoint=", http.StatusBadRequest)
+		return
+	}
+	if !s.fleet.Deregister(endpoint) {
+		http.Error(w, "not a member", http.StatusNotFound)
+		return
+	}
+	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
+}
+
+// Probe re-exports the fleet's health round for the serving binary's ticker.
+func (s *FleetServer) Probe(ctx context.Context) []MemberState { return s.fleet.Probe(ctx) }

@@ -1,0 +1,370 @@
+package ldp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	ldp "repro"
+	"repro/internal/benchfix"
+)
+
+// routerFixture stands up n shards, a fleet over them, and the router tier.
+func routerFixture(t *testing.T, domain, n int, opts ...ldp.FleetOption) (*ldp.Fleet, *ldp.FleetServer, *httptest.Server, []*fleetShard, ldp.Aggregator, ldp.Workload) {
+	t.Helper()
+	agg, w, shards := fleetFixture(t, domain, n)
+	base := []ldp.FleetOption{
+		ldp.WithFleetRetryPolicy(fastRetryPolicy(2, nil)),
+		ldp.WithFleetRemoteOptions(ldp.WithRemoteBatch(8)),
+	}
+	f, err := ldp.NewFleet(agg, w, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAll(t, context.Background(), f, shards)
+	fs, err := ldp.NewFleetServer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(fs.Handler())
+	t.Cleanup(hs.Close)
+	return f, fs, hs, shards, agg, w
+}
+
+// The router speaks the shard protocol: an unmodified RemoteCollector
+// pointed at it verifies the mechanism identity, ships keyed batches that
+// land exactly once across the shards, and reads the merged snapshot back.
+func TestRouterTransparentToRemoteCollector(t *testing.T) {
+	const domain, total = 16, 120
+	_, _, hs, shards, agg, w := routerFixture(t, domain, 3)
+
+	rcol, err := ldp.NewRemoteCollector(hs.URL, agg, w, ldp.WithRemoteBatch(10),
+		ldp.WithRemoteHTTPClient(hs.Client()),
+		ldp.WithRemoteRetryPolicy(fastRetryPolicy(2, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	info := ldp.MechanismInfoOf(agg)
+	if err := rcol.Verify(ctx, info.Mechanism, info.Epsilon, info.Digest); err != nil {
+		t.Fatalf("identity handshake through the router: %v", err)
+	}
+	for i := 0; i < total; i++ {
+		if err := rcol.Ingest(ctx, ldp.Report{Index: i % domain}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	if err := rcol.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	snap, err := rcol.Snap(ctx)
+	if err != nil {
+		t.Fatalf("snap through the router: %v", err)
+	}
+	if snap.Count() != total {
+		t.Fatalf("merged count %v, want %v", snap.Count(), total)
+	}
+	var mass, sharded float64
+	for _, v := range snap.State() {
+		mass += v
+	}
+	if mass != total {
+		t.Fatalf("merged mass %v, want %v (loss or duplication)", mass, total)
+	}
+	routed := 0
+	for _, sh := range shards {
+		sharded += sh.col.Count()
+		if sh.col.Count() > 0 {
+			routed++
+		}
+	}
+	if sharded != total {
+		t.Fatalf("shards hold %v total, want %v", sharded, total)
+	}
+	if routed < 2 {
+		t.Fatalf("only %d shard(s) received traffic; routing never rotated", routed)
+	}
+}
+
+// postFrame POSTs reports as one framed body with the given idempotency key
+// and returns the HTTP status plus decoded accepted count.
+func postFrame(t *testing.T, hs *httptest.Server, key string, reports []ldp.Report) (int, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ldp.EncodeReportsFrame(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/reports", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if key != "" {
+		req.Header.Set(ldp.IdempotencyKeyHeader, key)
+	}
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Accepted int `json:"accepted"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body.Accepted
+}
+
+// A client retry of a keyed batch must land on the SAME shard the first
+// attempt was routed to, where the idempotency cache replays it — the
+// binding is what keeps exactly-once across the router.
+func TestRouterKeyStickyReplay(t *testing.T) {
+	const domain = 8
+	_, _, hs, shards, _, _ := routerFixture(t, domain, 3)
+
+	reports := []ldp.Report{{Index: 1}, {Index: 2}, {Index: 3}}
+	if status, accepted := postFrame(t, hs, "key-A", reports); status != http.StatusOK || accepted != 3 {
+		t.Fatalf("first keyed POST = (%d, %d), want (200, 3)", status, accepted)
+	}
+	// The same key again — a client retry after a lost response — replays.
+	for i := 0; i < 3; i++ {
+		if status, accepted := postFrame(t, hs, "key-A", reports); status != http.StatusOK || accepted != 3 {
+			t.Fatalf("retry %d = (%d, %d), want replayed (200, 3)", i, status, accepted)
+		}
+	}
+	var total float64
+	for _, sh := range shards {
+		total += sh.col.Count()
+	}
+	if total != 3 {
+		t.Fatalf("shards absorbed %v reports across 4 sends of one key, want exactly 3", total)
+	}
+}
+
+// With a shard down, GET /snapshot still answers and the coverage headers
+// say how degraded the estimate is; a strict-quorum router refuses with 503
+// once coverage falls below the quorum.
+func TestRouterSnapshotCoverageHeaders(t *testing.T) {
+	const domain = 8
+	f, _, hs, shards, _, _ := routerFixture(t, domain, 3)
+	ctx := context.Background()
+
+	// Seed and take a baseline so every shard has last-good state.
+	for i := 0; i < 12; i++ {
+		if err := f.IngestBatch(ctx, []ldp.Report{{Index: i % domain}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	get := func() *http.Response {
+		resp, err := hs.Client().Get(hs.URL + "/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	resp := get()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(ldp.CoverageHeader) != "3/3 shards" {
+		t.Fatalf("healthy snapshot = %d %q", resp.StatusCode, resp.Header.Get(ldp.CoverageHeader))
+	}
+
+	shards[2].down.Store(true)
+	resp = get()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded snapshot status %d, want 200 with stale fallback", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ldp.CoverageHeader); got != "3/3 shards (1 stale)" {
+		t.Fatalf("degraded coverage header %q", got)
+	}
+	if resp.Header.Get(ldp.CoverageStaleHeader) != "1" || resp.Header.Get(ldp.CoverageTotalHeader) != "3" {
+		t.Fatalf("numeric coverage headers = stale %q total %q", resp.Header.Get(ldp.CoverageStaleHeader), resp.Header.Get(ldp.CoverageTotalHeader))
+	}
+
+	// A strict-quorum, no-stale router refuses below quorum.
+	_, _, strictHS, strictShards, _, _ := routerFixture(t, domain, 3,
+		ldp.WithFleetStaleFallback(false), ldp.WithFleetQuorum(3))
+	strictShards[0].down.Store(true)
+	resp2, err := strictHS.Client().Get(strictHS.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("below-quorum snapshot status %d, want 503", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(ldp.CoverageHeader); got != "2/3 shards (1 missing)" {
+		t.Fatalf("below-quorum coverage header %q", got)
+	}
+}
+
+// Membership over HTTP: register, list, deregister, and the readiness probe
+// reflecting whether enough shards are routable.
+func TestRouterMembershipEndpoints(t *testing.T) {
+	const domain = 8
+	agg, w, shards := fleetFixture(t, domain, 2)
+	f, err := ldp.NewFleet(agg, w, ldp.WithFleetRetryPolicy(fastRetryPolicy(1, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ldp.NewFleetServer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(fs.Handler())
+	t.Cleanup(hs.Close)
+
+	// Empty fleet: not ready, ingest 503.
+	resp, err := hs.Client().Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-fleet readyz %d, want 503", resp.StatusCode)
+	}
+	if status, _ := postFrame(t, hs, "k", []ldp.Report{{Index: 0}}); status != http.StatusServiceUnavailable {
+		t.Fatalf("empty-fleet ingest %d, want 503", status)
+	}
+
+	// Register both shards over HTTP.
+	for _, sh := range shards {
+		body, _ := json.Marshal(map[string]string{"endpoint": sh.hs.URL})
+		resp, err := hs.Client().Post(hs.URL+"/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s = %d", sh.hs.URL, resp.StatusCode)
+		}
+	}
+	resp, err = hs.Client().Get(hs.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Members []ldp.MemberState `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Members) != 2 || !listing.Members[0].Ready {
+		t.Fatalf("listing = %+v, want 2 ready members", listing.Members)
+	}
+	if resp, err = hs.Client().Get(hs.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with members %d, want 200", resp.StatusCode)
+	}
+	// Healthz carries the fleet's identity plus the membership.
+	if resp, err = hs.Client().Get(hs.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Mechanism string            `json:"mechanism"`
+		Domain    int               `json:"domain"`
+		Members   []ldp.MemberState `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Domain != domain || len(h.Members) != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Deregister one; a second delete of the same endpoint is a 404.
+	del := func() int {
+		req, err := http.NewRequest(http.MethodDelete, hs.URL+"/shards?endpoint="+shards[0].hs.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := del(); got != http.StatusOK {
+		t.Fatalf("deregister = %d", got)
+	}
+	if got := del(); got != http.StatusNotFound {
+		t.Fatalf("double deregister = %d, want 404", got)
+	}
+
+	// Registering a mismatched shard over HTTP is refused with 409.
+	otherAgg, err := ldp.NewAggregator(benchfix.RRStrategy(domain, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := newFleetShard(t, otherAgg, w)
+	body, _ := json.Marshal(map[string]string{"endpoint": wrong.hs.URL})
+	if resp, err = hs.Client().Post(hs.URL+"/shards", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched register = %d, want 409", resp.StatusCode)
+	}
+}
+
+// Drain: ingest and membership changes refuse 503, the merged snapshot
+// stays readable for a final pull.
+func TestRouterDrain(t *testing.T) {
+	const domain = 8
+	f, fs, hs, _, _, _ := routerFixture(t, domain, 2)
+	ctx := context.Background()
+	if err := f.IngestBatch(ctx, []ldp.Report{{Index: 1}, {Index: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fs.Drain()
+	if status, _ := postFrame(t, hs, "k", []ldp.Report{{Index: 0}}); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining ingest = %d, want 503", status)
+	}
+	resp, err := hs.Client().Get(hs.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining snapshot = %d, want 200 (reads survive)", resp.StatusCode)
+	}
+	resp, err = hs.Client().Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// An oversized POST body is refused 413 before any forwarding.
+func TestRouterBoundsRequestBody(t *testing.T) {
+	_, fs, hs, shards, _, _ := routerFixture(t, 8, 1)
+	fs.SetMaxRequestBytes(64)
+	big := make([]ldp.Report, 4096)
+	for i := range big {
+		big[i] = ldp.Report{Index: i % 8}
+	}
+	status, _ := postFrame(t, hs, "big", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want 413", status)
+	}
+	if shards[0].col.Count() != 0 {
+		t.Fatalf("shard absorbed %v from a refused request", shards[0].col.Count())
+	}
+}
