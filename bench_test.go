@@ -422,6 +422,17 @@ func BenchmarkRecoverReplay(b *testing.B) {
 	b.Run("records=256x64", benchfix.RecoverReplay())
 }
 
+// BenchmarkPoolAnswerBatch measures the query engine's shared-computation
+// batch answering against the pool-less baseline: four workloads over one
+// snapshot, shared = EstimatorPool.AnswerBatch (x̂ once, repeated W·B rows
+// shared, estimators cached), naive = fresh estimator + separate reads per
+// workload. The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix.
+func BenchmarkPoolAnswerBatch(b *testing.B) {
+	b.Run("shared", benchfix.PoolAnswerBatch(true))
+	b.Run("naive", benchfix.PoolAnswerBatch(false))
+}
+
 // BenchmarkWNNLS times consistency post-processing on the AllRange workload
 // through its implicit operators.
 func BenchmarkWNNLS(b *testing.B) {

@@ -61,6 +61,8 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"WALAppend/batch4096-buffered", benchfix.WALAppend("buffered", 4096)},
 		{"WALAppend/batch4096-fsync", benchfix.WALAppend("fsync", 4096)},
 		{"RecoverReplay/records=256x64", benchfix.RecoverReplay()},
+		{"PoolAnswerBatch/shared", benchfix.PoolAnswerBatch(true)},
+		{"PoolAnswerBatch/naive", benchfix.PoolAnswerBatch(false)},
 	}
 	file := BenchFile{
 		GoVersion:  runtime.Version(),
@@ -88,5 +90,93 @@ func runBenchSuite(out io.Writer, path string) error {
 		return err
 	}
 	fmt.Fprintf(out, "\nwrote %s\n", path)
+	return nil
+}
+
+// gateBenchmarks pins the hot-path subset that the CI regression gate
+// re-measures against the committed BENCH_optimizer.json. Only fast
+// benchmarks belong here (the gate runs every one at testing.Benchmark's
+// default 1 s calibration): the optimizer inner loop, the kernels under it,
+// the snapshot fast path, and the pooled batch-answer path this gate exists
+// to protect.
+var gateBenchmarks = []string{
+	"ObjectiveGrad/n=64",
+	"ProjectMatrixInto/n=64",
+	"MulAtB/m=256_n=64",
+	"SnapshotCached/hit",
+	"OLHAbsorb/candidates/n=1024",
+	"WALAppend/batch64-memory",
+	"PoolAnswerBatch/shared",
+}
+
+// gateNsSlack is how much slower (ratio) a gated benchmark may measure
+// before the gate fails. CI machines are noisy; 25% headroom filters the
+// noise while still catching a real hot-path regression. Allocations get no
+// slack — allocs/op is deterministic, so any increase is a genuine change.
+const gateNsSlack = 1.25
+
+// runBenchGate re-measures the pinned hot-path benchmarks and compares them
+// against the committed baseline at path: fail on ns/op more than gateNsSlack
+// above the baseline, or on any allocs/op increase. A baseline entry that has
+// no current benchmark (or vice versa) fails too — the pin list and the
+// baseline must move together.
+func runBenchGate(out io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchgate: reading baseline: %w", err)
+	}
+	var base BenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]BenchResult, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	suite := map[string]func(b *testing.B){
+		"ObjectiveGrad/n=64":          benchfix.ObjectiveGrad(64),
+		"ProjectMatrixInto/n=64":      benchfix.Projection(64),
+		"MulAtB/m=256_n=64":           benchfix.MulAtB(256, 64),
+		"SnapshotCached/hit":          benchfix.SnapshotCached(true),
+		"OLHAbsorb/candidates/n=1024": benchfix.OLHAbsorb(true, 1024),
+		"WALAppend/batch64-memory":    benchfix.WALAppend("memory", 64),
+		"PoolAnswerBatch/shared":      benchfix.PoolAnswerBatch(true),
+	}
+	fmt.Fprintf(out, "%-28s %14s %14s %8s %12s %12s\n",
+		"benchmark", "base ns/op", "now ns/op", "ratio", "base allocs", "now allocs")
+	var failures []string
+	for _, name := range gateBenchmarks {
+		want, ok := baseline[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline %s (regenerate with -exp bench)", name, path))
+			continue
+		}
+		fn, ok := suite[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: pinned but not in the gate suite", name))
+			continue
+		}
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		allocs := r.AllocsPerOp()
+		ratio := ns / want.NsPerOp
+		fmt.Fprintf(out, "%-28s %14.0f %14.0f %7.2fx %12d %12d\n",
+			name, want.NsPerOp, ns, ratio, want.AllocsPerOp, allocs)
+		if ratio > gateNsSlack {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.2fx the baseline %.0f (limit %.2fx)",
+				name, ns, ratio, want.NsPerOp, gateNsSlack))
+		}
+		if allocs > want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d (no slack on allocations)",
+				name, allocs, want.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "FAIL %s\n", f)
+		}
+		return fmt.Errorf("benchgate: %d regression(s) against %s", len(failures), path)
+	}
+	fmt.Fprintf(out, "benchgate: %d benchmarks within limits of %s\n", len(gateBenchmarks), path)
 	return nil
 }

@@ -14,6 +14,7 @@
 //	ldpbench -exp fig1 -full        # paper-scale parameters (slow)
 //	ldpbench -exp fig1 -workers 4   # bound the sweep worker pool (0 = all CPUs)
 //	ldpbench -exp bench             # optimizer micro-benchmarks → BENCH_optimizer.json
+//	ldpbench -exp benchgate         # hot-path regression gate vs BENCH_optimizer.json
 //
 // The bench experiment measures the optimizer hot path (end-to-end optimize,
 // objective+gradient, projection, parallel matmul) with ns/op, B/op and
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig3a, fig3b, fig3c, fig4, table1, bench, all")
+	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig3a, fig3b, fig3c, fig4, table1, bench, benchgate, all")
 	full := flag.Bool("full", false, "paper-scale parameters (much slower)")
 	seed := flag.Int64("seed", 0, "random seed")
 	iters := flag.Int("iters", 0, "optimizer iterations (0 = default)")
@@ -103,6 +104,11 @@ func main() {
 		case "bench":
 			fmt.Fprintln(out, "== Optimizer micro-benchmarks ==")
 			if err := runBenchSuite(out, *benchJSON); err != nil {
+				return err
+			}
+		case "benchgate":
+			fmt.Fprintln(out, "== Bench regression gate ==")
+			if err := runBenchGate(out, *benchJSON); err != nil {
 				return err
 			}
 		default:

@@ -53,6 +53,7 @@ func main() {
 	wname := flag.String("workload", "Histogram", "workload family")
 	quorum := flag.Int("quorum", 0, "refuse snapshots covering fewer than this many shards (0 = serve any non-empty coverage)")
 	noStale := flag.Bool("no-stale", false, "disable the stale-snapshot fallback: an unreachable shard becomes a coverage gap instead of a stale contribution")
+	bindLog := flag.String("bindings-log", "", "append-only log persisting idempotency-key→shard bindings across router restarts")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "readiness probe interval")
 	unhealthyAfter := flag.Int("unhealthy-after", 2, "consecutive failed probes before a shard is gated out of routing")
 	flag.Parse()
@@ -66,13 +67,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fleet, err := ldp.NewFleet(agg, w,
+	fleetOpts := []ldp.FleetOption{
 		ldp.WithFleetQuorum(*quorum),
 		ldp.WithFleetStaleFallback(!*noStale),
-		ldp.WithFleetUnhealthyAfter(*unhealthyAfter))
+		ldp.WithFleetUnhealthyAfter(*unhealthyAfter),
+	}
+	if *bindLog != "" {
+		fleetOpts = append(fleetOpts, ldp.WithFleetBindingLog(*bindLog))
+	}
+	fleet, err := ldp.NewFleet(agg, w, fleetOpts...)
 	if err != nil {
 		fatal(err)
 	}
+	defer fleet.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	for _, ep := range strings.Split(*servers, ",") {
@@ -87,6 +94,11 @@ func main() {
 	}
 	fs, err := ldp.NewFleetServer(fleet)
 	if err != nil {
+		fatal(err)
+	}
+	// POST /query answers workloads over the fleet's merged snapshot with the
+	// same mechanism the shards aggregate under.
+	if err := fs.EnableQueries(agg); err != nil {
 		fatal(err)
 	}
 

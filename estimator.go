@@ -9,6 +9,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/postprocess"
 	"repro/internal/strategy"
+	"repro/internal/workload"
 )
 
 // Estimator is the one read path of the library: built once from an
@@ -30,6 +31,7 @@ type Estimator struct {
 	// Answers-only callers should not pay for.
 	varOnce sync.Once
 	varErr  error
+	varW    *linalg.Matrix // materialized workload matrix W, p×n
 	varV    *linalg.Matrix // strategy path: V = W·B, p×m
 	varPU   float64        // oracle path: per-user per-count variance
 	varRow2 []float64      // oracle path: per-query ‖w_i‖²
@@ -128,15 +130,16 @@ func (e *Estimator) prepareVariance() error {
 			Strategy() *strategy.Strategy
 			Recon() *linalg.Matrix
 		}); ok {
-			e.varV = linalg.Mul(e.work.Matrix(), sa.Recon())
+			e.varW = e.work.Matrix()
+			e.varV = linalg.Mul(e.varW, sa.Recon())
 			return
 		}
 		if o, ok := e.agg.(interface{ VariancePerUser() float64 }); ok {
 			e.varPU = o.VariancePerUser()
-			wm := e.work.Matrix()
-			e.varRow2 = make([]float64, wm.Rows())
+			e.varW = e.work.Matrix()
+			e.varRow2 = make([]float64, e.varW.Rows())
 			for i := range e.varRow2 {
-				row := wm.Row(i)
+				row := e.varW.Row(i)
 				e.varRow2[i] = linalg.Dot(row, row)
 			}
 			return
@@ -168,31 +171,187 @@ func (e *Estimator) Variance(s Snapshot) ([]float64, error) {
 	if s.count <= 0 {
 		return out, nil
 	}
-	if e.varV != nil {
-		for i := range out {
-			vi := e.varV.Row(i)
-			var lin, dot float64
-			for o, y := range s.state {
-				lin += y * vi[o] * vi[o]
-				dot += y * vi[o]
-			}
-			v := lin - dot*dot/s.count
-			if v < 0 {
-				v = 0 // round-off guard: a variance is non-negative
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
 	for i := range out {
-		out[i] = s.count * e.varPU * e.varRow2[i]
+		out[i] = e.varianceAt(i, s.state, s.count)
 	}
 	return out, nil
+}
+
+// varianceAt reads query i's closed-form variance from the memoized model.
+// Callers must have run prepareVariance successfully and hold count > 0.
+func (e *Estimator) varianceAt(i int, state []float64, count float64) float64 {
+	if e.varV != nil {
+		vi := e.varV.Row(i)
+		var lin, dot float64
+		for o, y := range state {
+			lin += y * vi[o] * vi[o]
+			dot += y * vi[o]
+		}
+		v := lin - dot*dot/count
+		if v < 0 {
+			v = 0 // round-off guard: a variance is non-negative
+		}
+		return v
+	}
+	return count * e.varPU * e.varRow2[i]
 }
 
 // Interval is one two-sided confidence interval [Low, High].
 type Interval struct {
 	Low, High float64
+}
+
+// QueryAnswer is one streamed row of the read path: the query's index in the
+// workload's row order, its unbiased answer, the closed-form variance of that
+// answer, and the confidence interval at the stream's level.
+type QueryAnswer struct {
+	Index    int
+	Answer   float64
+	Variance float64
+	CI       Interval
+}
+
+// rowVariancer computes one query's closed-form variance at a time from the
+// workload's per-row view, never materializing W or V = W·B. The strategy
+// path replicates linalg's row accumulation exactly (each V element sums over
+// k ascending, zero entries of the workload row skipped), so every streamed
+// variance is bit-identical to the one the materialized varV path computes.
+// A rowVariancer owns its scratch and is single-goroutine; each stream call
+// builds its own.
+type rowVariancer struct {
+	rows  workload.RowAccessor
+	recon *linalg.Matrix // strategy path: B (n×m); nil on the oracle path
+	varPU float64        // oracle path: per-user per-count variance
+	wrow  []float64      // one row of W (n)
+	vrow  []float64      // strategy path: one row of V = W·B (m)
+}
+
+// newRowVariancer prepares streaming variance, or returns (nil, nil) when the
+// workload exposes no per-row view — the caller then falls back to the
+// materialized model with its size bound. Every built-in workload family
+// implements workload.RowAccessor, so the fallback only triggers for foreign
+// Workload implementations.
+func (e *Estimator) newRowVariancer() (*rowVariancer, error) {
+	ra, ok := e.work.(workload.RowAccessor)
+	if !ok {
+		return nil, nil
+	}
+	n := e.work.Domain()
+	if sa, ok := e.agg.(interface {
+		Strategy() *strategy.Strategy
+		Recon() *linalg.Matrix
+	}); ok {
+		b := sa.Recon()
+		return &rowVariancer{rows: ra, recon: b,
+			wrow: make([]float64, n), vrow: make([]float64, b.Cols())}, nil
+	}
+	if o, ok := e.agg.(interface{ VariancePerUser() float64 }); ok {
+		return &rowVariancer{rows: ra, varPU: o.VariancePerUser(), wrow: make([]float64, n)}, nil
+	}
+	return nil, fmt.Errorf("ldp: aggregator %T exposes no closed-form variance", e.agg)
+}
+
+// variance returns query i's closed-form variance at the snapshot's state.
+func (rv *rowVariancer) variance(i int, state []float64, count float64) float64 {
+	rv.rows.QueryRow(i, rv.wrow)
+	return rv.varianceFromRow(state, count)
+}
+
+// varianceFromRow computes the closed-form variance for the workload row
+// already loaded into wrow (callers that inspect the row — the batch row
+// cache — fill it via rv.rows.QueryRow first).
+func (rv *rowVariancer) varianceFromRow(state []float64, count float64) float64 {
+	if rv.recon == nil {
+		return count * rv.varPU * linalg.Dot(rv.wrow, rv.wrow)
+	}
+	// Row i of V = W·B with mulToRows' exact accumulation order: each element
+	// sums over k ascending, skipping zero workload entries.
+	clear(rv.vrow)
+	for k, av := range rv.wrow {
+		if av == 0 {
+			continue
+		}
+		brow := rv.recon.Row(k)
+		for j, bv := range brow {
+			rv.vrow[j] += av * bv
+		}
+	}
+	var lin, dot float64
+	for o, y := range state {
+		lin += y * rv.vrow[o] * rv.vrow[o]
+		dot += y * rv.vrow[o]
+	}
+	v := lin - dot*dot/count
+	if v < 0 {
+		v = 0 // round-off guard: a variance is non-negative
+	}
+	return v
+}
+
+// VarianceStream streams the closed-form variance of each workload answer in
+// query order, calling fn(i, variance) per query until fn returns false or
+// the workload is exhausted. Unlike Variance it materializes nothing of size
+// p×n — one workload row at a time is reconstructed through the workload's
+// per-row view — so it answers workloads past the maxVarianceElems bound.
+// Each streamed value is bit-identical to the corresponding Variance entry.
+func (e *Estimator) VarianceStream(s Snapshot, fn func(i int, v float64) bool) error {
+	if err := e.Check(s); err != nil {
+		return err
+	}
+	rv, err := e.newRowVariancer()
+	if err != nil {
+		return err
+	}
+	if rv == nil {
+		vars, err := e.Variance(s)
+		if err != nil {
+			return err
+		}
+		for i, v := range vars {
+			if !fn(i, v) {
+				return nil
+			}
+		}
+		return nil
+	}
+	p := e.work.Queries()
+	if s.count <= 0 {
+		for i := 0; i < p; i++ {
+			if !fn(i, 0) {
+				return nil
+			}
+		}
+		return nil
+	}
+	for i := 0; i < p; i++ {
+		if !fn(i, rv.variance(i, s.state, s.count)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// AnswerStream streams the full read path — unbiased answer, closed-form
+// variance, and the confidence interval at the given two-sided level — one
+// query row at a time, calling fn per row in query order until fn returns
+// false or the workload is exhausted. The answers are the same values (bit
+// for bit) Answers returns; the variances are streamed through the
+// workload's per-row view, so a workload whose variance materialization
+// exceeds the maxVarianceElems bound streams fine.
+func (e *Estimator) AnswerStream(s Snapshot, level float64, fn func(QueryAnswer) bool) error {
+	if math.IsNaN(level) || level <= 0 || level >= 1 {
+		return fmt.Errorf("ldp: confidence level %v outside (0, 1)", level)
+	}
+	answers, err := e.Answers(s)
+	if err != nil {
+		return err
+	}
+	z := math.Sqrt2 * math.Erfinv(level)
+	return e.VarianceStream(s, func(i int, v float64) bool {
+		half := z * math.Sqrt(v)
+		a := answers[i]
+		return fn(QueryAnswer{Index: i, Answer: a, Variance: v, CI: Interval{Low: a - half, High: a + half}})
+	})
 }
 
 // ConfidenceIntervals returns per-query normal-approximation confidence

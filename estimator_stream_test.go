@@ -1,0 +1,161 @@
+package ldp_test
+
+import (
+	"math"
+	"testing"
+
+	ldp "repro"
+	"repro/internal/benchfix"
+)
+
+// The streaming read path must be bit-identical to the materialized one:
+// VarianceStream yields exactly Variance's entries and AnswerStream pairs
+// them with exactly Answers' entries, for both mechanism families and for
+// every workload with a per-row view (including composed ones).
+func TestStreamMatchesMaterialized(t *testing.T) {
+	const n, users = 16, 400
+	aggs := map[string]func() (ldp.Aggregator, error){
+		"oracle":   func() (ldp.Aggregator, error) { return ldp.NewOUE(n, 1.0) },
+		"strategy": func() (ldp.Aggregator, error) { return ldp.NewAggregator(benchfix.RRStrategy(n, 1.0)) },
+	}
+	workloads := []ldp.Workload{
+		ldp.Histogram(n), ldp.Prefix(n), ldp.AllRange(n),
+		ldp.WidthRange(n, 3), ldp.Parity(4),
+	}
+	for name, mk := range aggs {
+		t.Run(name, func(t *testing.T) {
+			agg, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := ingestSkewed(t, agg, workloads[0], users, 41)
+			for _, w := range workloads {
+				est, err := ldp.NewEstimator(agg, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantA, err := est.Answers(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantV, err := est.Variance(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rows := 0
+				err = est.AnswerStream(snap, 0.9, func(qa ldp.QueryAnswer) bool {
+					if qa.Index != rows {
+						t.Fatalf("%s: stream out of order: row %d at position %d", w.Name(), qa.Index, rows)
+					}
+					if math.Float64bits(qa.Answer) != math.Float64bits(wantA[qa.Index]) {
+						t.Fatalf("%s answer %d: streamed %v, materialized %v", w.Name(), qa.Index, qa.Answer, wantA[qa.Index])
+					}
+					if math.Float64bits(qa.Variance) != math.Float64bits(wantV[qa.Index]) {
+						t.Fatalf("%s variance %d: streamed %v, materialized %v", w.Name(), qa.Index, qa.Variance, wantV[qa.Index])
+					}
+					if qa.CI.Low > qa.Answer || qa.CI.High < qa.Answer {
+						t.Fatalf("%s CI %d does not contain its answer", w.Name(), qa.Index)
+					}
+					rows++
+					return true
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name(), err)
+				}
+				if rows != len(wantA) {
+					t.Fatalf("%s: streamed %d of %d rows", w.Name(), rows, len(wantA))
+				}
+			}
+		})
+	}
+}
+
+// Early termination: returning false from the callback stops the stream
+// without error.
+func TestStreamEarlyStop(t *testing.T) {
+	const n = 16
+	agg, err := ldp.NewOUE(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ingestSkewed(t, agg, ldp.Histogram(n), 100, 5)
+	est, err := ldp.NewEstimator(agg, ldp.AllRange(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := est.AnswerStream(snap, 0.95, func(ldp.QueryAnswer) bool {
+		seen++
+		return seen < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 7 {
+		t.Fatalf("stream continued past the stop: %d rows", seen)
+	}
+}
+
+// Acceptance: AllRange at n=512 declares 131,328 queries over a 512-wide
+// domain — 67,239,936 variance matrix elements, past the 2^26 materialization
+// bound — so Variance refuses, while the streaming path answers every row.
+// The first n rows of AllRange are exactly Prefix's rows (ranges [0..j]), and
+// Prefix at this domain is materializable, so a slice of the streamed result
+// is cross-checked bit-for-bit against a materialized read.
+func TestAnswerStreamBeyondMaterializationBound(t *testing.T) {
+	const n, users = 512, 800
+	agg, err := ldp.NewOUE(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ingestSkewed(t, agg, ldp.Histogram(n), users, 61)
+
+	wide := ldp.AllRange(n)
+	est, err := ldp.NewEstimator(agg, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Variance(snap); err == nil {
+		t.Fatal("materialized variance unexpectedly fit; the test is not past the bound")
+	}
+
+	prefixEst, err := ldp.NewEstimator(agg, ldp.Prefix(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := prefixEst.Answers(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, err := prefixEst.Variance(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := wide.Queries()
+	if total != n*(n+1)/2 {
+		t.Fatalf("AllRange(%d) declares %d queries", n, total)
+	}
+	rows := 0
+	err = est.AnswerStream(snap, 0.95, func(qa ldp.QueryAnswer) bool {
+		if qa.Index < n {
+			// Range [0..j] ≡ Prefix row j.
+			if math.Float64bits(qa.Answer) != math.Float64bits(wantA[qa.Index]) {
+				t.Fatalf("row %d answer: streamed %v, prefix %v", qa.Index, qa.Answer, wantA[qa.Index])
+			}
+			if math.Float64bits(qa.Variance) != math.Float64bits(wantV[qa.Index]) {
+				t.Fatalf("row %d variance: streamed %v, prefix %v", qa.Index, qa.Variance, wantV[qa.Index])
+			}
+		}
+		if qa.Variance < 0 || math.IsNaN(qa.Variance) {
+			t.Fatalf("row %d: invalid variance %v", qa.Index, qa.Variance)
+		}
+		rows++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != total {
+		t.Fatalf("streamed %d of %d rows", rows, total)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/retry"
 	"repro/internal/transport"
 )
@@ -192,6 +193,13 @@ type Fleet struct {
 	order    []string // registration order: deterministic iteration + routing
 	next     int      // round-robin routing cursor
 	bindings *keyBindings
+
+	// bindingLog, when configured, makes the key→shard LRU durable: every
+	// fresh bind is appended (and fsynced) before the forward ships, and a
+	// restarted router replays the log so a keyed retry still lands on the
+	// shard whose idempotency cache first saw the key.
+	bindingLogPath string
+	bindingLog     *durable.BindingLog
 }
 
 // bindingCap bounds the idempotency-key→shard binding LRU, matching the
@@ -304,6 +312,16 @@ func WithFleetRemoteOptions(opts ...RemoteOption) FleetOption {
 	return func(f *Fleet) { f.remoteOpts = append(f.remoteOpts, opts...) }
 }
 
+// WithFleetBindingLog persists the idempotency-key→shard binding LRU through
+// an append-only log at path: NewFleet replays it (latest bind per key wins,
+// torn tail dropped), and every fresh bind is fsynced before its batch is
+// forwarded. Without it the bindings are in-memory only, and a keyed retry
+// that crosses a router restart may route to a different shard — whose
+// idempotency cache never saw the key — and double-absorb.
+func WithFleetBindingLog(path string) FleetOption {
+	return func(f *Fleet) { f.bindingLogPath = path }
+}
+
 // NewFleet prepares an empty fleet aggregating under agg's mechanism and
 // answering w. Register shards with Register; route with IngestBatch; read
 // with Snap.
@@ -324,7 +342,32 @@ func NewFleet(agg Aggregator, w Workload, opts ...FleetOption) (*Fleet, error) {
 	for _, o := range opts {
 		o(f)
 	}
+	if f.bindingLogPath != "" {
+		log, bindings, err := durable.OpenBindingLog(f.bindingLogPath, true)
+		if err != nil {
+			return nil, fmt.Errorf("ldp: open binding log: %w", err)
+		}
+		f.bindingLog = log
+		// Replay oldest-first so LRU recency matches the pre-restart order.
+		for _, b := range bindings {
+			f.bindings.put(b.Key, b.Endpoint)
+		}
+	}
 	return f, nil
+}
+
+// Close releases the fleet's durable resources (the binding log, when
+// configured). In-flight forwards finish on their own; Close is for process
+// shutdown after the HTTP tier has drained.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	log := f.bindingLog
+	f.bindingLog = nil
+	f.mu.Unlock()
+	if log != nil {
+		return log.Close()
+	}
+	return nil
 }
 
 // Info returns the mechanism identity the fleet aggregates under.
@@ -608,15 +651,15 @@ func (f *Fleet) IngestBatch(ctx context.Context, reports []Report) error {
 // gated out or circuit-broken — replay safety beats availability), otherwise
 // the next routable member, binding the key to it atomically. An unkeyed
 // request just rotates. Returns nil when a fresh key has no routable shard.
-func (f *Fleet) bindMember(key string) *fleetMember {
+func (f *Fleet) bindMember(key string) (*fleetMember, error) {
 	if key == "" {
-		return f.pick()
+		return f.pick(), nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if ep, ok := f.bindings.get(key); ok {
 		if m, ok := f.members[ep]; ok {
-			return m
+			return m, nil
 		}
 		// The bound shard was deregistered — the operator declared it gone,
 		// taking its idempotency history with it. Rebind.
@@ -624,9 +667,18 @@ func (f *Fleet) bindMember(key string) *fleetMember {
 	}
 	m := f.pickLocked()
 	if m != nil {
+		if f.bindingLog != nil {
+			// Persist before the forward can ship: an unlogged bind that
+			// crossed a restart would let a retry land on a different shard
+			// and double-absorb. The fsync happens under f.mu, but only once
+			// per fresh key — replays and unkeyed traffic never pay it.
+			if err := f.bindingLog.Append(durable.Binding{Key: key, Endpoint: m.endpoint}); err != nil {
+				return nil, fmt.Errorf("ldp: persist key binding: %w", err)
+			}
+		}
 		f.bindings.put(key, m.endpoint)
 	}
-	return m
+	return m, nil
 }
 
 // IngestKeyed forwards one already-keyed batch — a request arriving at a
@@ -638,12 +690,17 @@ func (f *Fleet) bindMember(key string) *fleetMember {
 // accepted count; the error, if any, carries the shard's *StatusError for
 // status relay (or ErrNoReadyShards when a fresh key had nowhere to go).
 func (f *Fleet) IngestKeyed(ctx context.Context, reports []Report, key string) (int, error) {
-	m := f.bindMember(key)
+	m, err := f.bindMember(key)
+	if err != nil {
+		// The binding could not be made durable; refuse the forward as
+		// retryable rather than absorb under a bind a restart would forget.
+		return 0, err
+	}
 	if m == nil {
 		return 0, ErrNoReadyShards
 	}
 	var accepted int
-	err := retry.Do(ctx, f.policy, func(actx context.Context) error {
+	err = retry.Do(ctx, f.policy, func(actx context.Context) error {
 		a, perr := m.rc.client.PostReportsKeyed(actx, reports, key)
 		accepted = a
 		return classifyTransportErr(perr)

@@ -360,3 +360,65 @@ func MulAtB(m, n int) func(b *testing.B) {
 		}
 	}
 }
+
+// PoolAnswerBatch benchmarks answering a heterogeneous four-workload batch
+// over one snapshot. shared routes the batch through an EstimatorPool's
+// AnswerBatch — the estimate x̂ is computed once, repeated W·B rows are shared
+// (AllRange contains every Histogram and Prefix row), and estimators are
+// cached across iterations. naive is the pool-less server baseline: a fresh
+// estimator and separate Answers + Variance reads per workload per request.
+func PoolAnswerBatch(shared bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n, users = 64, 400
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workloads := []ldp.Workload{
+			ldp.Histogram(n), ldp.Prefix(n), ldp.AllRange(n), ldp.WidthRange(n, 4),
+		}
+		col, err := ldp.NewCollector(agg, workloads[0], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rz, err := ldp.NewRandomizer(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < users; i++ {
+			rep, err := rz.Randomize(rng.Intn(n), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := col.Ingest(rep); err != nil {
+				b.Fatal(err)
+			}
+		}
+		snap := col.Snap()
+		pool := ldp.NewEstimatorPool()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if shared {
+				if _, err := pool.AnswerBatch(agg, snap, workloads, ldp.WithBatchVariance()); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			for _, w := range workloads {
+				est, err := ldp.NewEstimator(agg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := est.Answers(snap); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := est.Variance(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

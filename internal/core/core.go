@@ -136,15 +136,26 @@ func OptimizeGram(gram *linalg.Matrix, eps float64, options Options) (*Result, e
 	}
 	o := options.withDefaults(n)
 
+	// One workspace serves the step-size pilots and the main run: the pilots
+	// are full (short) optimizations over the same (m, n) shape, so sharing
+	// drops three Workspace allocations — the dominant transient memory of an
+	// auto-stepped optimize — per call. run re-zeroes the state it assumes
+	// zero-initialized (the momentum buffers) on entry.
+	m := o.Outputs
+	if o.Init != nil {
+		m = o.Init.Outputs()
+	}
+	ws := NewWorkspace(m, n)
+
 	beta := o.StepSize
 	if beta <= 0 {
 		var err error
-		beta, err = searchStepSize(gram, eps, o)
+		beta, err = searchStepSize(gram, eps, o, ws)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return run(gram, eps, o, beta, o.Iters)
+	return run(gram, eps, o, beta, o.Iters, ws)
 }
 
 // searchStepSize runs short pilot optimizations over a multiplicative grid
@@ -153,7 +164,7 @@ func OptimizeGram(gram *linalg.Matrix, eps float64, options Options) (*Result, e
 // iterations in this phase, then running it longer once a step size is
 // chosen"). A step size of zero asks run to self-scale from the first
 // gradient, so the pilot grid multiplies that adaptive base.
-func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error) {
+func searchStepSize(gram *linalg.Matrix, eps float64, o Options, ws *Workspace) (float64, error) {
 	grid := []float64{0.1, 1, 10}
 	best, bestObj := 0.0, math.Inf(1)
 	pilot := o
@@ -166,7 +177,7 @@ func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error
 		if err := ctxErr(o.Ctx); err != nil {
 			return 0, err
 		}
-		res, err := run(gram, eps, pilot, -g, 40)
+		res, err := run(gram, eps, pilot, -g, 40, ws)
 		if err != nil {
 			continue
 		}
@@ -186,8 +197,13 @@ func searchStepSize(gram *linalg.Matrix, eps float64, o Options) (float64, error
 
 // run executes the projected gradient descent loop. All per-iteration state
 // lives in a Workspace sized once up front, so steady-state iterations
-// allocate nothing (see Workspace for the scratch contract).
-func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (*Result, error) {
+// allocate nothing (see Workspace for the scratch contract). A caller-shared
+// workspace (the step-size pilots and the main run reuse one) is used when
+// its shape matches; run owns re-zeroing the momentum buffers, the only
+// state it assumes starts at zero. Note the returned Result's Strategy
+// aliases the workspace's best-iterate buffer, so a workspace must not be
+// reused after the run whose Result escapes to a caller.
+func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int, ws *Workspace) (*Result, error) {
 	n := gram.Rows()
 	m := o.Outputs
 	e := math.Exp(eps)
@@ -210,7 +226,14 @@ func run(gram *linalg.Matrix, eps float64, o Options, beta float64, iters int) (
 			r.Data()[i] = rng.Float64()
 		}
 	}
-	ws := NewWorkspace(m, n)
+	if ws == nil || ws.m != m || ws.n != n {
+		ws = NewWorkspace(m, n)
+	} else {
+		// The momentum recurrences read their previous value before writing;
+		// a reused workspace must start them at zero like a fresh one.
+		ws.velQ.Scale(0)
+		clear(ws.velZ)
+	}
 	z := ws.z
 	for i := range z {
 		z[i] = (1 + math.Exp(-eps)) / (2 * float64(m))

@@ -1,0 +1,233 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBindingRecordRoundTrip(t *testing.T) {
+	bindings := []Binding{
+		{Key: "k", Endpoint: "http://a:1"},
+		{Key: strings.Repeat("K", maxRecordMeta), Endpoint: strings.Repeat("E", maxRecordMeta)},
+		{Key: "key-2", Endpoint: "http://shard-1.internal:8089"},
+	}
+	var buf []byte
+	for _, b := range bindings {
+		var err error
+		if buf, err = AppendBinding(buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range bindings {
+		got, err := DecodeBinding(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := DecodeBinding(r); err != io.EOF {
+		t.Fatalf("want io.EOF at the boundary, got %v", err)
+	}
+}
+
+func TestBindingRecordRejects(t *testing.T) {
+	if _, err := AppendBinding(nil, Binding{Key: "", Endpoint: "e"}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := AppendBinding(nil, Binding{Key: "k", Endpoint: strings.Repeat("e", maxRecordMeta+1)}); err == nil {
+		t.Error("oversized endpoint accepted")
+	}
+
+	good, err := AppendBinding(nil, Binding{Key: "k", Endpoint: "http://a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn mid-payload and mid-header.
+	for _, cut := range []int{len(good) - 3, recordHeaderLen - 2} {
+		if _, err := DecodeBinding(bytes.NewReader(good[:cut])); !errors.Is(err, ErrTornRecord) {
+			t.Errorf("cut at %d: want ErrTornRecord, got %v", cut, err)
+		}
+	}
+	// A flipped payload byte must fail the CRC.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := DecodeBinding(bytes.NewReader(bad)); err == nil {
+		t.Error("CRC mismatch accepted")
+	}
+	// A WAL-version record is not a binding record.
+	bad = append([]byte(nil), good...)
+	bad[4] = recordVersion
+	if _, err := DecodeBinding(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong record version accepted")
+	}
+}
+
+// Replay is latest-wins per key while keeping oldest-bind-first order, so the
+// router's LRU rebuilds with pre-restart recency.
+func TestBindingLogReplayLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bindings.log")
+	l, got, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %d bindings", len(got))
+	}
+	appends := []Binding{
+		{Key: "a", Endpoint: "http://one"},
+		{Key: "b", Endpoint: "http://two"},
+		{Key: "a", Endpoint: "http://three"}, // rebind: a is now newest
+		{Key: "c", Endpoint: "http://one"},
+	}
+	for _, b := range appends {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := OpenBindingLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := []Binding{
+		{Key: "b", Endpoint: "http://two"},
+		{Key: "a", Endpoint: "http://three"},
+		{Key: "c", Endpoint: "http://one"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A torn tail — the crash signature — is dropped and truncated away on open;
+// every intact record before it survives, and the log stays appendable.
+func TestBindingLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bindings.log")
+	l, _, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Binding{Key: "a", Endpoint: "http://one"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Binding{Key: "b", Endpoint: "http://two"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a partial third record at the physical end.
+	torn, err := AppendBinding(nil, Binding{Key: "c", Endpoint: "http://three"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-4]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "a" || got[1].Key != "b" {
+		t.Fatalf("replay after torn tail: %+v", got)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d >= %d bytes", after.Size(), before.Size())
+	}
+	// The truncated log accepts appends cleanly at the new end.
+	if err := l2.Append(Binding{Key: "c", Endpoint: "http://three"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err = OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != (Binding{Key: "c", Endpoint: "http://three"}) {
+		t.Fatalf("append after truncation lost: %+v", got)
+	}
+}
+
+// A log with far more records than live keys compacts on open: the file
+// shrinks to exactly the live set, preserving replay order.
+func TestBindingLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bindings.log")
+	l, _, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 live keys rebound many times: records ≫ 2·live+64.
+	for i := 0; i < 100; i++ {
+		for _, k := range []string{"a", "b", "c"} {
+			if err := l.Append(Binding{Key: k, Endpoint: "http://shard-" + k}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d live bindings, want 3", len(got))
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/10 {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// And the compacted file replays identically.
+	_, again, err := OpenBindingLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("compacted replay[%d] = %+v, want %+v", i, again[i], got[i])
+		}
+	}
+}

@@ -90,6 +90,37 @@ func (c *Client) PostReportsKeyed(ctx context.Context, reports []protocol.Report
 	return ir.Accepted, nil
 }
 
+// PostQuery sends one workload query and streams the result rows to fn in
+// order; returning false from fn stops the stream early (the remaining body
+// is discarded). The returned info describes the snapshot the answers were
+// reconstructed from and which row fields are populated. A server predating
+// the query engine answers 404, surfaced as a StatusError.
+func (c *Client) PostQuery(ctx context.Context, q QueryRequest, fn func(QueryRow) bool) (QueryResultInfo, error) {
+	var buf bytes.Buffer
+	if err := EncodeQueryFrame(&buf, q); err != nil {
+		return QueryResultInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return QueryResultInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return QueryResultInfo{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		var ir ingestResponse
+		msg := ""
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ir) == nil {
+			msg = ir.Error
+		}
+		return QueryResultInfo{}, &StatusError{StatusCode: resp.StatusCode, Msg: msg}
+	}
+	return DecodeQueryResult(resp.Body, fn)
+}
+
 // Snap fetches the server's full snapshot: accumulator, count, epoch, and
 // mechanism identity (epoch and identity are zero against a v1 server).
 func (c *Client) Snap(ctx context.Context) (Snapshot, error) {

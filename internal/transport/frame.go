@@ -99,8 +99,13 @@ const (
 var ErrFrameEOF = errors.New("transport: end of frame stream")
 
 func payloadLimit(kind byte) int {
-	if kind == kindSnapshot {
+	switch kind {
+	case kindSnapshot:
 		return MaxSnapshotPayload
+	case kindQuery:
+		return MaxQueryPayload
+	case kindQueryResult:
+		return MaxQueryResultPayload
 	}
 	return MaxReportsPayload
 }
@@ -126,8 +131,11 @@ func writeFrame(w io.Writer, version, kind byte, payload []byte) error {
 // frames are still version 1; snapshot frames read 1 (bare accumulator) and
 // 2 (identity-prefixed).
 func maxVersionOf(kind byte) byte {
-	if kind == kindSnapshot {
+	switch kind {
+	case kindSnapshot:
 		return snapshotVersion
+	case kindQuery, kindQueryResult:
+		return queryVersion
 	}
 	return frameVersion
 }

@@ -106,6 +106,46 @@ func FuzzDecodeSnapshotFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeQueryFrame is the same contract for the query-request decoder:
+// arbitrary bytes must produce an error or a request — never a panic or an
+// over-allocation — and any accepted request must survive a re-encode
+// unchanged, since the decoder re-validates every invariant the encoder
+// enforces (lengths, domain cap, flag bits, CI-level coupling).
+func FuzzDecodeQueryFrame(f *testing.F) {
+	seed := func(q QueryRequest) {
+		var buf bytes.Buffer
+		if err := EncodeQueryFrame(&buf, q); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(QueryRequest{Workload: "Histogram"})
+	seed(QueryRequest{Workload: "Prefix", Domain: 256, Digest: "00f1e2d3c4b5a697", WantVariance: true})
+	seed(QueryRequest{Workload: "AllRange", Domain: MaxQueryDomain, Level: 0.95, WantVariance: true, WantCI: true})
+	f.Add([]byte("LDPF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQueryFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeQueryFrame(&out, q); err != nil {
+			t.Fatalf("decoded query failed to re-encode: %v", err)
+		}
+		q2, err := DecodeQueryFrame(&out)
+		if err != nil {
+			t.Fatalf("re-encoded query failed to decode: %v", err)
+		}
+		// Bit-level level comparison: the CI level rides as raw IEEE-754 bits.
+		if q2.Workload != q.Workload || q2.Digest != q.Digest || q2.Domain != q.Domain ||
+			q2.WantVariance != q.WantVariance || q2.WantCI != q.WantCI ||
+			math.Float64bits(q2.Level) != math.Float64bits(q.Level) {
+			t.Fatalf("query changed across re-encode: %+v vs %+v", q2, q)
+		}
+	})
+}
+
 func sampleReportsF() []protocol.Report {
 	return []protocol.Report{
 		{Index: 3},

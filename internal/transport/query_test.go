@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleQuery() QueryRequest {
+	return QueryRequest{
+		Workload:     "Prefix",
+		Domain:       256,
+		Digest:       "00f1e2d3c4b5a697",
+		Level:        0.95,
+		WantVariance: true,
+		WantCI:       true,
+	}
+}
+
+func TestQueryFrameRoundTrip(t *testing.T) {
+	for name, q := range map[string]QueryRequest{
+		"full":         sampleQuery(),
+		"answersOnly":  {Workload: "Histogram"},
+		"variance":     {Workload: "AllRange", Domain: 64, WantVariance: true},
+		"noDigest":     {Workload: "Parity", Level: 0.5, WantCI: true},
+		"domainOnly":   {Workload: "WidthRange", Domain: MaxQueryDomain},
+		"longWorkload": {Workload: strings.Repeat("w", 255), Digest: strings.Repeat("d", 255)},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeQueryFrame(&buf, q); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := DecodeQueryFrame(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != q {
+			t.Fatalf("%s: round trip changed the request: %+v != %+v", name, got, q)
+		}
+	}
+}
+
+func TestQueryFrameEncodeRejects(t *testing.T) {
+	for name, q := range map[string]QueryRequest{
+		"emptyWorkload":   {},
+		"longWorkload":    {Workload: strings.Repeat("w", 256)},
+		"longDigest":      {Workload: "Prefix", Digest: strings.Repeat("d", 256)},
+		"negativeDomain":  {Workload: "Prefix", Domain: -1},
+		"hugeDomain":      {Workload: "Prefix", Domain: MaxQueryDomain + 1},
+		"levelWithoutCI":  {Workload: "Prefix", Level: 0.95},
+		"ciWithoutLevel":  {Workload: "Prefix", WantCI: true},
+		"ciLevelOverOne":  {Workload: "Prefix", WantCI: true, Level: 1},
+		"ciLevelNaN":      {Workload: "Prefix", WantCI: true, Level: math.NaN()},
+		"ciLevelNegative": {Workload: "Prefix", WantCI: true, Level: -0.5},
+	} {
+		if err := EncodeQueryFrame(&bytes.Buffer{}, q); err == nil {
+			t.Errorf("%s: encoder accepted %+v", name, q)
+		}
+	}
+}
+
+// Hostile frames: every mutation below must be refused by the strict decoder,
+// never panic or silently misread.
+func TestQueryFrameDecodeRejects(t *testing.T) {
+	encode := func(q QueryRequest) []byte {
+		var buf bytes.Buffer
+		if err := EncodeQueryFrame(&buf, q); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := encode(sampleQuery())
+
+	mutate := func(name string, fn func([]byte) []byte) {
+		b := fn(append([]byte(nil), good...))
+		if _, err := DecodeQueryFrame(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: decoder accepted a hostile frame", name)
+		}
+	}
+	mutate("truncatedPayload", func(b []byte) []byte { return b[:len(b)-3] })
+	mutate("trailingBytes", func(b []byte) []byte {
+		// Grow the declared payload so extra bytes sit inside the frame.
+		b = append(b, 0xAA, 0xBB)
+		b[9] += 2 // payload length low byte (lengths here are < 254)
+		return b
+	})
+	mutate("unknownFlags", func(b []byte) []byte {
+		b[len(b)-1] |= 0x80
+		return b
+	})
+	mutate("oversizedNameLength", func(b []byte) []byte {
+		b[headerLen] = 0xFF // name length now runs past the payload
+		return b
+	})
+	mutate("wrongKind", func(b []byte) []byte {
+		b[5] = kindReports
+		return b
+	})
+
+	// Level present without the CI flag, and CI flag with a zero level: the
+	// decoder re-validates the invariants the encoder enforces.
+	noCI := encode(QueryRequest{Workload: "Prefix", WantCI: true, Level: 0.9})
+	noCI[len(noCI)-1] &^= queryFlagCI // clear CI but leave the level bits
+	if _, err := DecodeQueryFrame(bytes.NewReader(noCI)); err == nil {
+		t.Error("decoder accepted a level without the CI flag")
+	}
+	withCI := encode(QueryRequest{Workload: "Prefix"})
+	withCI[len(withCI)-1] |= queryFlagCI // set CI over the zero level
+	if _, err := DecodeQueryFrame(bytes.NewReader(withCI)); err == nil {
+		t.Error("decoder accepted the CI flag with a zero level")
+	}
+}
+
+// The request frame bytes are pinned: a query encoded by a past version of
+// this library must keep decoding to the same request.
+func TestQueryFrameGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeQueryFrame(&buf, sampleQuery()); err != nil {
+		t.Fatal(err)
+	}
+	want := goldenFrame(t, "query_v1.golden", buf.Bytes())
+	got, err := DecodeQueryFrame(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden query frame no longer decodes: %v", err)
+	}
+	if got != sampleQuery() {
+		t.Fatalf("golden query frame decoded to %+v", got)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("encoder output drifted from the golden frame (bump the version if the format changed)")
+	}
+}
+
+func sampleResultInfo(rows int) QueryResultInfo {
+	return QueryResultInfo{Count: 1234.5, Epoch: 9, TotalRows: rows, HasVariance: true, HasCI: true}
+}
+
+func TestQueryResultRoundTrip(t *testing.T) {
+	for name, info := range map[string]QueryResultInfo{
+		"full":        sampleResultInfo(37),
+		"answersOnly": {Count: 3, TotalRows: 5},
+		"variance":    {Count: 10, Epoch: 2, TotalRows: 4, HasVariance: true},
+		"empty":       {Count: 0, TotalRows: 0},
+	} {
+		var buf bytes.Buffer
+		qw, err := NewQueryResultWriter(&buf, info)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := make([]QueryRow, info.TotalRows)
+		for i := range want {
+			want[i] = QueryRow{Index: i, Answer: float64(i) + 0.5}
+			if info.HasVariance {
+				want[i].Variance = float64(i) * 2
+			}
+			if info.HasCI {
+				want[i].Low, want[i].High = float64(i)-1, float64(i)+1
+			}
+			if err := qw.WriteRow(want[i]); err != nil {
+				t.Fatalf("%s row %d: %v", name, i, err)
+			}
+		}
+		if err := qw.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got []QueryRow
+		gotInfo, err := DecodeQueryResult(&buf, func(row QueryRow) bool {
+			got = append(got, row)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gotInfo != info {
+			t.Fatalf("%s: info changed: %+v != %+v", name, gotInfo, info)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows decoded, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: %+v != %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A result too large for one frame must chunk transparently: CI rows are
+// 32 bytes, so 40k rows overflow the 1 MiB frame payload and span frames.
+func TestQueryResultChunksAcrossFrames(t *testing.T) {
+	const rows = 40000
+	info := sampleResultInfo(rows)
+	var buf bytes.Buffer
+	qw, err := NewQueryResultWriter(&buf, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := qw.WriteRow(QueryRow{Index: i, Answer: float64(i), Variance: 1, Low: -1, High: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= headerLen+MaxQueryResultPayload {
+		t.Fatalf("%d bytes fit one frame; the test no longer forces chunking", buf.Len())
+	}
+	next := 0
+	gotInfo, err := DecodeQueryResult(&buf, func(row QueryRow) bool {
+		if row.Index != next || row.Answer != float64(next) {
+			t.Fatalf("row %d arrived as %+v", next, row)
+		}
+		next++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != rows || gotInfo.TotalRows != rows {
+		t.Fatalf("decoded %d of %d rows (info %+v)", next, rows, gotInfo)
+	}
+}
+
+func TestQueryResultEarlyStop(t *testing.T) {
+	info := QueryResultInfo{Count: 5, TotalRows: 10}
+	var buf bytes.Buffer
+	qw, err := NewQueryResultWriter(&buf, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := qw.WriteRow(QueryRow{Index: i, Answer: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if _, err := DecodeQueryResult(&buf, func(QueryRow) bool {
+		seen++
+		return seen < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("reader did not stop on false: %d rows", seen)
+	}
+}
+
+// The writer enforces its declared row count both ways.
+func TestQueryResultWriterRowAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	qw, err := NewQueryResultWriter(&buf, QueryResultInfo{TotalRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qw.Close(); err == nil {
+		t.Error("Close accepted a short result")
+	}
+	qw, err = NewQueryResultWriter(&buf, QueryResultInfo{TotalRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qw.WriteRow(QueryRow{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qw.WriteRow(QueryRow{}); err == nil {
+		t.Error("WriteRow accepted a row past the declared total")
+	}
+}
+
+// A stream that ends before delivering totalRows is an explicit truncation
+// error, and a first frame claiming more payload rows than bytes is refused.
+func TestQueryResultDecodeRejects(t *testing.T) {
+	info := QueryResultInfo{Count: 2, TotalRows: 6, HasVariance: true}
+	var buf bytes.Buffer
+	qw, err := NewQueryResultWriter(&buf, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := qw.WriteRow(QueryRow{Index: i, Answer: 1, Variance: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	if _, err := DecodeQueryResult(bytes.NewReader(full[:len(full)-20]), func(QueryRow) bool { return true }); err == nil {
+		t.Error("decoder accepted a truncated result stream")
+	}
+	if _, err := DecodeQueryResult(bytes.NewReader(nil), func(QueryRow) bool { return true }); err == nil {
+		t.Error("decoder accepted an empty response")
+	}
+
+	// Corrupt the declared row count so rows×width disagrees with the payload.
+	bad := append([]byte(nil), full...)
+	bad[headerLen+8+8+1+4+4+3]++ // rowCount low byte
+	if _, err := DecodeQueryResult(bytes.NewReader(bad), func(QueryRow) bool { return true }); err == nil {
+		t.Error("decoder accepted a frame whose row count disagrees with its payload")
+	}
+}

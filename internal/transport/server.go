@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -72,6 +73,18 @@ type DurabilityHealth struct {
 // /healthz includes the returned status when ok is true.
 type DurableBackend interface {
 	Durability() (health DurabilityHealth, ok bool)
+}
+
+// QueryBackend is optionally implemented by backends that can answer workload
+// queries over their current snapshot. The implementation resolves the
+// request's workload, reconstructs answers from a consistent snapshot, and
+// streams the result as query-result frames through a QueryResultWriter built
+// on w. An error returned before the first frame is written maps to an HTTP
+// status (StatusError chooses the code; anything else answers 422); an error
+// after bytes are on the wire aborts the connection so the client sees a
+// truncated stream rather than a silently short result.
+type QueryBackend interface {
+	Query(q QueryRequest, w io.Writer) error
 }
 
 // Info describes the mechanism a server fronts; /healthz and every v2
@@ -292,6 +305,7 @@ func NewServer(b Backend, info Info) (*Server, error) {
 	s := &Server{backend: b, info: info, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize),
 		maxRequestBytes: DefaultMaxRequestBytes}
 	s.mux.HandleFunc("POST /reports", s.handleReports)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -478,6 +492,52 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		accepted += len(reports)
 	}
 	finish(http.StatusOK, ingestResponse{Accepted: accepted})
+}
+
+// trackingWriter records whether any response bytes went out, deciding
+// between a clean error status and a connection abort when a query fails.
+type trackingWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		t.wrote = true
+	}
+	return t.w.Write(p)
+}
+
+// handleQuery serves POST /query: one query-request frame in, a stream of
+// query-result frames out. A backend without query support answers 404 so a
+// probing client can tell "old shard" from "bad request".
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qb, ok := s.backend.(QueryBackend)
+	if !ok {
+		http.Error(w, "transport: this collector does not serve queries", http.StatusNotFound)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, headerLen+MaxQueryPayload)
+	q, err := DecodeQueryFrame(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ingestResponse{Error: err.Error()})
+		return
+	}
+	tw := &trackingWriter{w: w}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := qb.Query(q, tw); err != nil {
+		if tw.wrote {
+			// The stream is committed; drop the connection so the client sees
+			// a truncated result instead of a silently short one.
+			panic(http.ErrAbortHandler)
+		}
+		status := http.StatusUnprocessableEntity
+		var se *StatusError
+		if errors.As(err, &se) {
+			status = se.StatusCode
+		}
+		writeJSON(w, status, ingestResponse{Error: err.Error()})
+	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -309,13 +309,17 @@ type Marginals struct {
 	d    int
 	k    int // -1 means all subsets; otherwise exactly-k subsets
 	name string
+	subs []int // subset bitmasks in family order, built at construction so
+	// concurrent per-row reads (QueryRow) share it without a lazy-init race
 	gramCache
 }
 
 // NewAllMarginals returns the All Marginals workload over {0,1}^d.
 func NewAllMarginals(d int) *Marginals {
 	mustPositive(d)
-	return &Marginals{d: d, k: -1, name: "AllMarginals"}
+	m := &Marginals{d: d, k: -1, name: "AllMarginals"}
+	m.subs = m.subsets()
+	return m
 }
 
 // NewKWayMarginals returns the workload of all k-way marginals (subsets of
@@ -325,7 +329,9 @@ func NewKWayMarginals(d, k int) *Marginals {
 	if k < 0 || k > d {
 		panic(fmt.Sprintf("workload: k = %d out of range for d = %d", k, d))
 	}
-	return &Marginals{d: d, k: k, name: fmt.Sprintf("%d-WayMarginals", k)}
+	m := &Marginals{d: d, k: k, name: fmt.Sprintf("%d-WayMarginals", k)}
+	m.subs = m.subsets()
+	return m
 }
 
 func (m *Marginals) Name() string { return m.name }

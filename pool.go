@@ -1,0 +1,561 @@
+package ldp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// EstimatorPool is the query-engine root: it caches built Estimators keyed by
+// (mechanism identity, workload digest) and memoizes the optimizer's strategy
+// output keyed by (workload digest, ε), so many tenants asking different
+// questions of the same privatized population share every expensive artifact.
+// With a cache directory configured, memoized strategies are persisted via
+// the SaveStrategy wire format and verified by digest on load — a restart or
+// a second process never re-pays Algorithm 1 for a workload it has already
+// optimized.
+//
+// Both caches are singleflight: N goroutines resolving the same key
+// concurrently trigger exactly one build (one optimizer run, one estimator
+// construction); the rest wait and share the result. A pooled Estimator is
+// the same immutable, concurrency-safe value NewEstimator returns, so answers
+// through the pool are byte-identical to answers through fresh estimators.
+//
+// An EstimatorPool is safe for concurrent use.
+type EstimatorPool struct {
+	dir string // strategy cache directory; "" keeps the cache in memory only
+
+	mu         sync.Mutex
+	estimators map[string]*estimatorCall
+	strategies map[string]*strategyCall
+	// digests memoizes WorkloadDigest per workload instance: the digest hashes
+	// the materialized W (megabytes for wide workloads), far too expensive to
+	// recompute on every pool lookup of a long-lived workload value.
+	digests map[Workload]string
+	// idkeys likewise memoizes identityKey per aggregator instance —
+	// MechanismInfoOf re-hashes the strategy matrix on every call.
+	idkeys map[Aggregator]string
+
+	stats poolCounters
+}
+
+// estimatorCall is one in-flight or completed estimator build; waiters block
+// on done.
+type estimatorCall struct {
+	done chan struct{}
+	est  *Estimator
+	err  error
+}
+
+// strategyCall is one in-flight or completed strategy resolution.
+type strategyCall struct {
+	done chan struct{}
+	s    *Strategy
+	err  error
+}
+
+// poolCounters backs PoolStats with atomics so the hot path never takes the
+// pool lock just to count.
+type poolCounters struct {
+	estimatorBuilds  atomic.Uint64
+	estimatorHits    atomic.Uint64
+	optimizerRuns    atomic.Uint64
+	strategyMemHits  atomic.Uint64
+	strategyDiskHits atomic.Uint64
+	sharedRowHits    atomic.Uint64
+}
+
+// PoolStats is a point-in-time snapshot of the pool's cache behavior —
+// what a cold-vs-warm assertion or a capacity dashboard reads.
+type PoolStats struct {
+	// EstimatorBuilds and EstimatorHits count Estimator resolutions that
+	// built fresh vs. returned a cached instance.
+	EstimatorBuilds uint64
+	EstimatorHits   uint64
+	// OptimizerRuns counts actual Algorithm 1/2 executions; StrategyMemHits
+	// and StrategyDiskHits count resolutions served from the in-memory map
+	// and the persisted cache directory instead.
+	OptimizerRuns    uint64
+	StrategyMemHits  uint64
+	StrategyDiskHits uint64
+	// SharedRowHits counts batch variance rows served from another query's
+	// identical W·B row instead of recomputed.
+	SharedRowHits uint64
+}
+
+// PoolOption configures an EstimatorPool.
+type PoolOption func(*EstimatorPool)
+
+// WithPoolCacheDir persists memoized strategies to dir (created on first
+// write) via the SaveStrategy wire format. Entries are named by workload
+// digest, ε bits, and strategy digest; loads verify the strategy digest
+// against the recomputed one, so a corrupt or tampered entry is ignored (and
+// re-optimized) instead of trusted.
+func WithPoolCacheDir(dir string) PoolOption {
+	return func(p *EstimatorPool) { p.dir = dir }
+}
+
+// NewEstimatorPool returns an empty pool.
+func NewEstimatorPool(opts ...PoolOption) *EstimatorPool {
+	p := &EstimatorPool{
+		estimators: make(map[string]*estimatorCall),
+		strategies: make(map[string]*strategyCall),
+		digests:    make(map[Workload]string),
+		idkeys:     make(map[Aggregator]string),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Stats returns a snapshot of the pool's cache counters.
+func (p *EstimatorPool) Stats() PoolStats {
+	return PoolStats{
+		EstimatorBuilds:  p.stats.estimatorBuilds.Load(),
+		EstimatorHits:    p.stats.estimatorHits.Load(),
+		OptimizerRuns:    p.stats.optimizerRuns.Load(),
+		StrategyMemHits:  p.stats.strategyMemHits.Load(),
+		StrategyDiskHits: p.stats.strategyDiskHits.Load(),
+		SharedRowHits:    p.stats.sharedRowHits.Load(),
+	}
+}
+
+// identityKey renders a mechanism identity canonically: every field that
+// distinguishes two mechanisms, with ε by exact bits.
+func identityKey(info MechanismInfo) string {
+	return fmt.Sprintf("%s|%d|%016x|%s", info.Mechanism, info.Domain,
+		math.Float64bits(info.Epsilon), info.Digest)
+}
+
+// workloadDigest is WorkloadDigest memoized per workload instance. A memo
+// miss computes outside the lock (two racers may both compute — the digest is
+// deterministic, so either result is correct). Workload implementations with
+// a non-comparable dynamic type skip the memo rather than panic on insert;
+// every built-in family is a pointer and memoizes fine.
+func (p *EstimatorPool) workloadDigest(w Workload) string {
+	comparable := reflect.TypeOf(w).Comparable()
+	if comparable {
+		p.mu.Lock()
+		d, ok := p.digests[w]
+		p.mu.Unlock()
+		if ok {
+			return d
+		}
+	}
+	d := WorkloadDigest(w)
+	if comparable {
+		p.mu.Lock()
+		p.digests[w] = d
+		p.mu.Unlock()
+	}
+	return d
+}
+
+// identityKeyOf is identityKey(MechanismInfoOf(agg)) memoized per aggregator
+// instance, under the same comparable-type guard as workloadDigest: the
+// mechanism info hashes the strategy matrix, which is stable for the life of
+// an aggregator but expensive to recompute per pool lookup.
+func (p *EstimatorPool) identityKeyOf(agg Aggregator) string {
+	comparable := reflect.TypeOf(agg).Comparable()
+	if comparable {
+		p.mu.Lock()
+		k, ok := p.idkeys[agg]
+		p.mu.Unlock()
+		if ok {
+			return k
+		}
+	}
+	k := identityKey(MechanismInfoOf(agg))
+	if comparable {
+		p.mu.Lock()
+		p.idkeys[agg] = k
+		p.mu.Unlock()
+	}
+	return k
+}
+
+// Estimator returns the pooled estimator for (agg, w), building it at most
+// once per (mechanism identity, workload digest) key even under concurrent
+// resolvers. The returned Estimator is shared: immutable and safe for
+// concurrent use, with its lazily-built variance model built once for every
+// caller.
+func (p *EstimatorPool) Estimator(agg Aggregator, w Workload) (*Estimator, error) {
+	if agg == nil {
+		return nil, fmt.Errorf("ldp: pool: nil aggregator")
+	}
+	key := p.identityKeyOf(agg) + "|" + p.workloadDigest(w)
+	p.mu.Lock()
+	if c, ok := p.estimators[key]; ok {
+		p.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			p.stats.estimatorHits.Add(1)
+		}
+		return c.est, c.err
+	}
+	c := &estimatorCall{done: make(chan struct{})}
+	p.estimators[key] = c
+	p.mu.Unlock()
+
+	c.est, c.err = NewEstimator(agg, w)
+	if c.err != nil {
+		// A failed build must not poison the key: drop it so a later caller
+		// (perhaps with a corrected workload) retries.
+		p.mu.Lock()
+		delete(p.estimators, key)
+		p.mu.Unlock()
+	} else {
+		p.stats.estimatorBuilds.Add(1)
+	}
+	close(c.done)
+	return c.est, c.err
+}
+
+// Strategy returns the optimized strategy for (w, eps), running the
+// optimizer at most once per (workload digest, ε) key: concurrent resolvers
+// singleflight, repeat callers hit the in-memory memo, and with a cache
+// directory a restart (or another process sharing the directory) loads the
+// persisted wire entry — digest-verified — instead of re-running Algorithm 1.
+// opts configure the optimizer exactly as Optimize does; they only apply
+// when the optimizer actually runs, so callers sharing a pool should share
+// optimizer settings too.
+func (p *EstimatorPool) Strategy(ctx context.Context, w Workload, eps float64, opts ...OptimizeOption) (*Strategy, error) {
+	wd := p.workloadDigest(w)
+	key := fmt.Sprintf("%s|%016x", wd, math.Float64bits(eps))
+	p.mu.Lock()
+	if c, ok := p.strategies[key]; ok {
+		p.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			p.stats.strategyMemHits.Add(1)
+		}
+		return c.s, c.err
+	}
+	c := &strategyCall{done: make(chan struct{})}
+	p.strategies[key] = c
+	p.mu.Unlock()
+
+	c.s, c.err = p.resolveStrategy(ctx, w, eps, wd, opts)
+	if c.err != nil {
+		p.mu.Lock()
+		delete(p.strategies, key)
+		p.mu.Unlock()
+	}
+	close(c.done)
+	return c.s, c.err
+}
+
+// resolveStrategy is the singleflight leader's path: disk, then optimizer
+// (persisting the result for the next process).
+func (p *EstimatorPool) resolveStrategy(ctx context.Context, w Workload, eps float64, wd string, opts []OptimizeOption) (*Strategy, error) {
+	if s := p.loadCachedStrategy(wd, eps, w.Domain()); s != nil {
+		p.stats.strategyDiskHits.Add(1)
+		return s, nil
+	}
+	s, err := OptimizeStrategy(ctx, w, eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.optimizerRuns.Add(1)
+	if err := p.storeCachedStrategy(wd, eps, s); err != nil {
+		// The strategy itself is good; a failed persist only costs the next
+		// process a re-optimization.
+		return s, nil
+	}
+	return s, nil
+}
+
+// cacheEntryPrefix names every entry for one (workload digest, ε) pair; the
+// full name appends the strategy digest the load verifies against.
+func cacheEntryPrefix(wd string, eps float64) string {
+	return fmt.Sprintf("%s-e%016x", wd, math.Float64bits(eps))
+}
+
+// loadCachedStrategy scans the cache directory for an entry matching
+// (workload digest, ε) and returns it only when it survives every check:
+// LoadStrategy's full wire validation, the ε bits, the workload's domain, and
+// the strategy digest recomputed over the loaded matrix matching the digest
+// in the filename. Anything less is treated as a miss — a corrupt entry costs
+// a re-optimization, never a wrong strategy.
+func (p *EstimatorPool) loadCachedStrategy(wd string, eps float64, domain int) *Strategy {
+	if p.dir == "" {
+		return nil
+	}
+	prefix := cacheEntryPrefix(wd, eps)
+	matches, err := filepath.Glob(filepath.Join(p.dir, prefix+"-*.strategy"))
+	if err != nil || len(matches) == 0 {
+		return nil
+	}
+	for _, path := range matches {
+		name := filepath.Base(path)
+		wantDigest := strings.TrimSuffix(strings.TrimPrefix(name, prefix+"-"), ".strategy")
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		s, err := LoadStrategy(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		if s.Domain() != domain || math.Float64bits(s.Eps) != math.Float64bits(eps) {
+			continue
+		}
+		if StrategyDigest(s) != wantDigest {
+			continue
+		}
+		return s
+	}
+	return nil
+}
+
+// storeCachedStrategy persists a freshly optimized strategy atomically
+// (temp file + rename), named so a digest-verified load can find and check
+// it.
+func (p *EstimatorPool) storeCachedStrategy(wd string, eps float64, s *Strategy) error {
+	if p.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%s.strategy", cacheEntryPrefix(wd, eps), StrategyDigest(s))
+	tmp, err := os.CreateTemp(p.dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := SaveStrategy(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(p.dir, name))
+}
+
+// BatchAnswer is one workload's result in an AnswerBatch: the workload, its
+// canonical digest (the name the query wire protocol uses), its unbiased
+// answers, and — when requested — the closed-form per-query variances.
+type BatchAnswer struct {
+	Workload Workload
+	Digest   string
+	Answers  []float64
+	Variance []float64
+}
+
+// batchConfig is AnswerBatch's option state.
+type batchConfig struct {
+	variance bool
+}
+
+// BatchOption configures AnswerBatch.
+type BatchOption func(*batchConfig)
+
+// WithBatchVariance makes AnswerBatch fill each result's Variance slice from
+// the mechanism's closed-form model, sharing identical W·B rows across the
+// batch's queries.
+func WithBatchVariance() BatchOption {
+	return func(c *batchConfig) { c.variance = true }
+}
+
+// maxSharedRows caps the batch-level row cache: past this many distinct
+// workload rows the sharing stops paying for its memory and further rows are
+// computed directly.
+const maxSharedRows = 1 << 14
+
+// sharedRowCache deduplicates variance computation across a batch: workload
+// rows are keyed by the FNV-1a hash of their bits and verified by full
+// comparison (a hash collision downgrades to a recompute, never a wrong
+// answer). Rows inserted from a memoized estimator model reference that
+// model's matrix directly; rows from the streaming path are copied (the
+// count cap bounds that memory).
+type sharedRowCache struct {
+	entries map[uint64][]sharedRow
+	count   int
+}
+
+type sharedRow struct {
+	row []float64
+	v   float64
+}
+
+func (c *sharedRowCache) get(h uint64, row []float64) (float64, bool) {
+	for _, e := range c.entries[h] {
+		if rowsEqual(e.row, row) {
+			return e.v, true
+		}
+	}
+	return 0, false
+}
+
+// put records row → v. The row slice is retained as-is; pass a copy when the
+// backing buffer will be overwritten.
+func (c *sharedRowCache) put(h uint64, row []float64, v float64) {
+	if c.count >= maxSharedRows {
+		return
+	}
+	c.entries[h] = append(c.entries[h], sharedRow{row: row, v: v})
+	c.count++
+}
+
+// hashRow mixes the row's IEEE-754 bits a word at a time (FNV-style multiply
+// plus a shift-xor to spread high bits). It is a cache key, not a wire format:
+// collisions only cost a rowsEqual compare, so a fast 8-bytes-per-step mix
+// beats byte-accurate FNV — this runs once per query row of every batch.
+func hashRow(row []float64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, v := range row {
+		h ^= math.Float64bits(v)
+		h *= prime64
+		h ^= h >> 29
+	}
+	return h
+}
+
+func rowsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnswerBatch answers heterogeneous workloads over one snapshot with shared
+// computation: the data estimate x̂ (the dominant B·y reconstruction) is
+// computed once for the whole batch instead of once per workload, workloads
+// with equal digests are answered once, and — with WithBatchVariance —
+// queries sharing rows of W·B across the batch compute the row's variance
+// once. Results are returned in input order; answers are byte-identical to
+// each workload's own Estimator read against the same snapshot.
+func (p *EstimatorPool) AnswerBatch(agg Aggregator, s Snapshot, workloads []Workload, opts ...BatchOption) ([]BatchAnswer, error) {
+	var cfg batchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(workloads) == 0 {
+		return nil, nil
+	}
+	// Resolve every estimator first: identity and domain checks fail the
+	// batch before any computation, and the pool guarantees each distinct
+	// workload builds at most once.
+	ests := make([]*Estimator, len(workloads))
+	digests := make([]string, len(workloads))
+	for i, w := range workloads {
+		est, err := p.Estimator(agg, w)
+		if err != nil {
+			return nil, fmt.Errorf("ldp: batch workload %d (%s): %w", i, w.Name(), err)
+		}
+		if err := est.Check(s); err != nil {
+			return nil, fmt.Errorf("ldp: batch workload %d (%s): %w", i, w.Name(), err)
+		}
+		ests[i] = est
+		digests[i] = p.workloadDigest(w)
+	}
+	// The shared subexpression every workload needs: x̂ once, not k times.
+	xh := agg.EstimateCounts(s.state, s.count)
+
+	var rowCache *sharedRowCache
+	if cfg.variance {
+		rowCache = &sharedRowCache{entries: make(map[uint64][]sharedRow)}
+	}
+	out := make([]BatchAnswer, len(workloads))
+	firstByDigest := make(map[string]int, len(workloads))
+	for i, w := range workloads {
+		if j, ok := firstByDigest[digests[i]]; ok {
+			// Same digest, same workload: share the computation, copy the
+			// slices so callers own their results independently.
+			out[i] = BatchAnswer{Workload: w, Digest: digests[i],
+				Answers: append([]float64(nil), out[j].Answers...)}
+			if out[j].Variance != nil {
+				out[i].Variance = append([]float64(nil), out[j].Variance...)
+			}
+			continue
+		}
+		firstByDigest[digests[i]] = i
+		ba := BatchAnswer{Workload: w, Digest: digests[i], Answers: w.MatVec(xh)}
+		if cfg.variance {
+			vars, err := p.batchVariance(ests[i], s, rowCache)
+			if err != nil {
+				return nil, fmt.Errorf("ldp: batch workload %d (%s): %w", i, w.Name(), err)
+			}
+			ba.Variance = vars
+		}
+		out[i] = ba
+	}
+	return out, nil
+}
+
+// batchVariance computes one workload's per-query variances, serving repeated
+// rows from the batch's shared cache. Workloads within the materialization
+// bound read the estimator's memoized model (V = W·B built once per pooled
+// estimator and amortized across every later batch — the pool's second big
+// shared subexpression after x̂); rows are published to the cache by reference
+// into the memoized W, so later workloads repeating them skip the read.
+// Workloads past the bound stream one row at a time, with cache hits saving
+// the full O(n·m) row reconstruction.
+func (p *EstimatorPool) batchVariance(est *Estimator, s Snapshot, cache *sharedRowCache) ([]float64, error) {
+	pq := est.Workload().Queries()
+	out := make([]float64, pq)
+	if merr := est.prepareVariance(); merr == nil {
+		if s.count <= 0 {
+			return out, nil
+		}
+		for i := 0; i < pq; i++ {
+			row := est.varW.Row(i)
+			h := hashRow(row)
+			if v, ok := cache.get(h, row); ok {
+				out[i] = v
+				p.stats.sharedRowHits.Add(1)
+				continue
+			}
+			out[i] = est.varianceAt(i, s.state, s.count)
+			// The row references the estimator's memoized W, which outlives
+			// the batch — no copy needed.
+			cache.put(h, row, out[i])
+		}
+		return out, nil
+	} else if rv, err := est.newRowVariancer(); err != nil {
+		return nil, err
+	} else if rv == nil {
+		// No per-row view either: the materialization error stands.
+		return nil, merr
+	} else {
+		if s.count <= 0 {
+			return out, nil
+		}
+		for i := 0; i < pq; i++ {
+			rv.rows.QueryRow(i, rv.wrow)
+			h := hashRow(rv.wrow)
+			if v, ok := cache.get(h, rv.wrow); ok {
+				out[i] = v
+				p.stats.sharedRowHits.Add(1)
+				continue
+			}
+			v := rv.varianceFromRow(s.state, s.count)
+			out[i] = v
+			cache.put(h, append([]float64(nil), rv.wrow...), v)
+		}
+		return out, nil
+	}
+}
+
+// RowAccessor re-exports the per-row workload view so callers can test
+// whether a custom Workload supports streaming reads.
+type RowAccessor = workload.RowAccessor

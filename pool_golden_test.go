@@ -1,0 +1,55 @@
+package ldp_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ldp "repro"
+)
+
+// The persisted strategy-cache entry format is pinned two ways: the payload is
+// the SaveStrategy wire format (its own golden lives in strategy_v1.golden),
+// and the entry name is
+//
+//	<workloadDigest>-e<epsBitsHex>-<strategyDigest>.strategy
+//
+// spelled out literally here. An entry written by a past version of the pool —
+// the golden bytes planted under the pinned name — must keep loading as a disk
+// hit, never a re-optimization, and a rename of the layout must break this
+// test rather than silently orphan every deployed cache directory.
+func TestPoolCacheEntryGolden(t *testing.T) {
+	s := goldenStrategy() // deterministic 3×3 RR at ε=1
+	var buf bytes.Buffer
+	if err := ldp.SaveStrategy(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenFile(t, "poolcache_v1.golden", buf.Bytes())
+
+	w := ldp.Histogram(3)
+	name := fmt.Sprintf("%s-e%016x-%s.strategy",
+		ldp.WorkloadDigest(w), math.Float64bits(s.Eps), ldp.StrategyDigest(s))
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), golden, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := ldp.NewEstimatorPool(ldp.WithPoolCacheDir(dir))
+	loaded, err := pool.Strategy(context.Background(), w, s.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.OptimizerRuns != 0 || st.StrategyDiskHits != 1 {
+		t.Fatalf("pinned cache entry was not served from disk, stats: %+v", st)
+	}
+	got, want := loaded.Q.Data(), s.Q.Data()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("entry %d: loaded %v, golden strategy has %v", i, got[i], want[i])
+		}
+	}
+}

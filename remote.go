@@ -450,9 +450,12 @@ func (rc *RemoteCollector) ConsistentAnswers(ctx context.Context) ([]float64, er
 }
 
 // collectorBackend adapts a Collector to the transport's Backend contract by
-// unpacking its Snapshot value.
+// unpacking its Snapshot value. The pool backs the /query endpoint: cached
+// estimators survive across requests, so only the first query for a workload
+// pays variance-model construction.
 type collectorBackend struct {
-	c *Collector
+	c    *Collector
+	pool *EstimatorPool
 }
 
 func (b collectorBackend) IngestBatch(reports []Report) error { return b.c.IngestBatch(reports) }
@@ -494,7 +497,7 @@ func NewCollectorService(c *Collector, info transport.Info) (*CollectorService, 
 	if c == nil {
 		return nil, errors.New("ldp: nil collector")
 	}
-	s, err := transport.NewServer(collectorBackend{c}, info)
+	s, err := transport.NewServer(collectorBackend{c: c, pool: NewEstimatorPool()}, info)
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
 	}

@@ -60,8 +60,10 @@ type FleetServer struct {
 	mux             *http.ServeMux
 	maxRequestBytes int64
 
-	mu       sync.Mutex
-	draining bool
+	mu        sync.Mutex
+	draining  bool
+	queryAgg  Aggregator
+	queryPool *EstimatorPool
 }
 
 // NewFleetServer wraps a Fleet in its HTTP tier.
@@ -71,6 +73,7 @@ func NewFleetServer(f *Fleet) (*FleetServer, error) {
 	}
 	s := &FleetServer{fleet: f, mux: http.NewServeMux(), maxRequestBytes: transport.DefaultMaxRequestBytes}
 	s.mux.HandleFunc("POST /reports", s.handleReports)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -186,6 +189,87 @@ func (s *FleetServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Epoch: snap.Epoch(),
 		Info:  s.fleet.Info(),
 	})
+}
+
+// EnableQueries arms POST /query on the router: queries fan in through the
+// fleet's degraded-tolerant merged snapshot (coverage headers intact) and are
+// answered by agg's reconstruction, with pool-cached estimators amortizing
+// the variance model across queries. agg must be the same mechanism the
+// fleet's shards aggregate under; a mismatch is refused here rather than
+// producing silently wrong reconstructions. Call before serving traffic.
+func (s *FleetServer) EnableQueries(agg Aggregator, opts ...PoolOption) error {
+	if agg == nil {
+		return errors.New("ldp: nil aggregator")
+	}
+	if got, want := MechanismInfoOf(agg), s.fleet.Info(); got != want {
+		return fmt.Errorf("ldp: query aggregator is %+v, fleet aggregates under %+v — mechanism mismatch", got, want)
+	}
+	s.mu.Lock()
+	s.queryAgg = agg
+	s.queryPool = NewEstimatorPool(opts...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *FleetServer) queryEngine() (Aggregator, *EstimatorPool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queryAgg, s.queryPool
+}
+
+// routerTrackingWriter mirrors the shard transport's written-bytes tracking:
+// an error before the first byte maps to a status, after it the connection is
+// aborted so the client sees a truncated stream.
+type routerTrackingWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *routerTrackingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		t.wrote = true
+	}
+	return t.w.Write(p)
+}
+
+// handleQuery answers a workload query over the fleet's merged snapshot.
+// Reads stay up while draining, exactly like GET /snapshot.
+func (s *FleetServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	agg, pool := s.queryEngine()
+	if agg == nil {
+		http.Error(w, "ldp: this router does not serve queries (EnableQueries not configured)", http.StatusNotFound)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, int64(transport.MaxQueryPayload)+64)
+	q, err := transport.DecodeQueryFrame(r.Body)
+	if err != nil {
+		writeRouterJSON(w, http.StatusBadRequest, ingestJSON{Error: err.Error()})
+		return
+	}
+	snap, cov, err := s.fleet.Snap(r.Context())
+	if err != nil {
+		var qe *QuorumError
+		if errors.As(err, &qe) {
+			s.coverageHeaders(w, qe.Coverage)
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.coverageHeaders(w, cov)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	tw := &routerTrackingWriter{w: w}
+	if err := answerQuery(pool, agg, snap, q, tw); err != nil {
+		if tw.wrote {
+			panic(http.ErrAbortHandler)
+		}
+		status := http.StatusUnprocessableEntity
+		var se *StatusError
+		if errors.As(err, &se) {
+			status = se.StatusCode
+		}
+		writeRouterJSON(w, status, ingestJSON{Error: err.Error()})
+	}
 }
 
 func (s *FleetServer) coverageHeaders(w http.ResponseWriter, cov Coverage) {

@@ -117,6 +117,46 @@ func StrategyDigest(s *Strategy) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// WorkloadDigest fingerprints a workload canonically (FNV-1a 64, hex): name,
+// domain, query count, and — when the materialization fits the wire bound —
+// every entry of W bit-for-bit. Past that bound the digest hashes the Gram
+// matrix WᵀW instead (the optimizer depends on W only through its Gram, so
+// two workloads with equal Grams get the same strategy), and past even that,
+// the Frobenius norm. Each representation is tagged into the hash so a
+// matrix-hashed and a Gram-hashed workload can never collide by construction.
+// The digest is the cache key the EstimatorPool and the query wire protocol
+// use to name "the same workload" across processes and restarts.
+func WorkloadDigest(w Workload) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, _ = h.Write(b[:])
+	}
+	name := w.Name()
+	put(uint64(len(name)))
+	_, _ = h.Write([]byte(name))
+	put(uint64(w.Domain()))
+	put(uint64(w.Queries()))
+	n, p := int64(w.Domain()), int64(w.Queries())
+	switch {
+	case p*n <= maxWireElems:
+		put(0) // representation tag: full W
+		for _, v := range w.Matrix().Data() {
+			put(math.Float64bits(v))
+		}
+	case n*n <= maxWireElems:
+		put(1) // representation tag: Gram
+		for _, v := range w.Gram().Data() {
+			put(math.Float64bits(v))
+		}
+	default:
+		put(2) // representation tag: Frobenius norm only
+		put(math.Float64bits(w.FrobNorm2()))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // SaveStrategy serializes an optimized strategy under the versioned wire
 // header, so the expensive offline optimization can be done once and shipped
 // to clients.
