@@ -184,7 +184,7 @@ func (f *fed) mergeAndReport(ctx context.Context) error {
 			fmt.Fprintf(f.errw, "ldpfed: shard %s %s: %s\n", sc.Endpoint, sc.Status, sc.Err)
 		}
 	}
-	f.warnDrift(cov.Shards)
+	f.warnDrift(cov)
 	if !cov.Complete() {
 		fmt.Fprintf(f.errw, "ldpfed: WARNING: partial merge, coverage %s — the estimate undercounts the missing/stale shards' recent reports\n", cov)
 	}
@@ -245,29 +245,15 @@ func (f *fed) mergeAndReport(ctx context.Context) error {
 // looks like next to its peers. Counts need not be equal (shards can serve
 // uneven populations); an order-of-magnitude split warrants an operator
 // look. Missing shards are excluded — their gap is already reported.
-func (f *fed) warnDrift(shards []ldp.ShardCoverage) {
+func (f *fed) warnDrift(cov ldp.Coverage) {
 	if f.drift <= 0 {
 		return
 	}
-	first := true
-	var minC, maxC float64
-	var minEp, maxEp string
-	for _, sc := range shards {
-		if sc.Status == ldp.CoverageMissing {
-			continue
-		}
-		if first || sc.Count < minC {
-			minC, minEp = sc.Count, sc.Endpoint
-		}
-		if first || sc.Count > maxC {
-			maxC, maxEp = sc.Count, sc.Endpoint
-		}
-		first = false
-	}
-	if !first && maxC > minC*f.drift && maxC > 0 {
+	ratio, minS, maxS := cov.DriftRatio()
+	if ratio > f.drift {
 		fmt.Fprintf(f.errw,
 			"ldpfed: WARNING: shard counts diverge beyond the %gx drift threshold: %s holds %d reports, %s only %d — %s may have recovered from a stale checkpoint or lost its state\n",
-			f.drift, maxEp, int(maxC), minEp, int(minC), minEp)
+			f.drift, maxS.Endpoint, int(maxS.Count), minS.Endpoint, int(minS.Count), minS.Endpoint)
 	}
 }
 

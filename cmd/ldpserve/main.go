@@ -53,6 +53,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable ingest directory (write-ahead log + checkpoints); empty serves in-memory only")
 	ckptEvery := flag.Int("checkpoint-every", ldp.DefaultCheckpointEvery, "reports between automatic checkpoints (with -data-dir; 0 disables)")
 	fsync := flag.Bool("fsync", false, "fsync every WAL group commit before acknowledging (with -data-dir): survives power loss, not just process crashes")
+	commitWindow := flag.Duration("commit-window", 0, "group-commit gathering window (with -data-dir): trades per-append latency for larger WAL commits; durability is unchanged")
 	flag.Parse()
 
 	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
@@ -71,7 +72,8 @@ func main() {
 	var copts []ldp.CollectorOption
 	if *dataDir != "" {
 		copts = append(copts, ldp.WithDurability(*dataDir,
-			ldp.CheckpointEvery(*ckptEvery), ldp.FsyncEachCommit(*fsync)))
+			ldp.CheckpointEvery(*ckptEvery), ldp.FsyncEachCommit(*fsync),
+			ldp.CommitWindow(*commitWindow)))
 	}
 	col, err := ldp.NewCollector(agg, w, *shards, copts...)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/transport"
@@ -20,9 +21,10 @@ const DefaultCheckpointEvery = 1 << 16
 type CollectorOption func(*collectorConfig)
 
 type collectorConfig struct {
-	durDir    string
-	fsync     bool
-	ckptEvery int64
+	durDir       string
+	fsync        bool
+	commitWindow time.Duration
+	ckptEvery    int64
 }
 
 // WithDurability gives the collector a write-ahead log and checkpointed crash
@@ -63,6 +65,20 @@ func CheckpointEvery(n int) DurabilityOption {
 // records are written to the OS before acknowledgment but not synced.
 func FsyncEachCommit(on bool) DurabilityOption {
 	return func(cfg *collectorConfig) { cfg.fsync = on }
+}
+
+// CommitWindow holds each WAL group commit open for d before writing, so
+// concurrent ingests stage behind the flusher and share one write (and one
+// fsync, with FsyncEachCommit). Zero (the default) flushes immediately. The
+// window adds up to d of ingest latency per commit in exchange for fewer,
+// larger commits — worth measuring (ldpload -evolve sweeps it), never a
+// durability trade: acknowledgment still waits for the covering write.
+func CommitWindow(d time.Duration) DurabilityOption {
+	return func(cfg *collectorConfig) {
+		if d > 0 {
+			cfg.commitWindow = d
+		}
+	}
 }
 
 // DurabilityStatus is a durable collector's recovery and WAL-lag status — the
@@ -138,10 +154,11 @@ func (c *Collector) openDurable(cfg collectorConfig) error {
 		return nil
 	}
 	store, rec, err := durable.Open(cfg.durDir, durable.Options{
-		Digest:  walDigest(c.info),
-		Fsync:   cfg.fsync,
-		Restore: restore,
-		Replay:  replay,
+		Digest:       walDigest(c.info),
+		Fsync:        cfg.fsync,
+		CommitWindow: cfg.commitWindow,
+		Restore:      restore,
+		Replay:       replay,
 	})
 	if err != nil {
 		return fmt.Errorf("ldp: open durable store: %w", err)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -105,6 +106,37 @@ func (c Coverage) Merged() int { return c.Fresh + c.Stale }
 // Complete reports whether every registered shard contributed fresh state.
 func (c Coverage) Complete() bool { return c.Fresh == c.Total }
 
+// DriftRatio measures how unevenly the merged population is spread over the
+// contributing shards: the largest contributed count over the smallest, with
+// the extreme shards returned for naming in warnings. Missing shards are
+// excluded (their gap is reported by Merged/Total). With fewer than two
+// contributing shards the ratio is 0 (no drift to speak of); a zero minimum
+// against a nonzero maximum is +Inf. Uneven counts are legitimate — shards
+// can serve uneven populations — but an order-of-magnitude split is what a
+// shard restored from a stale checkpoint looks like next to its peers.
+func (c Coverage) DriftRatio() (ratio float64, minShard, maxShard ShardCoverage) {
+	n := 0
+	for _, sc := range c.Shards {
+		if sc.Status == CoverageMissing {
+			continue
+		}
+		if n == 0 || sc.Count < minShard.Count {
+			minShard = sc
+		}
+		if n == 0 || sc.Count > maxShard.Count {
+			maxShard = sc
+		}
+		n++
+	}
+	if n < 2 || maxShard.Count == 0 {
+		return 0, minShard, maxShard
+	}
+	if minShard.Count == 0 {
+		return math.Inf(1), minShard, maxShard
+	}
+	return maxShard.Count / minShard.Count, minShard, maxShard
+}
+
 // String renders the operator-facing summary, e.g. "3/4 shards (1 missing)".
 func (c Coverage) String() string {
 	s := fmt.Sprintf("%d/%d shards", c.Merged(), c.Total)
@@ -150,6 +182,8 @@ type fleetMember struct {
 	mu          sync.Mutex
 	ready       bool
 	reason      string
+	gated       bool   // operator/scenario override: held out of routing
+	gateReason  string // why, surfaced in MemberState.Reason
 	probeFails  int
 	verified    bool
 	hasLastGood bool
@@ -466,6 +500,47 @@ func (f *Fleet) Deregister(endpoint string) bool {
 	return true
 }
 
+// Gate forces the member at endpoint out of ingest routing until Ungate,
+// regardless of what its readiness probes say — the drain hook an operator
+// (or a load scenario) drives to take a healthy shard out of rotation while
+// leaving it registered, mergeable, and serving reads. Reason is surfaced in
+// MemberState.Reason. Returns false for an unregistered endpoint.
+func (f *Fleet) Gate(endpoint, reason string) bool {
+	f.mu.Lock()
+	m, ok := f.members[endpoint]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		reason = "gated by operator"
+	}
+	m.mu.Lock()
+	m.gated, m.gateReason = true, reason
+	m.ready, m.reason = false, reason
+	m.mu.Unlock()
+	return true
+}
+
+// Ungate lifts a Gate. The member re-enters routing immediately when its
+// mechanism handshake already succeeded; otherwise the next probe re-admits
+// it the usual way. Returns false for an unregistered endpoint.
+func (f *Fleet) Ungate(endpoint string) bool {
+	f.mu.Lock()
+	m, ok := f.members[endpoint]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m.mu.Lock()
+	m.gated, m.gateReason = false, ""
+	if m.verified {
+		m.ready, m.reason = true, ""
+	}
+	m.mu.Unlock()
+	return true
+}
+
 // list snapshots the membership in registration order.
 func (f *Fleet) list() []*fleetMember {
 	f.mu.Lock()
@@ -513,6 +588,12 @@ func (f *Fleet) probeMember(ctx context.Context, m *fleetMember) {
 		m.ready, m.reason = false, reason
 	default:
 		m.probeFails = 0
+		if m.gated {
+			// A manual gate outlasts probe rounds: the shard is healthy but an
+			// operator (or a load scenario) is holding it out of routing.
+			m.ready, m.reason = false, m.gateReason
+			return
+		}
 		m.ready, m.reason = true, ""
 		if !m.verified {
 			// First successful contact with a shard admitted unreachable:

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/transport"
@@ -41,6 +42,13 @@ type Options struct {
 	// are written (not buffered in-process) on acknowledgment: a process
 	// crash loses nothing, a power failure can lose the OS-cached tail.
 	Fsync bool
+	// CommitWindow holds each group commit open this long before writing, so
+	// concurrent appenders stage behind the flusher and share one syscall
+	// pair (and one fsync, in fsync mode). Zero flushes immediately. Every
+	// append still blocks until the write covering its bytes completes —
+	// the window trades per-append latency for commit batching, never
+	// durability.
+	CommitWindow time.Duration
 	// Restore is called once, before any Replay, with the snapshot of the
 	// latest valid checkpoint — the caller seeds its accumulator from it and
 	// rejects a mechanism mismatch by returning an error.
@@ -118,6 +126,7 @@ type Store struct {
 	dir    string
 	digest string
 	fsync  bool
+	window time.Duration
 
 	// mu orders Append (read side) against Rotate (write side); the WAL file
 	// itself serializes concurrent appends internally via group commit.
@@ -223,11 +232,11 @@ func Open(dir string, opts Options) (*Store, Recovery, error) {
 	if len(replay) > 0 {
 		active = replay[len(replay)-1]
 	}
-	wal, err := openWALFile(filepath.Join(dir, segmentName(active)), opts.Fsync)
+	wal, err := openWALFile(filepath.Join(dir, segmentName(active)), opts.Fsync, opts.CommitWindow)
 	if err != nil {
 		return nil, rec, fmt.Errorf("durable: open WAL segment: %w", err)
 	}
-	s := &Store{dir: dir, digest: opts.Digest, fsync: opts.Fsync, wal: wal, seq: active, keys: keys}
+	s := &Store{dir: dir, digest: opts.Digest, fsync: opts.Fsync, window: opts.CommitWindow, wal: wal, seq: active, keys: keys}
 	s.totalRecords.Store(rec.ReplayedRecords)
 	s.totalBytes.Store(totalBytes)
 	s.ckptSeq.Store(rec.CheckpointSeq)
@@ -410,7 +419,7 @@ func (s *Store) Rotate() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	next := s.seq + 1
-	nf, err := openWALFile(filepath.Join(s.dir, segmentName(next)), s.fsync)
+	nf, err := openWALFile(filepath.Join(s.dir, segmentName(next)), s.fsync, s.window)
 	if err != nil {
 		return fmt.Errorf("durable: rotate WAL: %w", err)
 	}

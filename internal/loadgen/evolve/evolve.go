@@ -1,0 +1,315 @@
+// Package evolve runs the strategy-evolution search loop over the deployment
+// config space: baseline → parameterized one-factor candidates → measure →
+// combine winners → ablate → principles table. The objective is acknowledged
+// throughput, hard-gated on the scorecard's correctness gate (exactly-once
+// accounting and estimates inside the statistical-acceptance envelope) — a
+// config that goes faster by dropping or double-counting reports scores zero,
+// so the search cannot game the metric. Every run uses the same scenario seed:
+// candidates face an identical client population, fault schedule, and ground
+// truth, so throughput deltas measure the config, not the workload.
+package evolve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// Params is one point in the config space the search explores — the knobs the
+// ROADMAP names as folklore to turn into measured principles.
+type Params struct {
+	Shards          int           `json:"shards"`
+	Batch           int           `json:"batch"`
+	CheckpointEvery int           `json:"checkpoint_every"`
+	Fsync           bool          `json:"fsync"`
+	CommitWindow    time.Duration `json:"commit_window_ns"`
+}
+
+// String renders the point compactly for tables and logs.
+func (p Params) String() string {
+	return fmt.Sprintf("shards=%d batch=%d ckpt=%d fsync=%v window=%s",
+		p.Shards, p.Batch, p.CheckpointEvery, p.Fsync, p.CommitWindow)
+}
+
+// Measurement is one measured config point.
+type Measurement struct {
+	Label  string             `json:"label"`
+	Params Params             `json:"params"`
+	Card   *loadgen.Scorecard `json:"card,omitempty"`
+	Err    string             `json:"err,omitempty"`
+}
+
+// Objective is the gated score: throughput when the run passed the
+// correctness gate, 0 otherwise (a failed or errored run can never win).
+func (m *Measurement) Objective() float64 {
+	if m.Err != "" || m.Card == nil || !m.Card.Passed() {
+		return 0
+	}
+	return m.Card.Ops.Throughput
+}
+
+// Principle is one extracted finding: what moving a single knob did to the
+// gated objective, measured twice — as a candidate against the baseline, and
+// as an ablation out of the best combined config.
+type Principle struct {
+	Knob         string  `json:"knob"`
+	Move         string  `json:"move"`
+	CandidatePct float64 `json:"candidate_pct"` // candidate vs baseline
+	AblationPct  float64 `json:"ablation_pct"`  // best vs best-with-knob-reverted
+	Verdict      string  `json:"verdict"`       // "keep", "revert", "neutral"
+}
+
+// Report is the full evolution record: every measurement plus the distilled
+// principles.
+type Report struct {
+	Scenario   string        `json:"scenario"`
+	Seed       uint64        `json:"seed"`
+	Baseline   Measurement   `json:"baseline"`
+	Candidates []Measurement `json:"candidates"`
+	Best       Measurement   `json:"best"`
+	Ablations  []Measurement `json:"ablations,omitempty"`
+	Principles []Principle   `json:"principles"`
+}
+
+// Config drives one evolution run.
+type Config struct {
+	Scenario loadgen.Scenario
+	Baseline Params
+	// BaseDirs must yield a fresh scratch directory per measurement (e.g.
+	// testing.T.TempDir or a counter under os.MkdirTemp).
+	BaseDirs func() string
+	// Spawn selects the shard process model (nil = in-process).
+	Spawn loadgen.SpawnFunc
+	// AdoptMarginPct is the noise margin a candidate must clear to be adopted
+	// into the combined config (default 2%).
+	AdoptMarginPct float64
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// knobMove is one single-factor candidate: a label and the parameter edit.
+type knobMove struct {
+	knob  string
+	label string
+	apply func(Params) Params
+	// revert is the inverse edit, used for ablation out of the combined best.
+	revert func(Params) Params
+}
+
+// moves generates the default one-factor candidate set around a baseline.
+func moves(base Params) []knobMove {
+	var out []knobMove
+	if base.Shards > 1 {
+		out = append(out, knobMove{
+			knob: "shards", label: fmt.Sprintf("shards %d→%d", base.Shards, base.Shards/2),
+			apply:  func(p Params) Params { p.Shards = base.Shards / 2; return p },
+			revert: func(p Params) Params { p.Shards = base.Shards; return p },
+		})
+	}
+	out = append(out, knobMove{
+		knob: "shards", label: fmt.Sprintf("shards %d→%d", base.Shards, base.Shards*2),
+		apply:  func(p Params) Params { p.Shards = base.Shards * 2; return p },
+		revert: func(p Params) Params { p.Shards = base.Shards; return p },
+	})
+	if base.Batch >= 64 {
+		out = append(out, knobMove{
+			knob: "batch", label: fmt.Sprintf("batch %d→%d", base.Batch, base.Batch/4),
+			apply:  func(p Params) Params { p.Batch = base.Batch / 4; return p },
+			revert: func(p Params) Params { p.Batch = base.Batch; return p },
+		})
+	}
+	out = append(out, knobMove{
+		knob: "batch", label: fmt.Sprintf("batch %d→%d", base.Batch, base.Batch*4),
+		apply:  func(p Params) Params { p.Batch = base.Batch * 4; return p },
+		revert: func(p Params) Params { p.Batch = base.Batch; return p },
+	})
+	if base.CheckpointEvery > 0 {
+		out = append(out, knobMove{
+			knob: "checkpoint", label: fmt.Sprintf("ckpt %d→%d", base.CheckpointEvery, base.CheckpointEvery*4),
+			apply:  func(p Params) Params { p.CheckpointEvery = base.CheckpointEvery * 4; return p },
+			revert: func(p Params) Params { p.CheckpointEvery = base.CheckpointEvery; return p },
+		})
+	}
+	out = append(out, knobMove{
+		knob: "fsync", label: fmt.Sprintf("fsync %v→%v", base.Fsync, !base.Fsync),
+		apply:  func(p Params) Params { p.Fsync = !base.Fsync; return p },
+		revert: func(p Params) Params { p.Fsync = base.Fsync; return p },
+	})
+	if base.CommitWindow == 0 {
+		out = append(out, knobMove{
+			knob: "commit-window", label: "window 0→2ms",
+			apply:  func(p Params) Params { p.CommitWindow = 2 * time.Millisecond; return p },
+			revert: func(p Params) Params { p.CommitWindow = 0; return p },
+		})
+	} else {
+		out = append(out, knobMove{
+			knob: "commit-window", label: fmt.Sprintf("window %s→0", base.CommitWindow),
+			apply:  func(p Params) Params { p.CommitWindow = 0; return p },
+			revert: func(p Params) Params { p.CommitWindow = base.CommitWindow; return p },
+		})
+	}
+	return out
+}
+
+// Run executes the search loop and distills principles.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.BaseDirs == nil {
+		return nil, fmt.Errorf("evolve: Config.BaseDirs is required")
+	}
+	if cfg.AdoptMarginPct <= 0 {
+		cfg.AdoptMarginPct = 2
+	}
+	measure := func(label string, p Params) Measurement {
+		m := Measurement{Label: label, Params: p}
+		card, err := loadgen.Run(ctx, loadgen.RunConfig{
+			Scenario: cfg.Scenario,
+			Deploy: loadgen.DeployConfig{
+				Shards:  p.Shards,
+				BaseDir: cfg.BaseDirs(),
+				Spawn:   cfg.Spawn,
+				Shard: loadgen.ShardConfig{
+					CheckpointEvery: p.CheckpointEvery,
+					Fsync:           p.Fsync,
+					CommitWindow:    p.CommitWindow,
+				},
+			},
+		})
+		if err != nil {
+			m.Err = err.Error()
+			logf("evolve: %-22s FAILED: %v", label, err)
+			return m
+		}
+		// The scenario's batch knob lives on the Scenario, not the deployment.
+		m.Card = card
+		logf("evolve: %-22s %8.0f rps  passed=%v  p99=%.0fms", label, card.Ops.Throughput, card.Passed(), card.Ops.P99Ms)
+		return m
+	}
+	// Scenario batch rides on the scenario; thread the knob through.
+	measureWithBatch := func(label string, p Params) Measurement {
+		saved := cfg.Scenario.Batch
+		cfg.Scenario.Batch = p.Batch
+		m := measure(label, p)
+		cfg.Scenario.Batch = saved
+		return m
+	}
+
+	rep := &Report{Scenario: cfg.Scenario.Name, Seed: cfg.Scenario.Seed}
+	logf("evolve: baseline %s", cfg.Baseline)
+	rep.Baseline = measureWithBatch("baseline", cfg.Baseline)
+	if rep.Baseline.Objective() == 0 {
+		return rep, fmt.Errorf("evolve: baseline failed its gate — nothing to improve on")
+	}
+
+	// Phase: one-factor candidates, same seed, gated objective.
+	ms := moves(cfg.Baseline)
+	adopted := make([]knobMove, 0, len(ms))
+	for _, mv := range ms {
+		cand := measureWithBatch(mv.label, mv.apply(cfg.Baseline))
+		rep.Candidates = append(rep.Candidates, cand)
+		gain := pctDelta(cand.Objective(), rep.Baseline.Objective())
+		if cand.Objective() > 0 && gain > cfg.AdoptMarginPct {
+			adopted = append(adopted, mv)
+		}
+	}
+
+	// Phase: combine every adopted move; keep whichever config measured best.
+	rep.Best = rep.Baseline
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Objective() > rep.Best.Objective() {
+			rep.Best = rep.Candidates[i]
+		}
+	}
+	if len(adopted) > 1 {
+		combined := cfg.Baseline
+		labels := make([]string, 0, len(adopted))
+		for _, mv := range adopted {
+			combined = mv.apply(combined)
+			labels = append(labels, mv.label)
+		}
+		cm := measureWithBatch("combined("+strings.Join(labels, ", ")+")", combined)
+		rep.Candidates = append(rep.Candidates, cm)
+		if cm.Objective() > rep.Best.Objective() {
+			rep.Best = cm
+		}
+	}
+
+	// Phase: ablation — revert each adopted knob out of the best config to
+	// measure its marginal contribution in context.
+	contrib := map[string]float64{}
+	if len(adopted) > 0 && rep.Best.Label != "baseline" {
+		for _, mv := range adopted {
+			reverted := mv.revert(rep.Best.Params)
+			if reverted == rep.Best.Params {
+				continue // knob not present in the winning config
+			}
+			ab := measureWithBatch("ablate "+mv.label, reverted)
+			rep.Ablations = append(rep.Ablations, ab)
+			contrib[mv.label] = pctDelta(rep.Best.Objective(), ab.Objective())
+		}
+	}
+
+	// Distill: one principle per candidate move.
+	for i, mv := range ms {
+		cand := rep.Candidates[i]
+		p := Principle{
+			Knob:         mv.knob,
+			Move:         mv.label,
+			CandidatePct: pctDelta(cand.Objective(), rep.Baseline.Objective()),
+		}
+		if c, ok := contrib[mv.label]; ok {
+			p.AblationPct = c
+		}
+		switch {
+		case cand.Objective() == 0:
+			p.Verdict = "reject (failed gate)"
+		case p.CandidatePct > cfg.AdoptMarginPct:
+			p.Verdict = "keep"
+		case p.CandidatePct < -cfg.AdoptMarginPct:
+			p.Verdict = "revert"
+		default:
+			p.Verdict = "neutral"
+		}
+		rep.Principles = append(rep.Principles, p)
+	}
+	sort.SliceStable(rep.Principles, func(i, j int) bool {
+		return rep.Principles[i].CandidatePct > rep.Principles[j].CandidatePct
+	})
+	logf("evolve: best %s at %.0f rps (%+.1f%% vs baseline)", rep.Best.Label,
+		rep.Best.Objective(), pctDelta(rep.Best.Objective(), rep.Baseline.Objective()))
+	return rep, nil
+}
+
+// pctDelta is (a-b)/b in percent; 0 when the base is degenerate.
+func pctDelta(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// PrinciplesTable renders the findings as a markdown table with the run
+// identity in a header line — the artifact `ldpload -evolve` prints and the
+// README commits.
+func (r *Report) PrinciplesTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Evolved on scenario %q (seed %d); baseline %s at %.0f rps; best %q at %.0f rps.\n\n",
+		r.Scenario, r.Seed, r.Baseline.Params, r.Baseline.Objective(), r.Best.Label, r.Best.Objective())
+	b.WriteString("| knob | move | Δ vs baseline | ablation Δ | verdict |\n")
+	b.WriteString("|------|------|--------------:|-----------:|---------|\n")
+	for _, p := range r.Principles {
+		ab := "—"
+		if p.AblationPct != 0 {
+			ab = fmt.Sprintf("%+.1f%%", p.AblationPct)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %+.1f%% | %s | %s |\n", p.Knob, p.Move, p.CandidatePct, ab, p.Verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	randv2 "math/rand/v2"
+)
+
+// splitmix64 is the canonical seed mixer — one round turns correlated inputs
+// (seed ^ small client index) into independent-looking streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// clientSeed derives client c's private stream seed from the scenario seed.
+func clientSeed(seed uint64, c int) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(c)+1))
+}
+
+// population is the precomputed, deterministic half of a scenario: which
+// clients participate, what item each reports, and the exact ground-truth
+// histogram the final estimates are scored against. Everything here is a
+// pure function of (scenario, seed) — no wall clock, no goroutine order.
+type population struct {
+	scn        *Scenario
+	zipf       *zipfTable
+	phaseStart []int // phaseStart[p] = first client index of phase p
+
+	Truth        []float64 // per-item participant counts
+	Participants int64
+	Abandoned    int64
+}
+
+// buildPopulation derives the client set. Phase boundaries allocate clients
+// proportionally to the arrival weights (bursty phases hold more clients),
+// flooring per phase with the remainder in the last — integer, deterministic.
+func buildPopulation(scn *Scenario) *population {
+	p := &population{scn: scn, zipf: newZipfTable(scn.Domain, scn.ZipfS), Truth: make([]float64, scn.Domain)}
+	weights := scn.Arrivals
+	if weights == nil {
+		weights = make([]float64, scn.Phases)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	p.phaseStart = make([]int, scn.Phases+1)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		p.phaseStart[i+1] = int(float64(scn.Clients) * acc / total)
+	}
+	p.phaseStart[scn.Phases] = scn.Clients
+	for c := 0; c < scn.Clients; c++ {
+		item, abandoned := p.client(c)
+		if abandoned {
+			p.Abandoned++
+			continue
+		}
+		p.Participants++
+		p.Truth[item]++
+	}
+	return p
+}
+
+// phaseOf maps a client index to its arrival phase.
+func (p *population) phaseOf(c int) int {
+	// Phases are few; a linear scan beats binary search setup.
+	for ph := p.scn.Phases - 1; ph > 0; ph-- {
+		if c >= p.phaseStart[ph] {
+			return ph
+		}
+	}
+	return 0
+}
+
+// client derives client c's deterministic behavior: the item it would report
+// and whether it abandons before reporting. The draws come from the client's
+// private PCG stream in a fixed order, so the answer is identical no matter
+// which worker asks or when.
+func (p *population) client(c int) (item int, abandoned bool) {
+	cs := clientSeed(p.scn.Seed, c)
+	rng := randv2.New(randv2.NewPCG(cs, splitmix64(cs)))
+	if p.scn.AbandonRate > 0 && rng.Float64() < p.scn.AbandonRate {
+		return 0, true
+	}
+	rank := p.zipf.sample(rng.Float64())
+	// Time-shifting popularity: each phase rotates rank → item, so the hot
+	// head of the distribution moves across the domain over the run.
+	shift := p.phaseOf(c) * p.scn.ShiftPerPhase
+	return (rank + shift) % p.scn.Domain, false
+}
+
+// workerRange statically partitions [0, clients) across workers: worker w
+// gets a contiguous slice, so batch composition depends only on the
+// partition, never on scheduling.
+func workerRange(clients, workers, w int) (lo, hi int) {
+	per := clients / workers
+	rem := clients % workers
+	lo = w*per + min(w, rem)
+	hi = lo + per
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}

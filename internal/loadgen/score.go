@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// latencyBuckets is the log₂-microsecond histogram width: bucket i holds
+// samples in [2^(i-1), 2^i) µs, so 48 buckets cover nanoseconds to days.
+const latencyBuckets = 48
+
+// latencyHist is a lock-free log₂ latency histogram. Percentiles come from
+// bucket interpolation — coarse (≤2× error), which is exactly as much
+// precision as a load test's tail numbers deserve.
+type latencyHist struct {
+	counts [latencyBuckets]atomic.Int64
+	total  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us)) // 0µs → bucket 0, 1µs → 1, 2-3µs → 2, ...
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// quantile returns the q-quantile in milliseconds (bucket upper bound).
+func (h *latencyHist) quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for b := 0; b < latencyBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen >= target {
+			return float64(uint64(1)<<uint(b)) / 1000.0 // bucket bound in ms
+		}
+	}
+	return float64(h.maxNs.Load()) / 1e6
+}
+
+// Counts is the deterministic accounting of a run: at a fixed seed these
+// values are bit-identical across repeats, worker counts, and machines —
+// the section reproducibility checks compare.
+type Counts struct {
+	Clients      int64 `json:"clients"`
+	Abandoned    int64 `json:"abandoned"`
+	Participants int64 `json:"participants"`
+	// OfferedReports == Participants: every participant's report enters the
+	// pipeline. AckedReports is how many the deployment acknowledged (after
+	// settle this equals offered — the retry discipline never gives up), and
+	// AbsorbedReports is the merged snapshot's count: what the shards hold.
+	OfferedReports  int64 `json:"offered_reports"`
+	AckedReports    int64 `json:"acked_reports"`
+	AbsorbedReports int64 `json:"absorbed_reports"`
+	// ExactlyOnce is the headline invariant: acknowledged == absorbed — no
+	// report lost, none double-counted, through every injected fault.
+	ExactlyOnce bool `json:"exactly_once"`
+	// ScheduleEvents/ScheduleFired prove the fault schedule actually ran.
+	ScheduleEvents int     `json:"schedule_events"`
+	ScheduleFired  int     `json:"schedule_fired"`
+	TruthTotal     float64 `json:"truth_total"`
+}
+
+// Estimates scores the final merged estimate against ground truth under the
+// repo's statistical-acceptance envelope (6σ per cell with 1.5 variance
+// slack, 4× expected total squared error). Deterministic at a fixed seed.
+type Estimates struct {
+	MaxAbsCellError float64 `json:"max_abs_cell_error"`
+	CellEnvelope    float64 `json:"cell_envelope"`
+	TSE             float64 `json:"tse"`
+	TSEBound        float64 `json:"tse_bound"`
+	EstimatedTotal  float64 `json:"estimated_total"`
+	InEnvelope      bool    `json:"in_envelope"`
+}
+
+// Ops is the operational (timing-dependent) half of the scorecard: latency,
+// throughput, WAL lag, coverage, chaos counters. Varies run to run; excluded
+// from reproducibility comparisons.
+type Ops struct {
+	DurationSec float64 `json:"duration_sec"`
+	// Throughput is acknowledged reports per second over the whole run
+	// (including settle).
+	Throughput float64 `json:"throughput_rps"`
+	// Report-POST latency percentiles, milliseconds (log₂-bucket bounds).
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	// Requests counts every HTTP request workers issued; ReportPosts the
+	// POST /reports subset; Retried the non-2xx or transport-failed ones
+	// (each is one retry the discipline absorbed).
+	Requests    int64 `json:"requests"`
+	ReportPosts int64 `json:"report_posts"`
+	Retried     int64 `json:"retried"`
+	// Coverage of the final merged snapshot, plus the worst (lowest ready
+	// count) moment observed during the run — the degradation the scenario
+	// drove.
+	ShardsMerged   int `json:"shards_merged"`
+	ShardsTotal    int `json:"shards_total"`
+	ShardsStale    int `json:"shards_stale"`
+	MinShardsReady int `json:"min_shards_ready"`
+	// WAL durability facts from each shard's /healthz after settle.
+	WALRecordLag  int64  `json:"wal_record_lag"`
+	WALByteLag    int64  `json:"wal_byte_lag"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Chaos is each shard proxy's injection counters.
+	Chaos []chaos.Stats `json:"chaos,omitempty"`
+}
+
+// Scorecard is the emitted BENCH_loadgen.json shape: scenario identity, the
+// deterministic counts and estimate scoring, and the timing-dependent ops
+// section.
+type Scorecard struct {
+	Scenario  string  `json:"scenario"`
+	Seed      uint64  `json:"seed"`
+	Mechanism string  `json:"mechanism"`
+	Domain    int     `json:"domain"`
+	Epsilon   float64 `json:"epsilon"`
+	Shards    int     `json:"shards"`
+
+	Counts    Counts    `json:"counts"`
+	Estimates Estimates `json:"estimates"`
+	Ops       Ops       `json:"ops"`
+}
+
+// Passed reports the gate CI smoke enforces: exactly-once accounting and
+// estimates inside the acceptance envelope.
+func (s *Scorecard) Passed() bool {
+	return s.Counts.ExactlyOnce && s.Estimates.InEnvelope
+}
+
+// DeterministicEqual compares the seed-reproducible sections of two
+// scorecards (identity, counts, estimates), ignoring Ops.
+func (s *Scorecard) DeterministicEqual(o *Scorecard) bool {
+	return s.Scenario == o.Scenario && s.Seed == o.Seed &&
+		s.Mechanism == o.Mechanism && s.Domain == o.Domain &&
+		s.Epsilon == o.Epsilon && s.Shards == o.Shards &&
+		s.Counts == o.Counts && s.Estimates == o.Estimates
+}
+
+// scoreEstimates fills the Estimates section from a final estimate vector,
+// ground truth, and the mechanism's envelope.
+func scoreEstimates(m *Mechanism, est, truth []float64, users float64) (Estimates, error) {
+	cellBound, tseBound, err := m.Envelope(truth, users)
+	if err != nil {
+		return Estimates{}, err
+	}
+	var e Estimates
+	e.CellEnvelope = cellBound
+	e.TSEBound = tseBound
+	for v := range truth {
+		d := est[v] - truth[v]
+		e.TSE += d * d
+		e.EstimatedTotal += est[v]
+		if a := math.Abs(d); a > e.MaxAbsCellError {
+			e.MaxAbsCellError = a
+		}
+	}
+	e.InEnvelope = e.MaxAbsCellError <= cellBound && e.TSE <= tseBound
+	return e, nil
+}

@@ -1,0 +1,40 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+)
+
+// zipfTable is a precomputed zipfian CDF over n popularity ranks: rank r has
+// weight 1/(r+1)^s. Sampling is one uniform draw plus a binary search, so the
+// hot path allocates nothing and stays deterministic for a seeded stream
+// (math/rand/v2 offers no Zipf sampler; hand-rolling the CDF also keeps the
+// draw → rank mapping stable across Go releases, which the reproducibility
+// guarantee depends on).
+type zipfTable struct {
+	cdf []float64 // cdf[r] = P(rank <= r), cdf[n-1] == 1
+}
+
+// newZipfTable builds the table. s <= 0 degenerates to uniform.
+func newZipfTable(n int, s float64) *zipfTable {
+	cdf := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(r+1), s)
+		}
+		total += w
+		cdf[r] = total
+	}
+	for r := range cdf {
+		cdf[r] /= total
+	}
+	cdf[n-1] = 1 // exact, despite rounding
+	return &zipfTable{cdf: cdf}
+}
+
+// sample maps one uniform draw u in [0, 1) to a popularity rank.
+func (z *zipfTable) sample(u float64) int {
+	return sort.SearchFloat64s(z.cdf, u)
+}

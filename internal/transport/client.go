@@ -9,15 +9,25 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/protocol"
 )
+
+// Observer receives one callback per HTTP request the client issues: the
+// operation name ("reports", "query", "snapshot", "healthz", "readyz"), the
+// wall time from request start to response headers (or failure), the HTTP
+// status (0 when the request never got a response), and the transport-level
+// error, if any. Callbacks run on the calling goroutine, so an observer must
+// be cheap and concurrency-safe.
+type Observer func(op string, d time.Duration, status int, err error)
 
 // Client speaks the transport's HTTP binding from the ingesting side. It is
 // safe for concurrent use; each call is one HTTP request.
 type Client struct {
 	base string
 	hc   *http.Client
+	obs  Observer
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -41,6 +51,27 @@ func (c *Client) SetHTTPClient(hc *http.Client) {
 	if hc != nil {
 		c.hc = hc
 	}
+}
+
+// SetObserver installs a per-request latency observer. Call before the first
+// request; the client is not otherwise synchronized. A nil observer removes
+// instrumentation.
+func (c *Client) SetObserver(obs Observer) { c.obs = obs }
+
+// do issues req, timing it for the observer. The duration covers request
+// start through response headers — body streaming is the caller's.
+func (c *Client) do(req *http.Request, op string) (*http.Response, error) {
+	if c.obs == nil {
+		return c.hc.Do(req)
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	status := 0
+	if resp != nil {
+		status = resp.StatusCode
+	}
+	c.obs(op, time.Since(start), status, err)
+	return resp, err
 }
 
 // PostReports sends a batch of reports, chunked into as many frames as the
@@ -70,7 +101,7 @@ func (c *Client) PostReportsKeyed(ctx context.Context, reports []protocol.Report
 	if key != "" {
 		req.Header.Set(IdempotencyKeyHeader, key)
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req, "reports")
 	if err != nil {
 		return 0, err
 	}
@@ -105,7 +136,7 @@ func (c *Client) PostQuery(ctx context.Context, q QueryRequest, fn func(QueryRow
 		return QueryResultInfo{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req, "query")
 	if err != nil {
 		return QueryResultInfo{}, err
 	}
@@ -207,7 +238,7 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req, strings.TrimPrefix(path, "/"))
 	if err != nil {
 		return nil, err
 	}

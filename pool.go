@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,11 +32,18 @@ import (
 //
 // An EstimatorPool is safe for concurrent use.
 type EstimatorPool struct {
-	dir string // strategy cache directory; "" keeps the cache in memory only
+	dir        string // strategy cache directory; "" keeps the cache in memory only
+	maxEntries int    // per-cache LRU bound; 0 = unbounded
+	gcBudget   int64  // disk-cache byte budget; 0 = unbounded
 
 	mu         sync.Mutex
+	clock      uint64 // LRU clock: bumped on every cache touch under mu
 	estimators map[string]*estimatorCall
 	strategies map[string]*strategyCall
+	// answers caches AnswerBatch results per mechanism identity, valid for
+	// exactly one observed snapshot: an advance of the snapshot (epoch, count,
+	// state fingerprint) drops the identity's entries wholesale.
+	answers map[string]*answerHolder
 	// digests memoizes WorkloadDigest per workload instance: the digest hashes
 	// the materialized W (megabytes for wide workloads), far too expensive to
 	// recompute on every pool lookup of a long-lived workload value.
@@ -48,29 +56,56 @@ type EstimatorPool struct {
 }
 
 // estimatorCall is one in-flight or completed estimator build; waiters block
-// on done.
+// on done. used is the LRU timestamp (pool clock, written under the pool
+// lock); settled flips once the build finished, gating eviction — an
+// in-flight singleflight entry is never evicted out from under its waiters.
 type estimatorCall struct {
-	done chan struct{}
-	est  *Estimator
-	err  error
+	done    chan struct{}
+	est     *Estimator
+	err     error
+	used    uint64
+	settled bool
 }
 
 // strategyCall is one in-flight or completed strategy resolution.
 type strategyCall struct {
-	done chan struct{}
-	s    *Strategy
-	err  error
+	done    chan struct{}
+	s       *Strategy
+	err     error
+	used    uint64
+	settled bool
+}
+
+// answerHolder is one mechanism identity's cached batch answers, pinned to a
+// single snapshot. entries are keyed by (workload digest, variance flag).
+type answerHolder struct {
+	epoch     uint64
+	countBits uint64
+	stateHash uint64
+	entries   map[string]cachedAnswer
+}
+
+// cachedAnswer holds the immutable master copies; hits hand out fresh
+// slices so callers own their results, exactly as uncached answers do.
+type cachedAnswer struct {
+	answers  []float64
+	variance []float64
 }
 
 // poolCounters backs PoolStats with atomics so the hot path never takes the
 // pool lock just to count.
 type poolCounters struct {
-	estimatorBuilds  atomic.Uint64
-	estimatorHits    atomic.Uint64
-	optimizerRuns    atomic.Uint64
-	strategyMemHits  atomic.Uint64
-	strategyDiskHits atomic.Uint64
-	sharedRowHits    atomic.Uint64
+	estimatorBuilds     atomic.Uint64
+	estimatorHits       atomic.Uint64
+	optimizerRuns       atomic.Uint64
+	strategyMemHits     atomic.Uint64
+	strategyDiskHits    atomic.Uint64
+	sharedRowHits       atomic.Uint64
+	estimatorEvictions  atomic.Uint64
+	strategyEvictions   atomic.Uint64
+	diskGCRemoved       atomic.Uint64
+	answerHits          atomic.Uint64
+	answerInvalidations atomic.Uint64
 }
 
 // PoolStats is a point-in-time snapshot of the pool's cache behavior —
@@ -89,6 +124,18 @@ type PoolStats struct {
 	// SharedRowHits counts batch variance rows served from another query's
 	// identical W·B row instead of recomputed.
 	SharedRowHits uint64
+	// EstimatorEvictions and StrategyEvictions count completed entries the
+	// WithPoolMaxEntries LRU bound pushed out.
+	EstimatorEvictions uint64
+	StrategyEvictions  uint64
+	// DiskGCRemoved counts persisted strategy entries the cache-directory GC
+	// deleted to stay inside the WithPoolCacheGCBudget byte budget.
+	DiskGCRemoved uint64
+	// AnswerHits counts AnswerBatch workloads served from the snapshot-pinned
+	// answer cache; AnswerInvalidations counts identities whose cached answers
+	// were dropped because the observed snapshot advanced.
+	AnswerHits          uint64
+	AnswerInvalidations uint64
 }
 
 // PoolOption configures an EstimatorPool.
@@ -103,11 +150,30 @@ func WithPoolCacheDir(dir string) PoolOption {
 	return func(p *EstimatorPool) { p.dir = dir }
 }
 
+// WithPoolMaxEntries bounds the estimator and strategy caches at n completed
+// entries each, evicting least-recently-used entries as new keys arrive. An
+// in-flight singleflight build is never evicted (its waiters hold the entry);
+// an evicted key simply rebuilds — and singleflights again — on next use.
+// n <= 0 leaves the caches unbounded.
+func WithPoolMaxEntries(n int) PoolOption {
+	return func(p *EstimatorPool) { p.maxEntries = n }
+}
+
+// WithPoolCacheGCBudget bounds the strategy cache directory at roughly budget
+// bytes: after each persist, the oldest entries (by modification time) are
+// deleted until the directory fits. The newest entry always survives, even
+// when it alone exceeds the budget — GC protects the disk, never correctness.
+// budget <= 0 leaves the directory unbounded.
+func WithPoolCacheGCBudget(budget int64) PoolOption {
+	return func(p *EstimatorPool) { p.gcBudget = budget }
+}
+
 // NewEstimatorPool returns an empty pool.
 func NewEstimatorPool(opts ...PoolOption) *EstimatorPool {
 	p := &EstimatorPool{
 		estimators: make(map[string]*estimatorCall),
 		strategies: make(map[string]*strategyCall),
+		answers:    make(map[string]*answerHolder),
 		digests:    make(map[Workload]string),
 		idkeys:     make(map[Aggregator]string),
 	}
@@ -120,12 +186,17 @@ func NewEstimatorPool(opts ...PoolOption) *EstimatorPool {
 // Stats returns a snapshot of the pool's cache counters.
 func (p *EstimatorPool) Stats() PoolStats {
 	return PoolStats{
-		EstimatorBuilds:  p.stats.estimatorBuilds.Load(),
-		EstimatorHits:    p.stats.estimatorHits.Load(),
-		OptimizerRuns:    p.stats.optimizerRuns.Load(),
-		StrategyMemHits:  p.stats.strategyMemHits.Load(),
-		StrategyDiskHits: p.stats.strategyDiskHits.Load(),
-		SharedRowHits:    p.stats.sharedRowHits.Load(),
+		EstimatorBuilds:     p.stats.estimatorBuilds.Load(),
+		EstimatorHits:       p.stats.estimatorHits.Load(),
+		OptimizerRuns:       p.stats.optimizerRuns.Load(),
+		StrategyMemHits:     p.stats.strategyMemHits.Load(),
+		StrategyDiskHits:    p.stats.strategyDiskHits.Load(),
+		SharedRowHits:       p.stats.sharedRowHits.Load(),
+		EstimatorEvictions:  p.stats.estimatorEvictions.Load(),
+		StrategyEvictions:   p.stats.strategyEvictions.Load(),
+		DiskGCRemoved:       p.stats.diskGCRemoved.Load(),
+		AnswerHits:          p.stats.answerHits.Load(),
+		AnswerInvalidations: p.stats.answerInvalidations.Load(),
 	}
 }
 
@@ -195,6 +266,8 @@ func (p *EstimatorPool) Estimator(agg Aggregator, w Workload) (*Estimator, error
 	key := p.identityKeyOf(agg) + "|" + p.workloadDigest(w)
 	p.mu.Lock()
 	if c, ok := p.estimators[key]; ok {
+		p.clock++
+		c.used = p.clock
 		p.mu.Unlock()
 		<-c.done
 		if c.err == nil {
@@ -203,21 +276,73 @@ func (p *EstimatorPool) Estimator(agg Aggregator, w Workload) (*Estimator, error
 		return c.est, c.err
 	}
 	c := &estimatorCall{done: make(chan struct{})}
+	p.clock++
+	c.used = p.clock
 	p.estimators[key] = c
+	p.evictEstimatorsLocked()
 	p.mu.Unlock()
 
-	c.est, c.err = NewEstimator(agg, w)
-	if c.err != nil {
+	est, err := NewEstimator(agg, w)
+	p.mu.Lock()
+	c.est, c.err = est, err
+	c.settled = true
+	if err != nil {
 		// A failed build must not poison the key: drop it so a later caller
-		// (perhaps with a corrected workload) retries.
-		p.mu.Lock()
-		delete(p.estimators, key)
-		p.mu.Unlock()
-	} else {
+		// (perhaps with a corrected workload) retries. Only remove our own
+		// entry — an eviction may already have replaced it.
+		if cur, ok := p.estimators[key]; ok && cur == c {
+			delete(p.estimators, key)
+		}
+	}
+	p.mu.Unlock()
+	if err == nil {
 		p.stats.estimatorBuilds.Add(1)
 	}
 	close(c.done)
 	return c.est, c.err
+}
+
+// evictEstimatorsLocked enforces the LRU bound; caller holds mu. Only settled
+// entries are candidates — an in-flight build has waiters parked on it.
+func (p *EstimatorPool) evictEstimatorsLocked() {
+	if p.maxEntries <= 0 {
+		return
+	}
+	for len(p.estimators) > p.maxEntries {
+		victim := ""
+		var oldest uint64
+		for k, c := range p.estimators {
+			if c.settled && (victim == "" || c.used < oldest) {
+				victim, oldest = k, c.used
+			}
+		}
+		if victim == "" {
+			return // everything in flight; bound is best-effort
+		}
+		delete(p.estimators, victim)
+		p.stats.estimatorEvictions.Add(1)
+	}
+}
+
+// evictStrategiesLocked is evictEstimatorsLocked for the strategy cache.
+func (p *EstimatorPool) evictStrategiesLocked() {
+	if p.maxEntries <= 0 {
+		return
+	}
+	for len(p.strategies) > p.maxEntries {
+		victim := ""
+		var oldest uint64
+		for k, c := range p.strategies {
+			if c.settled && (victim == "" || c.used < oldest) {
+				victim, oldest = k, c.used
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(p.strategies, victim)
+		p.stats.strategyEvictions.Add(1)
+	}
 }
 
 // Strategy returns the optimized strategy for (w, eps), running the
@@ -233,6 +358,8 @@ func (p *EstimatorPool) Strategy(ctx context.Context, w Workload, eps float64, o
 	key := fmt.Sprintf("%s|%016x", wd, math.Float64bits(eps))
 	p.mu.Lock()
 	if c, ok := p.strategies[key]; ok {
+		p.clock++
+		c.used = p.clock
 		p.mu.Unlock()
 		<-c.done
 		if c.err == nil {
@@ -241,15 +368,22 @@ func (p *EstimatorPool) Strategy(ctx context.Context, w Workload, eps float64, o
 		return c.s, c.err
 	}
 	c := &strategyCall{done: make(chan struct{})}
+	p.clock++
+	c.used = p.clock
 	p.strategies[key] = c
+	p.evictStrategiesLocked()
 	p.mu.Unlock()
 
-	c.s, c.err = p.resolveStrategy(ctx, w, eps, wd, opts)
-	if c.err != nil {
-		p.mu.Lock()
-		delete(p.strategies, key)
-		p.mu.Unlock()
+	s, err := p.resolveStrategy(ctx, w, eps, wd, opts)
+	p.mu.Lock()
+	c.s, c.err = s, err
+	c.settled = true
+	if err != nil {
+		if cur, ok := p.strategies[key]; ok && cur == c {
+			delete(p.strategies, key)
+		}
 	}
+	p.mu.Unlock()
 	close(c.done)
 	return c.s, c.err
 }
@@ -342,7 +476,53 @@ func (p *EstimatorPool) storeCachedStrategy(wd string, eps float64, s *Strategy)
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(p.dir, name))
+	if err := os.Rename(tmp.Name(), filepath.Join(p.dir, name)); err != nil {
+		return err
+	}
+	p.gcCacheDir(filepath.Join(p.dir, name))
+	return nil
+}
+
+// gcCacheDir enforces the disk byte budget after a persist: oldest entries
+// (by mtime) go first until the directory fits. keep — the entry just
+// written — is never deleted, so GC can shrink the cache but never lose the
+// strategy the current caller computed.
+func (p *EstimatorPool) gcCacheDir(keep string) {
+	if p.gcBudget <= 0 {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(p.dir, "*.strategy"))
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var total int64
+	entries := make([]entry, 0, len(matches))
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		total += fi.Size()
+		entries = append(entries, entry{m, fi.Size(), fi.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	for _, e := range entries {
+		if total <= p.gcBudget {
+			return
+		}
+		if e.path == keep {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			p.stats.diskGCRemoved.Add(1)
+		}
+	}
 }
 
 // BatchAnswer is one workload's result in an AnswerBatch: the workload, its
@@ -468,8 +648,22 @@ func (p *EstimatorPool) AnswerBatch(agg Aggregator, s Snapshot, workloads []Work
 		ests[i] = est
 		digests[i] = p.workloadDigest(w)
 	}
-	// The shared subexpression every workload needs: x̂ once, not k times.
-	xh := agg.EstimateCounts(s.state, s.count)
+	// The answer cache pins one snapshot per mechanism identity: a batch
+	// observing a different snapshot (epoch advance, or any state change the
+	// fingerprint catches) invalidates the identity's cached answers first.
+	ik := p.identityKeyOf(agg)
+	hkey := answerHolderKey{epoch: s.epoch, countBits: math.Float64bits(s.count), stateHash: hashRow(s.state)}
+	holder := p.answerHolder(ik, hkey)
+
+	// The shared subexpression every workload needs: x̂ once, not k times —
+	// skipped when every workload in the batch is a cache hit.
+	var xh []float64
+	estimate := func() []float64 {
+		if xh == nil {
+			xh = agg.EstimateCounts(s.state, s.count)
+		}
+		return xh
+	}
 
 	var rowCache *sharedRowCache
 	if cfg.variance {
@@ -478,6 +672,22 @@ func (p *EstimatorPool) AnswerBatch(agg Aggregator, s Snapshot, workloads []Work
 	out := make([]BatchAnswer, len(workloads))
 	firstByDigest := make(map[string]int, len(workloads))
 	for i, w := range workloads {
+		ckey := digests[i]
+		if cfg.variance {
+			ckey += "|v"
+		}
+		if ca, ok := holder.lookup(p, ckey); ok {
+			out[i] = BatchAnswer{Workload: w, Digest: digests[i],
+				Answers: append([]float64(nil), ca.answers...)}
+			if ca.variance != nil {
+				out[i].Variance = append([]float64(nil), ca.variance...)
+			}
+			p.stats.answerHits.Add(1)
+			if _, seen := firstByDigest[digests[i]]; !seen {
+				firstByDigest[digests[i]] = i
+			}
+			continue
+		}
 		if j, ok := firstByDigest[digests[i]]; ok {
 			// Same digest, same workload: share the computation, copy the
 			// slices so callers own their results independently.
@@ -489,7 +699,7 @@ func (p *EstimatorPool) AnswerBatch(agg Aggregator, s Snapshot, workloads []Work
 			continue
 		}
 		firstByDigest[digests[i]] = i
-		ba := BatchAnswer{Workload: w, Digest: digests[i], Answers: w.MatVec(xh)}
+		ba := BatchAnswer{Workload: w, Digest: digests[i], Answers: w.MatVec(estimate())}
 		if cfg.variance {
 			vars, err := p.batchVariance(ests[i], s, rowCache)
 			if err != nil {
@@ -498,8 +708,61 @@ func (p *EstimatorPool) AnswerBatch(agg Aggregator, s Snapshot, workloads []Work
 			ba.Variance = vars
 		}
 		out[i] = ba
+		holder.store(p, ckey, cachedAnswer{
+			answers:  append([]float64(nil), ba.Answers...),
+			variance: append([]float64(nil), ba.Variance...),
+		})
 	}
 	return out, nil
+}
+
+// answerHolderKey is the snapshot fingerprint an answer cache entry is
+// pinned to: the producing collector's epoch plus the exact count bits and
+// an FNV fingerprint of the state, so two different snapshots that happen to
+// share an epoch (distinct shards, hand-merged values) can never alias.
+type answerHolderKey struct {
+	epoch     uint64
+	countBits uint64
+	stateHash uint64
+}
+
+// answerHolder returns the identity's holder for exactly this snapshot key,
+// dropping (invalidating) a holder pinned to an older snapshot.
+func (p *EstimatorPool) answerHolder(ik string, k answerHolderKey) *answerHolder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.answers[ik]
+	if ok && (h.epoch != k.epoch || h.countBits != k.countBits || h.stateHash != k.stateHash) {
+		ok = false
+		p.stats.answerInvalidations.Add(1)
+	}
+	if !ok {
+		h = &answerHolder{epoch: k.epoch, countBits: k.countBits, stateHash: k.stateHash,
+			entries: make(map[string]cachedAnswer)}
+		p.answers[ik] = h
+	}
+	return h
+}
+
+// lookup reads one cached answer under the pool lock.
+func (h *answerHolder) lookup(p *EstimatorPool, key string) (cachedAnswer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ca, ok := h.entries[key]
+	return ca, ok
+}
+
+// store publishes one answer under the pool lock. The holder may already
+// have been invalidated and replaced by a concurrent batch on a newer
+// snapshot; storing into the orphaned holder is harmless — nobody can reach
+// it again.
+func (h *answerHolder) store(p *EstimatorPool, key string, ca cachedAnswer) {
+	if ca.variance != nil && len(ca.variance) == 0 {
+		ca.variance = nil // append(nil, empty...) yields nil already, but be explicit
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h.entries[key] = ca
 }
 
 // batchVariance computes one workload's per-query variances, serving repeated

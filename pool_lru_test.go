@@ -1,0 +1,174 @@
+// Regression tests for the pool's resource bounds and the snapshot-pinned
+// answer cache: WithPoolMaxEntries must evict in LRU order and never break
+// singleflight for an evicted key; WithPoolCacheGCBudget must keep the
+// strategy cache directory inside its byte budget (newest entry always
+// surviving); and AnswerBatch's cached answers must be dropped the moment
+// the observed snapshot advances.
+package ldp_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	ldp "repro"
+	"repro/internal/benchfix"
+)
+
+func lruPoolAgg(t *testing.T, n int) ldp.Aggregator {
+	t.Helper()
+	agg, err := ldp.NewAggregator(benchfix.RRStrategy(n, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestPoolMaxEntriesEvictionOrder pins the eviction order: with a bound of
+// two, the least-recently-used entry — not the least-recently-built — is the
+// one that goes.
+func TestPoolMaxEntriesEvictionOrder(t *testing.T) {
+	const n = 8
+	pool := ldp.NewEstimatorPool(ldp.WithPoolMaxEntries(2))
+	agg := lruPoolAgg(t, n)
+	wA, wB, wC := ldp.Histogram(n), ldp.Prefix(n), ldp.AllRange(n)
+
+	for _, w := range []ldp.Workload{wA, wB} {
+		if _, err := pool.Estimator(agg, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Estimator(agg, wA); err != nil { // touch A: B is now LRU
+		t.Fatal(err)
+	}
+	if _, err := pool.Estimator(agg, wC); err != nil { // third key: evicts B
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.EstimatorBuilds != 3 || st.EstimatorEvictions != 1 {
+		t.Fatalf("after eviction: builds=%d evictions=%d, want 3 and 1", st.EstimatorBuilds, st.EstimatorEvictions)
+	}
+	// A was touched, so it must still be cached; B must rebuild.
+	if _, err := pool.Estimator(agg, wA); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats(); got.EstimatorBuilds != 3 {
+		t.Fatalf("touched entry was evicted: builds went %d → %d", st.EstimatorBuilds, got.EstimatorBuilds)
+	}
+	if _, err := pool.Estimator(agg, wB); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats(); got.EstimatorBuilds != 4 {
+		t.Fatalf("LRU entry was not evicted: builds=%d, want 4 (B rebuilt)", got.EstimatorBuilds)
+	}
+}
+
+// TestPoolSingleflightAfterEvict: resolving an evicted key concurrently must
+// still build exactly once — eviction resets the cache, not the discipline.
+func TestPoolSingleflightAfterEvict(t *testing.T) {
+	const n = 8
+	pool := ldp.NewEstimatorPool(ldp.WithPoolMaxEntries(1))
+	agg := lruPoolAgg(t, n)
+	wA, wB := ldp.Histogram(n), ldp.Prefix(n)
+
+	if _, err := pool.Estimator(agg, wA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Estimator(agg, wB); err != nil { // bound 1: evicts A
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.EstimatorEvictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.EstimatorEvictions)
+	}
+
+	const racers = 8
+	var wg sync.WaitGroup
+	ests := make([]*ldp.Estimator, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est, err := pool.Estimator(agg, wA)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ests[i] = est
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if ests[i] != ests[0] {
+			t.Fatal("racers received different estimator instances")
+		}
+	}
+	st := pool.Stats()
+	if st.EstimatorBuilds != 3 { // A, B, A-again — racers singleflighted
+		t.Fatalf("builds=%d, want 3: the evicted key rebuilt more than once", st.EstimatorBuilds)
+	}
+	if st.EstimatorHits != racers-1 {
+		t.Fatalf("hits=%d, want %d", st.EstimatorHits, racers-1)
+	}
+}
+
+// TestPoolCacheGCBudget: the persisted strategy directory stays inside its
+// byte budget, oldest entries going first, the just-written entry immune.
+func TestPoolCacheGCBudget(t *testing.T) {
+	const n, eps = 8, 1.0
+	dir := t.TempDir()
+	ctx := context.Background()
+	opts := []ldp.OptimizeOption{ldp.WithIterations(20), ldp.WithSeed(7)}
+
+	// Learn one entry's size with an unbounded pool.
+	probe := ldp.NewEstimatorPool(ldp.WithPoolCacheDir(dir))
+	if _, err := probe.Strategy(ctx, ldp.Histogram(n), eps, opts...); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.strategy"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one persisted entry, got %v (err %v)", entries, err)
+	}
+	fi, err := os.Stat(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := fi.Size()
+
+	// Budget for two entries; persist three. The first (oldest) must be
+	// collected, the two youngest survive.
+	pool := ldp.NewEstimatorPool(ldp.WithPoolCacheDir(dir), ldp.WithPoolCacheGCBudget(2*entrySize+entrySize/2))
+	for _, w := range []ldp.Workload{ldp.Prefix(n), ldp.AllRange(n)} {
+		if _, err := pool.Strategy(ctx, w, eps, opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := filepath.Glob(filepath.Join(dir, "*.strategy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 2 {
+		t.Fatalf("directory holds %d entries after GC, want 2: %v", len(after), after)
+	}
+	for _, path := range after {
+		if path == entries[0] {
+			t.Fatalf("GC kept the oldest entry %s and removed a younger one", entries[0])
+		}
+	}
+	if st := pool.Stats(); st.DiskGCRemoved != 1 {
+		t.Fatalf("DiskGCRemoved=%d, want 1", st.DiskGCRemoved)
+	}
+	// The newest entry must survive even under an impossible budget.
+	tiny := ldp.NewEstimatorPool(ldp.WithPoolCacheDir(dir), ldp.WithPoolCacheGCBudget(1))
+	if _, err := tiny.Strategy(ctx, ldp.Parity(3), eps, opts...); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.strategy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("impossible budget left %d entries, want exactly the newest: %v", len(left), left)
+	}
+}

@@ -80,6 +80,8 @@ func NewFleetServer(f *Fleet) (*FleetServer, error) {
 	s.mux.HandleFunc("GET /shards", s.handleShardsList)
 	s.mux.HandleFunc("POST /shards", s.handleShardsRegister)
 	s.mux.HandleFunc("DELETE /shards", s.handleShardsDeregister)
+	s.mux.HandleFunc("POST /shards/drain", s.handleShardsDrain)
+	s.mux.HandleFunc("POST /shards/undrain", s.handleShardsUndrain)
 	return s, nil
 }
 
@@ -399,6 +401,57 @@ func (s *FleetServer) handleShardsDeregister(w http.ResponseWriter, r *http.Requ
 	}
 	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
 }
+
+// handleShardsDrain gates one member out of ingest routing (Fleet.Gate): the
+// shard stays registered, mergeable, and serving reads, but receives no new
+// reports until undrained — the hook a rolling restart (or a load scenario)
+// drives before taking a shard down.
+func (s *FleetServer) handleShardsDrain(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req struct {
+		Endpoint string `json:"endpoint"`
+		Reason   string `json:"reason"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Endpoint == "" {
+		http.Error(w, "body must be {\"endpoint\": \"http://...\", \"reason\": \"...\"}", http.StatusBadRequest)
+		return
+	}
+	if req.Reason == "" {
+		req.Reason = "draining"
+	}
+	if !s.fleet.Gate(req.Endpoint, req.Reason) {
+		http.Error(w, "not a member", http.StatusNotFound)
+		return
+	}
+	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
+}
+
+// handleShardsUndrain lifts a drain gate (Fleet.Ungate).
+func (s *FleetServer) handleShardsUndrain(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req struct {
+		Endpoint string `json:"endpoint"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Endpoint == "" {
+		http.Error(w, "body must be {\"endpoint\": \"http://...\"}", http.StatusBadRequest)
+		return
+	}
+	if !s.fleet.Ungate(req.Endpoint) {
+		http.Error(w, "not a member", http.StatusNotFound)
+		return
+	}
+	writeRouterJSON(w, http.StatusOK, shardsJSON{Members: s.fleet.Members()})
+}
+
+// Fleet returns the underlying fleet, so a harness embedding the server
+// in-process can drive registration, probes, and drain gates directly.
+func (s *FleetServer) Fleet() *Fleet { return s.fleet }
 
 // Probe re-exports the fleet's health round for the serving binary's ticker.
 func (s *FleetServer) Probe(ctx context.Context) []MemberState { return s.fleet.Probe(ctx) }
