@@ -422,6 +422,24 @@ func BenchmarkRecoverReplay(b *testing.B) {
 	b.Run("records=256x64", benchfix.RecoverReplay())
 }
 
+// BenchmarkSnapAt measures the historical read path: serve the oldest
+// retained epoch from the checkpoint ladder (file read + CRC + decode, no
+// replay), raw and gzip. The body is shared with `cmd/ldpbench -exp bench`
+// via internal/benchfix.
+func BenchmarkSnapAt(b *testing.B) {
+	b.Run("raw", benchfix.SnapAt(false))
+	b.Run("gzip", benchfix.SnapAt(true))
+}
+
+// BenchmarkCheckpointStream measures the streaming checkpoint writer at
+// n=4096 — the per-cut cost the checkpoint interval amortizes — raw and
+// gzip. The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix.
+func BenchmarkCheckpointStream(b *testing.B) {
+	b.Run("raw", benchfix.CheckpointStream(false))
+	b.Run("gzip", benchfix.CheckpointStream(true))
+}
+
 // BenchmarkPoolAnswerBatch measures the query engine's shared-computation
 // batch answering against the pool-less baseline: four workloads over one
 // snapshot, shared = EstimatorPool.AnswerBatch (x̂ once, repeated W·B rows

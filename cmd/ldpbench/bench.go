@@ -61,6 +61,10 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"WALAppend/batch4096-buffered", benchfix.WALAppend("buffered", 4096)},
 		{"WALAppend/batch4096-fsync", benchfix.WALAppend("fsync", 4096)},
 		{"RecoverReplay/records=256x64", benchfix.RecoverReplay()},
+		{"SnapAt/raw", benchfix.SnapAt(false)},
+		{"SnapAt/gzip", benchfix.SnapAt(true)},
+		{"CheckpointStream/raw", benchfix.CheckpointStream(false)},
+		{"CheckpointStream/gzip", benchfix.CheckpointStream(true)},
 		{"PoolAnswerBatch/shared", benchfix.PoolAnswerBatch(true)},
 		{"PoolAnswerBatch/naive", benchfix.PoolAnswerBatch(false)},
 	}
@@ -107,6 +111,8 @@ var gateBenchmarks = []string{
 	"OLHAbsorb/candidates/n=1024",
 	"WALAppend/batch64-memory",
 	"PoolAnswerBatch/shared",
+	"SnapAt/raw",
+	"CheckpointStream/raw",
 }
 
 // gateNsSlack is how much slower (ratio) a gated benchmark may measure
@@ -141,6 +147,8 @@ func runBenchGate(out io.Writer, path string) error {
 		"OLHAbsorb/candidates/n=1024": benchfix.OLHAbsorb(true, 1024),
 		"WALAppend/batch64-memory":    benchfix.WALAppend("memory", 64),
 		"PoolAnswerBatch/shared":      benchfix.PoolAnswerBatch(true),
+		"SnapAt/raw":                  benchfix.SnapAt(false),
+		"CheckpointStream/raw":        benchfix.CheckpointStream(false),
 	}
 	fmt.Fprintf(out, "%-28s %14s %14s %8s %12s %12s\n",
 		"benchmark", "base ns/op", "now ns/op", "ratio", "base allocs", "now allocs")

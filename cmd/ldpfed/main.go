@@ -51,6 +51,7 @@ type fed struct {
 	info    ldp.MechanismInfo
 	level   float64
 	drift   float64
+	window  uint64
 	timeout time.Duration
 	out     io.Writer
 	errw    io.Writer
@@ -74,6 +75,7 @@ func main() {
 	drift := flag.Float64("drift", 10, "warn when the largest shard count exceeds the smallest by this ratio — a stale-checkpoint recovery symptom (0 disables)")
 	quorum := flag.Int("quorum", 0, "refuse to print an estimate covering fewer than this many shards (0 = any non-empty coverage)")
 	noStale := flag.Bool("no-stale", false, "disable the stale-snapshot fallback: an unreachable shard becomes a coverage gap instead of a stale contribution")
+	window := flag.Uint64("window", 0, "also report a windowed estimate over the last N epochs: the shards' retained history supplies the baseline snapshot (0 disables; needs -data-dir shards)")
 	flag.Parse()
 
 	endpoints := splitServers(*servers)
@@ -101,7 +103,7 @@ func main() {
 
 	f := &fed{
 		fleet: fleet, est: est, info: ldp.MechanismInfoOf(agg),
-		level: *level, drift: *drift, timeout: *timeout,
+		level: *level, drift: *drift, window: *window, timeout: *timeout,
 		out: os.Stdout, errw: os.Stderr,
 		lastEpochs: make(map[string]uint64),
 	}
@@ -237,7 +239,48 @@ func (f *fed) mergeAndReport(ctx context.Context) error {
 	if len(unbiased) > show {
 		fmt.Fprintf(f.out, "... (%d more queries)\n", len(unbiased)-show)
 	}
+	f.reportWindow(mctx, merged)
 	return nil
+}
+
+// reportWindow prints the windowed estimate over the trailing -window epochs:
+// the shards' retained history supplies a merged baseline snapshot at (or
+// nearest below) the window's start, and the diff against the live merge is
+// exactly the reports that arrived inside the window. Degradation — a shard
+// with no history, a baseline epoch coarsened away everywhere — logs and skips
+// the table; the live estimate above already printed.
+func (f *fed) reportWindow(ctx context.Context, merged ldp.Snapshot) {
+	if f.window == 0 {
+		return
+	}
+	if merged.Epoch() <= f.window {
+		fmt.Fprintf(f.errw, "ldpfed: window of %d epochs not yet filled (merged epoch %d) — skipping the windowed estimate\n", f.window, merged.Epoch())
+		return
+	}
+	base := merged.Epoch() - f.window
+	hist, hcov, err := f.fleet.SnapAt(ctx, base)
+	if err != nil {
+		fmt.Fprintf(f.errw, "ldpfed: windowed estimate unavailable (no usable history at epoch %d): %v\n", base, err)
+		return
+	}
+	answers, err := f.est.WindowAnswers(merged, hist)
+	if err != nil {
+		fmt.Fprintf(f.errw, "ldpfed: windowed estimate unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintf(f.out, "\nwindow (%d, %d] over %d reports (baseline coverage %s):\n",
+		hist.Epoch(), merged.Epoch(), int(merged.Count()-hist.Count()), hcov)
+	show := len(answers)
+	if show > 12 {
+		show = 12
+	}
+	fmt.Fprintf(f.out, "%-8s %14s\n", "query", "windowed")
+	for i := 0; i < show; i++ {
+		fmt.Fprintf(f.out, "%-8d %14.1f\n", i, answers[i])
+	}
+	if len(answers) > show {
+		fmt.Fprintf(f.out, "... (%d more queries)\n", len(answers)-show)
+	}
 }
 
 // warnDrift flags a shard population that has diverged past the configured

@@ -59,6 +59,7 @@ func main() {
 	head := flag.Int("head", 0, "print only the first N rows per workload (0 = all)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 	cacheDir := flag.String("cache-dir", "", "estimator-pool strategy cache directory (fan-in mode)")
+	asOf := flag.Uint64("as-of", 0, "answer over the shards' retained history at this epoch instead of live state (fan-in mode); each shard serves its newest retained epoch at or below the bound")
 	flag.Parse()
 
 	names, err := workloadNames(*workloads, *file)
@@ -71,13 +72,16 @@ func main() {
 	if (*server == "") == (*servers == "") {
 		fatal(fmt.Errorf("set exactly one of -server (remote query) or -servers (client-side fan-in)"))
 	}
+	if *asOf != 0 && *server != "" {
+		fatal(fmt.Errorf("-as-of needs the fan-in mode (-servers): POST /query always answers over live state"))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	if *server != "" {
 		err = queryServer(ctx, os.Stdout, *server, names, *level, *variance, *checkDigest, *head)
 	} else {
-		err = queryFanIn(ctx, os.Stdout, *servers, names, queryMech{*mech, *n, *eps, *stratPath, *oraclePath}, *level, *variance, *head, *cacheDir)
+		err = queryFanIn(ctx, os.Stdout, *servers, names, queryMech{*mech, *n, *eps, *stratPath, *oraclePath}, *level, *variance, *head, *cacheDir, *asOf)
 	}
 	if err != nil {
 		fatal(err)
@@ -163,7 +167,7 @@ type queryMech struct {
 
 // queryFanIn merges the shards' snapshots client-side and answers every
 // workload through one EstimatorPool batch over the merged snapshot.
-func queryFanIn(ctx context.Context, out io.Writer, servers string, names []string, qm queryMech, level float64, variance bool, head int, cacheDir string) error {
+func queryFanIn(ctx context.Context, out io.Writer, servers string, names []string, qm queryMech, level float64, variance bool, head int, cacheDir string, asOf uint64) error {
 	agg, err := mechflag.Build(qm.mech, qm.n, qm.eps, qm.strategy, qm.oraclePath)
 	if err != nil {
 		return err
@@ -187,7 +191,17 @@ func queryFanIn(ctx context.Context, out io.Writer, servers string, names []stri
 			return err
 		}
 	}
-	snap, cov, err := fleet.Snap(ctx)
+	var (
+		snap ldp.Snapshot
+		cov  ldp.Coverage
+	)
+	if asOf > 0 {
+		// Historical read: each shard serves its newest retained epoch at or
+		// below the bound, so the merge is the fleet's state as of that epoch.
+		snap, cov, err = fleet.SnapAt(ctx, asOf)
+	} else {
+		snap, cov, err = fleet.Snap(ctx)
+	}
 	if err != nil {
 		return err
 	}

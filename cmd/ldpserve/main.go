@@ -54,6 +54,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", ldp.DefaultCheckpointEvery, "reports between automatic checkpoints (with -data-dir; 0 disables)")
 	fsync := flag.Bool("fsync", false, "fsync every WAL group commit before acknowledging (with -data-dir): survives power loss, not just process crashes")
 	commitWindow := flag.Duration("commit-window", 0, "group-commit gathering window (with -data-dir): trades per-append latency for larger WAL commits; durability is unchanged")
+	historyKeep := flag.Int("history-keep", 0, "full-resolution window of the checkpoint retention ladder (with -data-dir); older checkpoints coarsen geometrically and GET /snapshot?epoch= serves any retained one; <2 uses the default")
+	gzipHistory := flag.Bool("gzip-history", false, "gzip checkpoint payloads and closed retained WAL segments (with -data-dir)")
 	flag.Parse()
 
 	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
@@ -73,7 +75,8 @@ func main() {
 	if *dataDir != "" {
 		copts = append(copts, ldp.WithDurability(*dataDir,
 			ldp.CheckpointEvery(*ckptEvery), ldp.FsyncEachCommit(*fsync),
-			ldp.CommitWindow(*commitWindow)))
+			ldp.CommitWindow(*commitWindow), ldp.HistoryKeep(*historyKeep),
+			ldp.GzipHistory(*gzipHistory)))
 	}
 	col, err := ldp.NewCollector(agg, w, *shards, copts...)
 	if err != nil {

@@ -25,6 +25,8 @@ type collectorConfig struct {
 	fsync        bool
 	commitWindow time.Duration
 	ckptEvery    int64
+	historyKeep  int
+	gzip         bool
 }
 
 // WithDurability gives the collector a write-ahead log and checkpointed crash
@@ -79,6 +81,23 @@ func CommitWindow(d time.Duration) DurabilityOption {
 			cfg.commitWindow = d
 		}
 	}
+}
+
+// HistoryKeep sets the retention ladder's full-resolution window: the n
+// newest checkpoints are kept intact and older ones are coarsened
+// geometrically (every 2nd, then every 4th, …), so SnapAt can serve any
+// retained epoch without replay while disk stays logarithmic in history
+// length. Values below 2 mean the default window.
+func HistoryKeep(n int) DurabilityOption {
+	return func(cfg *collectorConfig) { cfg.historyKeep = n }
+}
+
+// GzipHistory compresses checkpoint payloads and closed retained WAL
+// segments — worthwhile for the unary mechanisms, whose accumulators are long
+// runs of small integers. The active segment is never compressed, and a
+// directory written with either setting opens under the other.
+func GzipHistory(on bool) DurabilityOption {
+	return func(cfg *collectorConfig) { cfg.gzip = on }
 }
 
 // DurabilityStatus is a durable collector's recovery and WAL-lag status — the
@@ -159,6 +178,8 @@ func (c *Collector) openDurable(cfg collectorConfig) error {
 		CommitWindow: cfg.commitWindow,
 		Restore:      restore,
 		Replay:       replay,
+		HistoryKeep:  cfg.historyKeep,
+		Gzip:         cfg.gzip,
 	})
 	if err != nil {
 		return fmt.Errorf("ldp: open durable store: %w", err)
@@ -280,6 +301,59 @@ func (c *Collector) checkpointLocked() error {
 		return fmt.Errorf("ldp: %w", err)
 	}
 	return nil
+}
+
+// SnapAt serves the snapshot the epoch history retains for exactly the given
+// epoch — bit-identical in state, count, and identity to the one Snap served
+// when that epoch was checkpointed — without any WAL replay. The epoch must
+// match a retained checkpoint exactly; an epoch the retention ladder has
+// coarsened away (or that never had a checkpoint) returns
+// *transport.EpochNotRetainedError carrying the retained range. Requires
+// WithDurability.
+func (c *Collector) SnapAt(epoch uint64) (Snapshot, error) { return c.snapAt(epoch, false) }
+
+// SnapAtNearest is SnapAt with floor semantics: the newest retained epoch at
+// or below the requested one is served. Use it to window against a timeline
+// whose exact epochs are not retained (fleet members checkpoint on their own
+// schedules); the returned snapshot's own epoch says what was actually
+// served.
+func (c *Collector) SnapAtNearest(epoch uint64) (Snapshot, error) { return c.snapAt(epoch, true) }
+
+func (c *Collector) snapAt(epoch uint64, nearest bool) (Snapshot, error) {
+	if c.dur == nil {
+		return Snapshot{}, errors.New("ldp: collector has no durability configured, so no epoch history is retained")
+	}
+	ts, err := c.dur.store.SnapshotAt(epoch, nearest)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: %w", err)
+	}
+	if len(ts.State) != c.agg.StateLen() {
+		return Snapshot{}, fmt.Errorf("ldp: retained checkpoint has %d state entries, mechanism expects %d", len(ts.State), c.agg.StateLen())
+	}
+	if err := infoMismatch(c.info, ts.Info); err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: retained checkpoint was written under a different mechanism configuration: %w", err)
+	}
+	return Snapshot{state: ts.State, count: ts.Count, epoch: ts.Epoch, info: mergeInfo(ts.Info, c.info)}, nil
+}
+
+// historySnapshotAt is the transport-facing SnapAt: same semantics, transport
+// types, and an in-memory collector reads as "nothing retained" so the HTTP
+// layer answers a definitive 404 rather than a server error.
+func (c *Collector) historySnapshotAt(epoch uint64, nearest bool) (transport.Snapshot, error) {
+	if c.dur == nil {
+		return transport.Snapshot{}, &transport.EpochNotRetainedError{Requested: epoch}
+	}
+	return c.dur.store.SnapshotAt(epoch, nearest)
+}
+
+// RetainedEpochs lists the epochs SnapAt can serve, ascending — the newest
+// few at full checkpoint resolution, older ones geometrically coarsened. Nil
+// without durability.
+func (c *Collector) RetainedEpochs() []uint64 {
+	if c.dur == nil {
+		return nil
+	}
+	return c.dur.store.RetainedEpochs()
 }
 
 // Durability reports the collector's durable-ingest status; ok is false for

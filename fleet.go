@@ -905,3 +905,80 @@ func (f *Fleet) Snap(ctx context.Context) (Snapshot, Coverage, error) {
 	}
 	return merged, cov, nil
 }
+
+// SnapAt merges the fleet's retained history as of epoch: every member is
+// asked (concurrently) for the newest epoch it retains at or below the
+// requested one — members checkpoint on their own schedules, so floor
+// semantics are the only ones that exist fleet-wide — and the answers merge
+// into one historical Snapshot. The per-shard Coverage carries the epoch each
+// member actually served, so the caller can see how ragged the cut is.
+//
+// Unlike Snap there is no stale fallback: a last-good LIVE snapshot is from
+// the wrong point in time, and merging it would silently shift the window.
+// A member that cannot answer (unreachable, breaker open, no history, epoch
+// not retained) is reported missing with the error. Quorum applies as in
+// Snap; a fleet where nothing answered returns an error.
+func (f *Fleet) SnapAt(ctx context.Context, epoch uint64) (Snapshot, Coverage, error) {
+	members := f.list()
+	cov := Coverage{Total: len(members), Shards: make([]ShardCoverage, len(members))}
+	if len(members) == 0 {
+		return Snapshot{}, cov, errors.New("ldp: fleet has no members")
+	}
+
+	type result struct {
+		snap Snapshot
+		ok   bool
+	}
+	results := make([]result, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *fleetMember) {
+			defer wg.Done()
+			sc := ShardCoverage{Endpoint: m.endpoint}
+			var snap Snapshot
+			var err error
+			if berr := m.breaker.Allow(); berr != nil {
+				err = berr
+			} else if snap, err = m.rc.SnapAtNearest(ctx, epoch); err == nil {
+				m.breaker.Success()
+				sc.Status, sc.Epoch, sc.Count = CoverageFresh, snap.Epoch(), snap.Count()
+				results[i] = result{snap, true}
+				cov.Shards[i] = sc
+				return
+			} else {
+				// A definitive answer ("epoch not retained", "no history")
+				// means the shard is alive and talking — only transport-level
+				// failure counts against its breaker.
+				var se *StatusError
+				if errors.As(err, &se) && !se.Temporary() {
+					m.breaker.Success()
+				} else {
+					m.breaker.Failure()
+				}
+			}
+			sc.Status, sc.Err = CoverageMissing, err.Error()
+			cov.Shards[i] = sc
+		}(i, m)
+	}
+	wg.Wait()
+
+	var snaps []Snapshot
+	for i := range results {
+		if results[i].ok {
+			snaps = append(snaps, results[i].snap)
+			cov.Fresh++
+		}
+	}
+	if len(snaps) == 0 {
+		return Snapshot{}, cov, fmt.Errorf("ldp: no shard contributed a historical snapshot at epoch %d (%s)", epoch, cov)
+	}
+	if f.quorum > 0 && len(snaps) < f.quorum {
+		return Snapshot{}, cov, &QuorumError{Merged: len(snaps), Quorum: f.quorum, Coverage: cov}
+	}
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		return Snapshot{}, cov, err
+	}
+	return merged, cov, nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package ldp
+
+// flockExclusive is a no-op where flock is unavailable: the cross-process
+// singleflight degrades to duplicated optimizer work, never to a wrong
+// result — both processes compute the same strategy and the atomic
+// temp-plus-rename persist keeps the cache entry intact either way.
+func flockExclusive(path string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package ldp
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a blocking exclusive advisory lock on path, creating
+// the file if needed, and returns the release. The lock dies with the
+// descriptor, so a crashed holder never wedges the waiters — the kernel
+// releases it when the process exits.
+func flockExclusive(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -15,10 +15,12 @@ import (
 	ldp "repro"
 	"repro/internal/core"
 	"repro/internal/freqoracle"
+	"repro/internal/history"
 	"repro/internal/linalg"
 	"repro/internal/opt"
 	"repro/internal/protocol"
 	"repro/internal/strategy"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -336,6 +338,86 @@ func RecoverReplay() func(b *testing.B) {
 				b.Fatal(err)
 			}
 			if err := col.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// SnapAt benchmarks the historical read path: per op, one retained epoch is
+// served from the checkpoint ladder (file read + CRC + decode, no WAL
+// replay). The fixture checkpoints 8 epochs at n=256 and reads the oldest
+// retained one — the fully cold rung; the cost bounds every historical read
+// an `ldpquery -as-of` or a fleet SnapAt triggers. compress toggles gzip
+// history, isolating the decompression share.
+func SnapAt(compress bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n, perEpoch, epochs = 256, 512, 8
+		s := RRStrategy(n, 1.0)
+		agg, err := ldp.NewAggregator(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "snapatbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		col, err := ldp.NewCollector(agg, workload.NewHistogram(n), 0,
+			ldp.WithDurability(dir, ldp.CheckpointEvery(0), ldp.HistoryKeep(2), ldp.GzipHistory(compress)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer col.Close()
+		rng := rand.New(rand.NewSource(31))
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < perEpoch; i++ {
+				if err := col.Ingest(ldp.Report{Index: rng.Intn(n)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := col.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		oldest := col.RetainedEpochs()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := col.SnapAt(oldest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// CheckpointStream benchmarks the streaming checkpoint writer: per op, one
+// n=4096 snapshot flows through WriteCheckpointFile (header patch, CRC,
+// atomic rename, fsync dance included). This is the write-side cost each
+// checkpoint cut pays off the ingest path; compress adds the gzip layer the
+// unary mechanisms opt into.
+func CheckpointStream(compress bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n = 4096
+		snap := transport.Snapshot{
+			State: make([]float64, n),
+			Count: 1 << 17,
+			Epoch: 5,
+			Info:  transport.Info{Mechanism: "OUE", Domain: n, Epsilon: 1},
+		}
+		for i := range snap.State {
+			snap.State[i] = float64(i % 7)
+		}
+		keys := []history.KeyCount{{Key: "00f1e2d3c4b5a6978877665544332211", Reports: 1 << 17}}
+		dir, err := os.MkdirTemp("", "ckptbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := history.WriteCheckpointFile(dir, 3, snap, keys, compress); err != nil {
 				b.Fatal(err)
 			}
 		}

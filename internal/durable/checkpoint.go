@@ -8,8 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"repro/internal/history"
 	"repro/internal/transport"
 )
 
@@ -45,21 +45,20 @@ const (
 
 	// maxCheckpointSize bounds a checkpoint file read: envelope + the
 	// transport's own snapshot frame cap + a full key table.
-	maxCheckpointSize = transport.MaxSnapshotPayload + maxTrackedKeys*(2+maxRecordMeta+8) + 1024
+	maxCheckpointSize = history.MaxCheckpointSize
 
 	// maxTrackedKeys bounds the per-key totals carried across checkpoints,
 	// matching the transport idempotency LRU's horizon: a retry older than
 	// the newest maxTrackedKeys keyed requests re-absorbs, with or without a
 	// crash in between.
-	maxTrackedKeys = 4096
+	maxTrackedKeys = history.MaxTrackedKeys
 )
 
 // KeyCount is one idempotency key's recovered total: how many reports the
-// log proves were absorbed under it.
-type KeyCount struct {
-	Key     string
-	Reports int64
-}
+// log proves were absorbed under it. It is the history package's type: the
+// streaming checkpoint codec there and the buffered reference codec here
+// carry the same table.
+type KeyCount = history.KeyCount
 
 var errInvalidCheckpoint = errors.New("durable: invalid checkpoint file")
 
@@ -162,63 +161,23 @@ func DecodeCheckpoint(data []byte) (uint64, transport.Snapshot, []KeyCount, erro
 	return seq, snap, keys, nil
 }
 
-// loadCheckpoint reads and validates one checkpoint file, additionally pinning
-// the envelope's sequence to the one its filename declares.
+// loadCheckpoint reads and validates one checkpoint file — either version,
+// streamed — additionally pinning the envelope's sequence to the one its
+// filename declares.
 func loadCheckpoint(path string, wantSeq uint64) (transport.Snapshot, []KeyCount, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return transport.Snapshot{}, nil, err
-	}
-	defer f.Close()
-	data, err := io.ReadAll(io.LimitReader(f, maxCheckpointSize+1))
-	if err != nil {
-		return transport.Snapshot{}, nil, err
-	}
-	if len(data) > maxCheckpointSize {
-		return transport.Snapshot{}, nil, fmt.Errorf("%w: exceeds the %d-byte checkpoint limit", errInvalidCheckpoint, maxCheckpointSize)
-	}
-	seq, snap, keys, err := DecodeCheckpoint(data)
-	if err != nil {
-		return transport.Snapshot{}, nil, err
-	}
-	if seq != wantSeq {
-		return transport.Snapshot{}, nil, fmt.Errorf("%w: envelope sequence %d does not match filename sequence %d", errInvalidCheckpoint, seq, wantSeq)
-	}
-	return snap, keys, nil
+	snap, keys, _, err := history.ReadCheckpointFile(path, wantSeq)
+	return snap, keys, err
 }
 
-// writeCheckpointFile writes the checkpoint atomically: temp file in the same
-// directory, fsync, rename, directory fsync. A crash leaves either the old
-// directory contents or the complete new file — never a half-written
-// checkpoint under the final name. The file and directory are synced even in
-// no-fsync WAL mode because a checkpoint's durability gates the pruning of
-// the segments it replaces.
-func writeCheckpointFile(dir string, seq uint64, snap transport.Snapshot, keys []KeyCount) (string, error) {
-	data, err := encodeCheckpoint(seq, snap, keys)
-	if err != nil {
-		return "", err
-	}
-	final := filepath.Join(dir, checkpointName(seq))
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
-	if err != nil {
-		return "", err
-	}
-	defer os.Remove(tmp.Name()) // no-op after the rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return "", err
-	}
-	return final, syncDir(dir)
+// writeCheckpointFile writes the checkpoint atomically and streaming via the
+// history codec: temp file in the same directory, chunked payload, fsync,
+// rename, directory fsync. A crash leaves either the old directory contents
+// or the complete new file — never a half-written checkpoint under the final
+// name. The file and directory are synced even in no-fsync WAL mode because
+// a checkpoint's durability gates the pruning of the segments it replaces.
+// Uncompressed output is byte-identical to encodeCheckpoint's.
+func writeCheckpointFile(dir string, seq uint64, snap transport.Snapshot, keys []KeyCount, compress bool) (string, error) {
+	return history.WriteCheckpointFile(dir, seq, snap, keys, compress)
 }
 
 // syncDir fsyncs a directory so renames and creations within it are durable.

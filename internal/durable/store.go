@@ -3,6 +3,7 @@ package durable
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
@@ -15,22 +16,40 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
 
-// Directory layout: numbered WAL segments and the checkpoints that precede
-// them.
+// Directory layout: numbered WAL segments, the checkpoints that precede
+// them, and the manifest indexing the retained epoch history.
 //
 //	<dir>/wal-00000003.log        records appended since checkpoint 3
+//	<dir>/wal-00000002.log.gz     a closed segment, gzipped (Options.Gzip)
 //	<dir>/checkpoint-00000003.ckpt state of all segments < 3
+//	<dir>/history.manifest        epoch → checkpoint index (history package)
 //
-// The active segment is the highest-numbered one. A checkpoint rotates the
-// WAL to a fresh segment and then pins the pre-rotation state; the two
-// newest checkpoints are retained (so a checkpoint that lands corrupt on disk
-// still leaves a recoverable older one) and everything older is pruned.
+// The active segment is the highest-numbered one and is never compressed. A
+// checkpoint rotates the WAL to a fresh segment and then pins the
+// pre-rotation state. Retention follows the history ladder: the newest
+// checkpoints stay at full resolution (the newest two always, so a
+// checkpoint that lands corrupt on disk still leaves a recoverable older
+// one) and older ones are coarsened geometrically instead of pruned
+// outright, so SnapshotAt can serve any retained epoch without replay.
 func segmentName(seq uint64) string    { return fmt.Sprintf("wal-%08d.log", seq) }
+func gzSegmentName(seq uint64) string  { return segmentName(seq) + ".gz" }
 func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", seq) }
+
+// segmentFile resolves a segment sequence to its on-disk file: the raw
+// segment wins when both forms exist (an interrupted compression leaves the
+// raw file authoritative; the leftover .gz may be torn).
+func segmentFile(dir string, seq uint64) (path string, gzipped bool) {
+	raw := filepath.Join(dir, segmentName(seq))
+	if _, err := os.Stat(raw); err == nil {
+		return raw, false
+	}
+	return filepath.Join(dir, gzSegmentName(seq)), true
+}
 
 // Options configures Open.
 type Options struct {
@@ -56,6 +75,16 @@ type Options struct {
 	// Replay is called for every valid WAL record after the checkpoint, in
 	// append order. Returning an error aborts recovery.
 	Replay func(rec Record) error
+	// HistoryKeep is the retention ladder's full-resolution window: that many
+	// newest checkpoints are kept intact, older ones are coarsened
+	// geometrically (every 2nd, then every 4th, …). Values below 2 mean
+	// history.DefaultFullRes.
+	HistoryKeep int
+	// Gzip compresses checkpoint payloads and closed retained WAL segments —
+	// worthwhile for the unary mechanisms, whose accumulators and report
+	// batches are long runs of small integers. The active segment is never
+	// compressed, and either setting reads directories written by the other.
+	Gzip bool
 }
 
 // Recovery reports what Open found and restored.
@@ -154,6 +183,16 @@ type Store struct {
 	coveredBytes   atomic.Int64
 	// ckptSeq is the newest durable checkpoint's sequence.
 	ckptSeq atomic.Uint64
+
+	// ladder is the checkpoint retention policy; compress selects gzipped
+	// checkpoints and closed-segment compression.
+	ladder   history.Ladder
+	compress bool
+	// histMu guards hist, the in-memory mirror of the on-disk manifest:
+	// the retained checkpoints, sequence-ascending. SnapshotAt resolves
+	// epochs against it.
+	histMu sync.Mutex
+	hist   []history.Entry
 }
 
 // Open prepares dir (creating it if needed), recovers its contents — latest
@@ -168,6 +207,17 @@ func Open(dir string, opts Options) (*Store, Recovery, error) {
 	ckptSeqs, segSeqs, err := scanDir(dir)
 	if err != nil {
 		return nil, rec, err
+	}
+
+	// A raw segment alongside its .gz twin means a compression was
+	// interrupted: the raw file is authoritative, the .gz may be torn. Drop
+	// the .gz so nothing ever reads it.
+	for _, g := range segSeqs {
+		raw := filepath.Join(dir, segmentName(g))
+		gz := filepath.Join(dir, gzSegmentName(g))
+		if _, err := os.Stat(raw); err == nil {
+			os.Remove(gz)
+		}
 	}
 
 	// Latest checkpoint that actually loads wins; a corrupt one falls back
@@ -218,7 +268,8 @@ func Open(dir string, opts Options) (*Store, Recovery, error) {
 	var totalBytes int64
 	for i, seq := range replay {
 		final := i == len(replay)-1
-		kept, dropped, err := replaySegment(filepath.Join(dir, segmentName(seq)), seq, final, opts, &rec, keys)
+		path, gzipped := segmentFile(dir, seq)
+		kept, dropped, err := replaySegment(path, gzipped, seq, final, opts, &rec, keys)
 		if err != nil {
 			return nil, rec, err
 		}
@@ -236,25 +287,86 @@ func Open(dir string, opts Options) (*Store, Recovery, error) {
 	if err != nil {
 		return nil, rec, fmt.Errorf("durable: open WAL segment: %w", err)
 	}
-	s := &Store{dir: dir, digest: opts.Digest, fsync: opts.Fsync, window: opts.CommitWindow, wal: wal, seq: active, keys: keys}
+	s := &Store{
+		dir: dir, digest: opts.Digest, fsync: opts.Fsync, window: opts.CommitWindow,
+		wal: wal, seq: active, keys: keys,
+		ladder:   history.Ladder{FullRes: opts.HistoryKeep},
+		compress: opts.Gzip,
+	}
 	s.totalRecords.Store(rec.ReplayedRecords)
 	s.totalBytes.Store(totalBytes)
 	s.ckptSeq.Store(rec.CheckpointSeq)
+	s.hist = reconcileManifest(dir, ckptSeqs, rec.CheckpointSeq, rec.HasCheckpoint)
 	return s, rec, nil
 }
 
+// reconcileManifest builds the in-memory epoch index at Open: the manifest is
+// consulted first (it is an index, not ground truth), every on-disk
+// checkpoint it does not cover is read to rebuild its entry, entries without
+// files are dropped, and checkpoints newer than the one that validated during
+// restore are excluded — the restore loop already proved them corrupt. When
+// the result differs from what was on disk, the manifest is rewritten
+// best-effort.
+func reconcileManifest(dir string, ckptSeqs []uint64, base uint64, hasCkpt bool) []history.Entry {
+	if !hasCkpt {
+		// No valid checkpoint ⇒ no retained history; clear a stale manifest.
+		if m, err := history.LoadManifest(dir); err == nil && m != nil {
+			history.WriteManifest(dir, nil)
+		}
+		return nil
+	}
+	manifest, err := history.LoadManifest(dir) // damaged ⇒ rebuild from files
+	bySeq := make(map[uint64]history.Entry, len(manifest))
+	for _, e := range manifest {
+		bySeq[e.Seq] = e
+	}
+	dirty := err != nil || len(manifest) != len(ckptSeqs)
+	var hist []history.Entry
+	for _, c := range ckptSeqs {
+		if c > base {
+			dirty = true // proved corrupt during restore
+			continue
+		}
+		if e, ok := bySeq[c]; ok {
+			hist = append(hist, e)
+			continue
+		}
+		snap, _, compressed, err := history.ReadCheckpointFile(filepath.Join(dir, checkpointName(c)), c)
+		if err != nil {
+			dirty = true // unservable; leave the file for the operator
+			continue
+		}
+		hist = append(hist, history.Entry{Seq: c, Epoch: snap.Epoch, Count: snap.Count, Compressed: compressed})
+		dirty = true
+	}
+	if dirty {
+		history.WriteManifest(dir, hist) // best-effort; files stay ground truth
+	}
+	return hist
+}
+
 // scanDir lists checkpoint and segment sequences, ascending, ignoring
-// anything else (temp files from interrupted checkpoint writes included).
+// anything else (temp files from interrupted checkpoint writes included). A
+// segment present both raw and gzipped is listed once.
 func scanDir(dir string) (ckpts, segs []uint64, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
+	seen := make(map[uint64]bool)
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok {
 			ckpts = append(ckpts, seq)
 		} else if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
-			segs = append(segs, seq)
+			if !seen[seq] {
+				seen[seq] = true
+				segs = append(segs, seq)
+			}
+		} else if seq, ok := parseSeq(e.Name(), "wal-", ".log.gz"); ok {
+			if !seen[seq] {
+				seen[seq] = true
+				segs = append(segs, seq)
+			}
 		}
 	}
 	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
@@ -278,10 +390,12 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 }
 
 // replaySegment feeds every complete record of one segment to opts.Replay
-// and returns (kept, dropped) byte counts. In the final segment a torn or
-// invalid tail is truncated away and counted as dropped; elsewhere it is an
-// error.
-func replaySegment(path string, seq uint64, final bool, opts Options, rec *Recovery, keys *keyTable) (int64, int64, error) {
+// and returns (kept, dropped) byte counts of logical (decompressed) WAL
+// bytes. In a raw final segment a torn or invalid tail is truncated away and
+// counted as dropped; elsewhere it is an error. A gzipped segment was
+// compressed whole from an already-closed segment, so any damage in one is
+// corruption, never a crash tear — it is refused, not truncated.
+func replaySegment(path string, gzipped bool, seq uint64, final bool, opts Options, rec *Recovery, keys *keyTable) (int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("durable: %w", err)
@@ -291,7 +405,16 @@ func replaySegment(path string, seq uint64, final bool, opts Options, rec *Recov
 	if err != nil {
 		return 0, 0, fmt.Errorf("durable: %w", err)
 	}
-	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<16)}
+	var src io.Reader = bufio.NewReaderSize(f, 1<<16)
+	if gzipped {
+		gz, err := gzip.NewReader(src)
+		if err != nil {
+			return 0, 0, fmt.Errorf("durable: WAL segment %s: gzip: %w", filepath.Base(path), err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	cr := &countingReader{r: src}
 	var lastGood int64
 	for {
 		r, err := DecodeRecord(cr)
@@ -310,8 +433,8 @@ func replaySegment(path string, seq uint64, final bool, opts Options, rec *Recov
 				// still see every record.
 				return 0, 0, fmt.Errorf("durable: read WAL segment %s: %w", filepath.Base(path), err)
 			}
-			if !final {
-				return 0, 0, fmt.Errorf("durable: WAL segment %s damaged at offset %d (only the final segment may end torn): %w", filepath.Base(path), lastGood, err)
+			if !final || gzipped {
+				return 0, 0, fmt.Errorf("durable: WAL segment %s damaged at offset %d (only the raw final segment may end torn): %w", filepath.Base(path), lastGood, err)
 			}
 			// Sequential O_APPEND writes tear only at the physical end of the
 			// file, so a decodable record anywhere past the damage proves
@@ -371,7 +494,7 @@ func scanForRecord(f *os.File, from, end int64, epoch uint64) (int64, bool) {
 }
 
 type countingReader struct {
-	r *bufio.Reader
+	r io.Reader
 	n int64
 }
 
@@ -441,52 +564,179 @@ func (s *Store) Rotate() error {
 
 // WriteCheckpoint pins snap as the state of every segment before the active
 // one (the caller took snap in the exclusion window of the latest Rotate),
-// then prunes: the two newest checkpoints are kept, segments older than the
-// retained pair are deleted. The checkpoint is fsynced before anything is
-// pruned, in every fsync mode — losing a checkpoint is harmless only while
-// the WAL it replaces still exists.
+// then applies the retention ladder: non-retained checkpoints and the WAL
+// segments no retained checkpoint needs are deleted, closed retained raw
+// segments are gzipped when compression is on, and the manifest is rewritten
+// to index what remains. The checkpoint is fsynced before anything is pruned,
+// in every fsync mode — losing a checkpoint is harmless only while the WAL it
+// replaces still exists.
 func (s *Store) WriteCheckpoint(snap transport.Snapshot) error {
 	s.mu.RLock()
 	seq := s.seq
 	keys := s.pendingKeys
 	cutRecords, cutBytes := s.pendingCutRecords, s.pendingCutBytes
 	s.mu.RUnlock()
-	if _, err := writeCheckpointFile(s.dir, seq, snap, keys); err != nil {
+	if _, err := writeCheckpointFile(s.dir, seq, snap, keys, s.compress); err != nil {
 		return fmt.Errorf("durable: write checkpoint: %w", err)
 	}
 	s.ckptSeq.Store(seq)
 	s.coveredRecords.Store(cutRecords)
 	s.coveredBytes.Store(cutBytes)
-	s.prune(seq)
+	return s.updateHistory(seq, snap)
+}
+
+// updateHistory admits the just-written checkpoint into the epoch index,
+// prunes by the retention ladder, compresses what the ladder retains, and
+// rewrites the manifest. File removal and segment compression are
+// best-effort (a leftover is retried at the next checkpoint); a manifest
+// write failure is returned — without it a restart would reindex, which is
+// correct but defeats the point of the index.
+func (s *Store) updateHistory(seq uint64, snap transport.Snapshot) error {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	hist := s.hist
+	if n := len(hist); n > 0 && hist[n-1].Seq == seq {
+		hist = hist[:n-1] // re-checkpoint of the same segment (no new epoch)
+	}
+	hist = append(hist, history.Entry{Seq: seq, Epoch: snap.Epoch, Count: snap.Count, Compressed: s.compress})
+
+	seqs := make([]uint64, len(hist))
+	for i, e := range hist {
+		seqs[i] = e.Seq
+	}
+	retained := s.ladder.Retain(seqs)
+	keep := make(map[uint64]bool, len(retained))
+	for _, r := range retained {
+		keep[r] = true
+	}
+	kept := hist[:0]
+	for _, e := range hist {
+		if keep[e.Seq] {
+			kept = append(kept, e)
+		} else {
+			os.Remove(filepath.Join(s.dir, checkpointName(e.Seq)))
+		}
+	}
+	s.hist = kept
+
+	// Segments: recovery needs the run from the PREDECESSOR retained
+	// checkpoint forward (the newest checkpoint may land corrupt on disk;
+	// its predecessor plus the segments after it still recover everything).
+	// Older checkpoints are self-contained — their segments can go.
+	keepFrom := seq
+	if len(retained) >= 2 {
+		keepFrom = retained[len(retained)-2]
+	}
+	if _, segs, err := scanDir(s.dir); err == nil {
+		for _, g := range segs {
+			if g < keepFrom {
+				os.Remove(filepath.Join(s.dir, segmentName(g)))
+				os.Remove(filepath.Join(s.dir, gzSegmentName(g)))
+			} else if s.compress && g < seq {
+				// A closed segment recovery may still replay: keep it, smaller.
+				s.compressSegment(g)
+			}
+		}
+	}
+	if err := history.WriteManifest(s.dir, s.hist); err != nil {
+		return fmt.Errorf("durable: write history manifest: %w", err)
+	}
 	return nil
 }
 
-// prune deletes artifacts no recovery path can need once checkpoint seq is
-// durable: checkpoints older than the previous one, and WAL segments older
-// than the oldest retained checkpoint. Best-effort — a leftover file is
-// re-pruned by the next checkpoint.
-func (s *Store) prune(seq uint64) {
-	ckpts, segs, err := scanDir(s.dir)
+// compressSegment gzips one closed raw segment in place: temp file, fsync,
+// rename to the .gz name, directory fsync, then remove the raw original. A
+// crash at any point leaves a readable segment — the raw file is
+// authoritative until it is removed, and Open deletes a .gz twin whenever the
+// raw survives. Best-effort: on any error the raw segment simply stays.
+func (s *Store) compressSegment(seq uint64) {
+	raw := filepath.Join(s.dir, segmentName(seq))
+	src, err := os.Open(raw)
+	if err != nil {
+		return // already compressed (or gone)
+	}
+	defer src.Close()
+	tmp, err := os.CreateTemp(s.dir, ".segment-*.tmp")
 	if err != nil {
 		return
 	}
-	keepFrom := seq
-	for i := len(ckpts) - 1; i >= 0; i-- {
-		if ckpts[i] < seq {
-			keepFrom = ckpts[i] // the predecessor checkpoint stays too
-			break
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	gz := gzip.NewWriter(tmp)
+	if _, err := io.Copy(gz, bufio.NewReaderSize(src, 1<<16)); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := gz.Close(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, gzSegmentName(seq))); err != nil {
+		return
+	}
+	if err := syncDir(s.dir); err != nil {
+		return
+	}
+	os.Remove(raw)
+}
+
+// SnapshotAt serves the checkpointed snapshot for one retained epoch without
+// any replay. With nearest false the epoch must match a retained checkpoint
+// exactly; with nearest true the newest retained epoch ≤ the requested one is
+// served. A miss returns *transport.EpochNotRetainedError describing the
+// retained range, so callers (and the HTTP layer) can distinguish "coarsened
+// away" from failure.
+func (s *Store) SnapshotAt(epoch uint64, nearest bool) (transport.Snapshot, error) {
+	s.histMu.Lock()
+	var pick *history.Entry
+	var oldest, newest uint64
+	var nearestBelow uint64
+	if len(s.hist) > 0 {
+		oldest, newest = s.hist[0].Epoch, s.hist[len(s.hist)-1].Epoch
+	}
+	for i := len(s.hist) - 1; i >= 0; i-- {
+		e := s.hist[i]
+		if e.Epoch > epoch {
+			continue
+		}
+		nearestBelow = e.Epoch
+		if nearest || e.Epoch == epoch {
+			pick = &e
+		}
+		break
+	}
+	var seq uint64
+	if pick != nil {
+		seq = pick.Seq
+	}
+	s.histMu.Unlock()
+	if pick == nil {
+		return transport.Snapshot{}, &transport.EpochNotRetainedError{
+			Requested: epoch, Oldest: oldest, Newest: newest, Nearest: nearestBelow,
 		}
 	}
-	for _, c := range ckpts {
-		if c < keepFrom {
-			os.Remove(filepath.Join(s.dir, checkpointName(c)))
-		}
+	snap, _, _, err := history.ReadCheckpointFile(filepath.Join(s.dir, checkpointName(seq)), seq)
+	if err != nil {
+		return transport.Snapshot{}, fmt.Errorf("durable: read retained checkpoint %d: %w", seq, err)
 	}
-	for _, g := range segs {
-		if g < keepFrom {
-			os.Remove(filepath.Join(s.dir, segmentName(g)))
-		}
+	return snap, nil
+}
+
+// RetainedEpochs lists the epochs SnapshotAt can serve, ascending.
+func (s *Store) RetainedEpochs() []uint64 {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make([]uint64, len(s.hist))
+	for i, e := range s.hist {
+		out[i] = e.Epoch
 	}
+	return out
 }
 
 // Seq returns the active segment sequence.

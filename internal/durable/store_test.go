@@ -518,22 +518,23 @@ func TestStoreLagSurvivesRotateWithoutCheckpoint(t *testing.T) {
 	}
 }
 
-// Pruning keeps exactly the recovery-relevant pair of checkpoints (and their
-// segments) once a third lands.
-func TestStorePruneKeepsTwoCheckpoints(t *testing.T) {
+// Pruning follows the retention ladder: the newest checkpoints stay at full
+// resolution, older ones are coarsened geometrically, and WAL segments older
+// than the predecessor of the newest retained checkpoint are deleted.
+func TestStorePruneFollowsRetentionLadder(t *testing.T) {
 	dir := t.TempDir()
-	s, _, err := Open(dir, Options{})
+	s, _, err := Open(dir, Options{HistoryKeep: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 1; i <= 3; i++ {
+	for i := 1; i <= 8; i++ {
 		if err := s.Append(batch(i), ""); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Rotate(); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.WriteCheckpoint(transport.Snapshot{State: []float64{float64(i)}, Count: float64(i)}); err != nil {
+		if err := s.WriteCheckpoint(transport.Snapshot{State: []float64{float64(i)}, Count: float64(i), Epoch: uint64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -544,11 +545,21 @@ func TestStorePruneKeepsTwoCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ckpts) != 2 || ckpts[0] != 2 || ckpts[1] != 3 {
-		t.Fatalf("checkpoints on disk: %v, want [2 3]", ckpts)
+	// FullRes 2, newest 8: ages 0–1 full, the next band keeps multiples of 2,
+	// the one after multiples of 4.
+	want := []uint64{4, 6, 7, 8}
+	if len(ckpts) != len(want) {
+		t.Fatalf("checkpoints on disk: %v, want %v", ckpts, want)
 	}
+	for i := range want {
+		if ckpts[i] != want[i] {
+			t.Fatalf("checkpoints on disk: %v, want %v", ckpts, want)
+		}
+	}
+	// Recovery needs segments only from the predecessor of the newest
+	// retained checkpoint forward.
 	for _, g := range segs {
-		if g < 2 {
+		if g < 7 {
 			t.Fatalf("segment %d survived pruning (segments: %v)", g, segs)
 		}
 	}

@@ -177,7 +177,7 @@ func TestGroupCommitConcurrentAppends(t *testing.T) {
 			}
 			// Every record must be present, complete, and decodable.
 			var rec Recovery
-			if _, _, err := replaySegment(path, 0, true, Options{Replay: func(Record) error { return nil }}, &rec, newKeyTable()); err != nil {
+			if _, _, err := replaySegment(path, false, 0, true, Options{Replay: func(Record) error { return nil }}, &rec, newKeyTable()); err != nil {
 				t.Fatal(err)
 			}
 			if rec.ReplayedRecords != writers*each || rec.DroppedTailBytes != 0 {

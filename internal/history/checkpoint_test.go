@@ -1,0 +1,178 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func sampleSnapshot() transport.Snapshot {
+	return transport.Snapshot{
+		State: []float64{0, 1.5, -2.25, 1e-300, 4096},
+		Count: 4096,
+		Epoch: 19,
+		Info:  transport.Info{Mechanism: "strategy", Domain: 5, Epsilon: 1.25, Digest: "00f1e2d3c4b5a697"},
+	}
+}
+
+func sampleKeys() []KeyCount {
+	return []KeyCount{
+		{Key: "00f1e2d3c4b5a6978877665544332211", Reports: 4090},
+		{Key: "fefefefefefefefe0101010101010101", Reports: 6},
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		wantSnap, wantKeys := sampleSnapshot(), sampleKeys()
+		path, err := WriteCheckpointFile(dir, 7, wantSnap, wantKeys, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, keys, gz, err := ReadCheckpointFile(path, 7)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if gz != compress {
+			t.Fatalf("compress=%v reported %v", compress, gz)
+		}
+		if snap.Count != wantSnap.Count || snap.Epoch != wantSnap.Epoch || snap.Info != wantSnap.Info || !reflect.DeepEqual(snap.State, wantSnap.State) {
+			t.Fatalf("compress=%v: snapshot changed across the file: %+v", compress, snap)
+		}
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Fatalf("compress=%v: key table changed across the file: %+v", compress, keys)
+		}
+		// No temp litter survives the atomic rename.
+		tmps, err := filepath.Glob(filepath.Join(dir, ".checkpoint-*.tmp"))
+		if err != nil || len(tmps) != 0 {
+			t.Fatalf("temp files left behind: %v (%v)", tmps, err)
+		}
+	}
+}
+
+// A compressed checkpoint of a flat integer accumulator — the unary
+// mechanisms' shape — must actually be smaller than the raw one.
+func TestCheckpointCompressionShrinks(t *testing.T) {
+	snap := transport.Snapshot{
+		State: make([]float64, 4096),
+		Count: 100000,
+		Epoch: 3,
+		Info:  transport.Info{Mechanism: "OUE", Domain: 4096, Epsilon: 1},
+	}
+	for i := range snap.State {
+		snap.State[i] = float64(i % 7)
+	}
+	dir := t.TempDir()
+	rawPath, err := WriteCheckpointFile(dir, 1, snap, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath, err := WriteCheckpointFile(dir, 2, snap, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawFi, err := os.Stat(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzFi, err := os.Stat(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzFi.Size() >= rawFi.Size()/2 {
+		t.Fatalf("compression saved too little: raw %d bytes, gzip %d", rawFi.Size(), gzFi.Size())
+	}
+}
+
+// Every single-byte corruption of a checkpoint file — either version — must
+// be refused: header, CRC, payload, or gzip stream, there is no byte whose
+// flip the reader tolerates.
+func TestCheckpointFileRejectsCorruption(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		path, err := WriteCheckpointFile(dir, 7, sampleSnapshot(), sampleKeys(), compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x01
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := ReadCheckpointFile(path, 7); err == nil {
+				t.Fatalf("compress=%v: reader accepted byte %d flipped", compress, i)
+			}
+		}
+		// Trailing bytes after the declared payload are corruption too.
+		if err := os.WriteFile(path, append(data, 0), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadCheckpointFile(path, 7); err == nil {
+			t.Fatalf("compress=%v: reader accepted trailing bytes", compress)
+		}
+		// And a sequence that disagrees with the filename is refused.
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadCheckpointFile(path, 8); err == nil {
+			t.Fatalf("compress=%v: reader accepted a mismatched sequence", compress)
+		}
+	}
+}
+
+// The goldens pin decode compatibility for both versions: files written by a
+// past build keep reading to the same values. The raw version additionally
+// pins its exact bytes — it must stay byte-identical to the buffered encoder
+// it replaced; the gzip version pins only the decode (compressor output may
+// legitimately change across Go releases).
+func TestCheckpointGoldenCompatibility(t *testing.T) {
+	wantSnap, wantKeys := sampleSnapshot(), sampleKeys()
+	for _, tc := range []struct {
+		name     string
+		compress bool
+		pinBytes bool
+	}{
+		{"checkpoint_stream_v1.golden", false, true},
+		{"checkpoint_stream_v2.golden", true, false},
+	} {
+		dir := t.TempDir()
+		path, err := WriteCheckpointFile(dir, 7, wantSnap, wantKeys, tc.compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := golden(t, tc.name, enc)
+		if tc.pinBytes && !reflect.DeepEqual(enc, data) {
+			t.Fatalf("%s: writer no longer produces the golden bytes", tc.name)
+		}
+		gpath := filepath.Join(dir, "golden.ckpt")
+		if err := os.WriteFile(gpath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, keys, gz, err := ReadCheckpointFile(gpath, 7)
+		if err != nil {
+			t.Fatalf("%s no longer decodes: %v", tc.name, err)
+		}
+		if gz != tc.compress {
+			t.Fatalf("%s: compressed=%v, want %v", tc.name, gz, tc.compress)
+		}
+		if snap.Count != wantSnap.Count || snap.Epoch != wantSnap.Epoch || snap.Info != wantSnap.Info || !reflect.DeepEqual(snap.State, wantSnap.State) {
+			t.Fatalf("%s decoded to %+v", tc.name, snap)
+		}
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Fatalf("%s key table decoded to %+v", tc.name, keys)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package history
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleManifest() []Entry {
+	return []Entry{
+		{Seq: 4, Epoch: 4, Count: 512},
+		{Seq: 6, Epoch: 6, Count: 768, Compressed: true},
+		{Seq: 7, Epoch: 7, Count: 896},
+		{Seq: 8, Epoch: 8, Count: 1024, Compressed: true},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	want := sampleManifest()
+	data, err := EncodeManifest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the manifest: %+v != %+v", got, want)
+	}
+	empty, err := EncodeManifest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeManifest(empty); err != nil || len(got) != 0 {
+		t.Fatalf("empty manifest round trip: %v, %v", got, err)
+	}
+}
+
+func TestManifestEncodeRejects(t *testing.T) {
+	cases := map[string][]Entry{
+		"duplicate seq":    {{Seq: 3, Epoch: 3}, {Seq: 3, Epoch: 4}},
+		"descending seq":   {{Seq: 5, Epoch: 5}, {Seq: 4, Epoch: 6}},
+		"descending epoch": {{Seq: 3, Epoch: 5}, {Seq: 4, Epoch: 4}},
+		"NaN count":        {{Seq: 3, Epoch: 3, Count: math.NaN()}},
+		"negative count":   {{Seq: 3, Epoch: 3, Count: -1}},
+		"infinite count":   {{Seq: 3, Epoch: 3, Count: math.Inf(1)}},
+	}
+	for name, entries := range cases {
+		if _, err := EncodeManifest(entries); err == nil {
+			t.Errorf("%s: encode accepted %+v", name, entries)
+		}
+	}
+}
+
+func TestManifestDecodeRejectsCorruption(t *testing.T) {
+	data, err := EncodeManifest(sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single flipped bit must fail the CRC (or a structural check) — a
+	// manifest is trusted as an index only when it is bit-exact.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := DecodeManifest(mut); err == nil {
+			t.Fatalf("decode accepted a manifest with byte %d flipped", i)
+		}
+	}
+	if _, err := DecodeManifest(append(data, 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}
+
+// The crash-consistency sweep: a manifest truncated at EVERY byte offset must
+// decode to an error — never to a silently shortened entry list — so the
+// store's fallback (rebuilding the index from the checkpoint files) always
+// takes over and no retained epoch quietly disappears from history.
+func TestManifestTruncationNeverSilentlyShortens(t *testing.T) {
+	data, err := EncodeManifest(sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if got, err := DecodeManifest(data[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d decoded cleanly to %d entries — a crash could silently lose retained epochs", cut, len(got))
+		}
+	}
+}
+
+// The same sweep through the file layer: LoadManifest over every truncated
+// file errors (so the store rebuilds) or — at cut 0 on an empty-but-present
+// file — still errors, because an empty file is not a valid manifest.
+func TestLoadManifestTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadManifest(dir); !errors.Is(err, errInvalidManifest) {
+			t.Fatalf("truncation at byte %d: want errInvalidManifest, got %v", cut, err)
+		}
+	}
+	// Restore and confirm the undamaged file still loads.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadManifest(dir); err != nil || !reflect.DeepEqual(got, sampleManifest()) {
+		t.Fatalf("restored manifest failed to load: %v, %v", got, err)
+	}
+	// A missing manifest is not an error — just an unindexed directory.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadManifest(dir); err != nil || got != nil {
+		t.Fatalf("missing manifest: want (nil, nil), got (%v, %v)", got, err)
+	}
+}
+
+func TestWriteManifestAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, sampleManifest()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(dir, sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleManifest()) {
+		t.Fatalf("replace left %+v", got)
+	}
+	// No temp litter.
+	tmps, err := filepath.Glob(filepath.Join(dir, ".manifest-*.tmp"))
+	if err != nil || len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v (%v)", tmps, err)
+	}
+}
+
+// The golden pins decode compatibility: a manifest written by a past version
+// of this library must keep loading to the same entries after any upgrade.
+func TestManifestGoldenCompatibility(t *testing.T) {
+	want := sampleManifest()
+	enc, err := EncodeManifest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := golden(t, "manifest_v1.golden", enc)
+	if !bytes.Equal(enc, data) {
+		t.Fatalf("encoder no longer produces the golden bytes:\n got %x\nwant %x", enc, data)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatalf("golden manifest no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden manifest decoded to %+v, want %+v", got, want)
+	}
+}
+
+// golden regenerates testdata/<name> from got when UPDATE_GOLDEN=1 and
+// returns the checked-in bytes.
+func golden(t *testing.T, name string, got []byte) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	return want
+}

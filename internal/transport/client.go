@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -160,6 +161,33 @@ func (c *Client) Snap(ctx context.Context) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	defer drain(resp)
+	return DecodeSnapshotFrame(resp.Body)
+}
+
+// SnapAt fetches the snapshot the server's epoch history retains for the
+// given epoch (GET /snapshot?epoch=N). With nearest, the newest retained
+// epoch at or below the requested one is served instead of requiring an exact
+// match. An epoch the server has coarsened away — or a server with no history
+// at all — answers 404, surfaced as a StatusError whose message carries the
+// retained range.
+func (c *Client) SnapAt(ctx context.Context, epoch uint64, nearest bool) (Snapshot, error) {
+	path := "/snapshot?epoch=" + strconv.FormatUint(epoch, 10)
+	if nearest {
+		path += "&nearest=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	resp, err := c.do(req, "snapshot")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return Snapshot{}, &StatusError{StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	}
 	return DecodeSnapshotFrame(resp.Body)
 }
 

@@ -467,6 +467,164 @@ func EncodeSnapshotFrame(w io.Writer, s Snapshot) error {
 	return writeFrame(w, snapshotVersion, kindSnapshot, buf)
 }
 
+// snapshotChunkFloats is how many state entries the streaming snapshot codec
+// moves per write/read — 32 KiB of wire bytes, small enough to live on one
+// buffer regardless of accumulator size.
+const snapshotChunkFloats = 4096
+
+// EncodeSnapshotFrameStream writes the identical bytes EncodeSnapshotFrame
+// would, but streams the state through a fixed-size chunk instead of
+// materializing the whole payload — the writer for checkpoint files whose
+// accumulators are far larger than any sensible single allocation.
+func EncodeSnapshotFrameStream(w io.Writer, s Snapshot) error {
+	if err := snapshotFrameError(s); err != nil {
+		return err
+	}
+	meta := 8 + 8 + 4 + 8 + 1 + len(s.Info.Mechanism) + 1 + len(s.Info.Digest) + 4
+	var hdr [headerLen]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = snapshotVersion
+	hdr[5] = kindSnapshot
+	binary.BigEndian.PutUint32(hdr[6:], uint32(meta+8*len(s.State)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 8*snapshotChunkFloats)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Count))
+	buf = binary.BigEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Info.Domain))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Info.Epsilon))
+	buf = append(buf, byte(len(s.Info.Mechanism)))
+	buf = append(buf, s.Info.Mechanism...)
+	buf = append(buf, byte(len(s.Info.Digest)))
+	buf = append(buf, s.Info.Digest...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.State)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for off := 0; off < len(s.State); off += snapshotChunkFloats {
+		end := off + snapshotChunkFloats
+		if end > len(s.State) {
+			end = len(s.State)
+		}
+		buf = buf[:0]
+		for _, v := range s.State[off:end] {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotFrameLen returns the exact byte length EncodeSnapshotFrame(Stream)
+// produces for s, header included — what a streaming checkpoint writer needs
+// to frame its payload before a single state entry moves.
+func SnapshotFrameLen(s Snapshot) (int, error) {
+	if err := snapshotFrameError(s); err != nil {
+		return 0, err
+	}
+	meta := 8 + 8 + 4 + 8 + 1 + len(s.Info.Mechanism) + 1 + len(s.Info.Digest) + 4
+	return headerLen + meta + 8*len(s.State), nil
+}
+
+// DecodeSnapshotFrameStream reads one snapshot frame of either version
+// directly from r, converting the state chunk by chunk — unlike
+// DecodeSnapshotFrame it never holds a second whole-state byte buffer. The
+// validation is identical; the two are equivalence-tested.
+func DecodeSnapshotFrameStream(r io.Reader) (Snapshot, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Snapshot{}, errors.New("transport: empty snapshot response")
+		}
+		return Snapshot{}, fmt.Errorf("transport: truncated frame header: %w", err)
+	}
+	if string(hdr[:4]) != frameMagic {
+		return Snapshot{}, fmt.Errorf("transport: bad frame magic %q", hdr[:4])
+	}
+	version := hdr[4]
+	if version < 1 || version > snapshotVersion {
+		return Snapshot{}, fmt.Errorf("transport: unsupported frame version %d (this library reads versions 1..%d)", version, snapshotVersion)
+	}
+	if hdr[5] != kindSnapshot {
+		return Snapshot{}, fmt.Errorf("transport: frame kind %d, want %d", hdr[5], kindSnapshot)
+	}
+	plen := binary.BigEndian.Uint32(hdr[6:])
+	if int64(plen) > int64(MaxSnapshotPayload) {
+		return Snapshot{}, fmt.Errorf("transport: %d-byte payload exceeds the %d-byte frame limit", plen, MaxSnapshotPayload)
+	}
+	lr := &io.LimitedReader{R: r, N: int64(plen)}
+	var s Snapshot
+	scratch := make([]byte, 8*snapshotChunkFloats)
+	take := func(n int, what string) ([]byte, error) {
+		if _, err := io.ReadFull(lr, scratch[:n]); err != nil {
+			return nil, fmt.Errorf("transport: snapshot frame truncated at its %s", what)
+		}
+		return scratch[:n], nil
+	}
+	b, err := take(8, "count")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Count = math.Float64frombits(binary.BigEndian.Uint64(b))
+	if version >= snapshotVersion {
+		if b, err = take(8, "epoch"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Epoch = binary.BigEndian.Uint64(b)
+		if b, err = take(4, "domain"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Info.Domain = int(binary.BigEndian.Uint32(b))
+		if b, err = take(8, "epsilon"); err != nil {
+			return Snapshot{}, err
+		}
+		s.Info.Epsilon = math.Float64frombits(binary.BigEndian.Uint64(b))
+		if math.IsNaN(s.Info.Epsilon) || math.IsInf(s.Info.Epsilon, 0) || s.Info.Epsilon < 0 {
+			return Snapshot{}, fmt.Errorf("transport: snapshot ε %v is not a non-negative finite number", s.Info.Epsilon)
+		}
+		for _, field := range []struct {
+			what string
+			dst  *string
+		}{{"mechanism", &s.Info.Mechanism}, {"digest", &s.Info.Digest}} {
+			if b, err = take(1, field.what+" length"); err != nil {
+				return Snapshot{}, err
+			}
+			if b, err = take(int(b[0]), field.what); err != nil {
+				return Snapshot{}, err
+			}
+			*field.dst = string(b)
+		}
+	}
+	if b, err = take(4, "state length"); err != nil {
+		return Snapshot{}, err
+	}
+	stateLen := binary.BigEndian.Uint32(b)
+	if lr.N != 8*int64(stateLen) {
+		return Snapshot{}, fmt.Errorf("transport: snapshot declares %d state entries but carries %d payload bytes", stateLen, lr.N)
+	}
+	if math.IsNaN(s.Count) || math.IsInf(s.Count, 0) || s.Count < 0 {
+		return Snapshot{}, fmt.Errorf("transport: snapshot count %v is not a non-negative finite number", s.Count)
+	}
+	s.State = make([]float64, stateLen)
+	for off := 0; off < len(s.State); off += snapshotChunkFloats {
+		end := off + snapshotChunkFloats
+		if end > len(s.State) {
+			end = len(s.State)
+		}
+		chunk := scratch[:8*(end-off)]
+		if _, err := io.ReadFull(lr, chunk); err != nil {
+			return Snapshot{}, fmt.Errorf("transport: snapshot frame truncated in its state: %w", err)
+		}
+		for i := off; i < end; i++ {
+			s.State[i] = math.Float64frombits(binary.BigEndian.Uint64(chunk[8*(i-off):]))
+		}
+	}
+	return s, nil
+}
+
 // DecodeSnapshotFrame reads one snapshot frame of either version. Version-1
 // frames decode with zero Epoch and Info — the state and count are all they
 // carry.

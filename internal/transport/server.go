@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/protocol"
@@ -73,6 +74,18 @@ type DurabilityHealth struct {
 // /healthz includes the returned status when ok is true.
 type DurableBackend interface {
 	Durability() (health DurabilityHealth, ok bool)
+}
+
+// HistoryBackend is optionally implemented by backends that retain an epoch
+// history (a durable collector with checkpoint retention): GET /snapshot
+// gains the ?epoch= form, served from the retained checkpoint ladder without
+// replay.
+type HistoryBackend interface {
+	// SnapshotAt returns the snapshot retained for epoch. With nearest false
+	// the epoch must match a retained checkpoint exactly; with nearest true
+	// the newest retained epoch ≤ the requested one is served. A miss returns
+	// *EpochNotRetainedError.
+	SnapshotAt(epoch uint64, nearest bool) (Snapshot, error)
 }
 
 // QueryBackend is optionally implemented by backends that can answer workload
@@ -541,8 +554,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	state, count, epoch := s.backend.SnapshotEpoch()
-	snap := Snapshot{State: state, Count: count, Epoch: epoch, Info: s.info}
+	var snap Snapshot
+	if eq := r.URL.Query().Get("epoch"); eq != "" {
+		hb, ok := s.backend.(HistoryBackend)
+		if !ok {
+			http.Error(w, "transport: this collector does not retain epoch history", http.StatusNotFound)
+			return
+		}
+		epoch, err := strconv.ParseUint(eq, 10, 64)
+		if err != nil {
+			http.Error(w, "transport: invalid epoch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		nearest := r.URL.Query().Get("nearest") == "1"
+		snap, err = hb.SnapshotAt(epoch, nearest)
+		if err != nil {
+			var enr *EpochNotRetainedError
+			if errors.As(err, &enr) {
+				// The epoch was coarsened away (or never existed): a definitive
+				// 404 whose body names the retained range, so the caller can
+				// pick a retained epoch instead of retrying.
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		state, count, epoch := s.backend.SnapshotEpoch()
+		snap = Snapshot{State: state, Count: count, Epoch: epoch, Info: s.info}
+	}
 	if err := snapshotFrameError(snap); err != nil {
 		// An unframeable snapshot (oversized identity or state) is a server
 		// misconfiguration; nothing has been written yet, so report it.
@@ -615,6 +656,27 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("transport: server returned %d: %s", e.StatusCode, e.Msg)
 	}
 	return fmt.Sprintf("transport: server returned %d", e.StatusCode)
+}
+
+// EpochNotRetainedError reports a historical snapshot request for an epoch
+// the retention ladder does not hold: either it was coarsened away or it
+// never existed. It is definitive — retrying the same epoch cannot succeed —
+// and carries the retained range so the caller can choose a retained epoch.
+type EpochNotRetainedError struct {
+	// Requested is the epoch asked for.
+	Requested uint64
+	// Oldest and Newest bound the retained epochs (both 0 when none are).
+	Oldest, Newest uint64
+	// Nearest is the newest retained epoch ≤ Requested (0 when none is).
+	Nearest uint64
+}
+
+func (e *EpochNotRetainedError) Error() string {
+	if e.Oldest == 0 && e.Newest == 0 {
+		return fmt.Sprintf("transport: epoch %d is not retained (no epochs retained)", e.Requested)
+	}
+	return fmt.Sprintf("transport: epoch %d is not retained (retained range %d..%d, nearest at or below: %d)",
+		e.Requested, e.Oldest, e.Newest, e.Nearest)
 }
 
 // Temporary reports whether the response is worth retrying: 408 (request

@@ -395,6 +395,21 @@ func (p *EstimatorPool) resolveStrategy(ctx context.Context, w Workload, eps flo
 		p.stats.strategyDiskHits.Add(1)
 		return s, nil
 	}
+	// Cross-process singleflight: the in-memory map serializes goroutines of
+	// one process, but two cold processes sharing the cache directory would
+	// both reach here and run Algorithm 1 twice. A per-key flock in the cache
+	// directory serializes them; the one that waited finds the winner's entry
+	// on the re-check below and loads it instead of re-optimizing. A failed
+	// lock (exotic filesystem, permissions) degrades to the duplicated work —
+	// both results are identical and the persist is atomic, so the cache never
+	// corrupts.
+	if unlock, err := p.lockCacheEntry(wd, eps); err == nil {
+		defer unlock()
+		if s := p.loadCachedStrategy(wd, eps, w.Domain()); s != nil {
+			p.stats.strategyDiskHits.Add(1)
+			return s, nil
+		}
+	}
 	s, err := OptimizeStrategy(ctx, w, eps, opts...)
 	if err != nil {
 		return nil, err
@@ -412,6 +427,21 @@ func (p *EstimatorPool) resolveStrategy(ctx context.Context, w Workload, eps flo
 // full name appends the strategy digest the load verifies against.
 func cacheEntryPrefix(wd string, eps float64) string {
 	return fmt.Sprintf("%s-e%016x", wd, math.Float64bits(eps))
+}
+
+// lockCacheEntry takes the cross-process lock for one (workload digest, ε)
+// key: a per-key ".lock" file in the cache directory under a blocking
+// exclusive flock. Keys lock independently, so two processes optimizing
+// different workloads never serialize each other. Without a cache directory
+// there is nothing to coordinate and the lock is a no-op.
+func (p *EstimatorPool) lockCacheEntry(wd string, eps float64) (func(), error) {
+	if p.dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return flockExclusive(filepath.Join(p.dir, cacheEntryPrefix(wd, eps)+".lock"))
 }
 
 // loadCachedStrategy scans the cache directory for an entry matching

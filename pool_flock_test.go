@@ -1,0 +1,140 @@
+package ldp_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	ldp "repro"
+)
+
+// The cross-process singleflight scenario: two REAL OS processes, both cold
+// (no in-memory cache to help), race to resolve the same (workload, ε)
+// strategy over one shared cache directory. The per-key flock must serialize
+// them so Algorithm 1 runs exactly once between them; the loser loads the
+// winner's digest-verified entry from disk.
+
+// TestPoolLockChildProcess is not a test in the normal run: it is the child
+// body, re-executed from the test binary with LDP_POOLLOCK_CHILD=1. It waits
+// for the driver's start-file barrier (so both children race for real), then
+// resolves the strategy and reports its pool counters and the resulting
+// strategy digest through its result file.
+func TestPoolLockChildProcess(t *testing.T) {
+	if os.Getenv("LDP_POOLLOCK_CHILD") != "1" {
+		t.Skip("subprocess body; driven by TestStrategyCacheCrossProcessSingleflight")
+	}
+	cacheDir := os.Getenv("LDP_POOLLOCK_CACHE_DIR")
+	startFile := os.Getenv("LDP_POOLLOCK_START_FILE")
+	resultFile := os.Getenv("LDP_POOLLOCK_RESULT_FILE")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(startFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("start barrier never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A wide-enough optimization that the two children genuinely overlap: if
+	// the flock were a no-op, both would be mid-Algorithm-1 when the other
+	// starts and the driver's exactly-one-run assertion would catch it.
+	pool := ldp.NewEstimatorPool(ldp.WithPoolCacheDir(cacheDir))
+	s, err := pool.Strategy(context.Background(), ldp.Prefix(64), 1.0,
+		ldp.WithIterations(400), ldp.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	out := fmt.Sprintf("runs=%d diskhits=%d digest=%s", st.OptimizerRuns, st.StrategyDiskHits, ldp.StrategyDigest(s))
+	tmp := resultFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, resultFile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// childResult is one child's parsed report.
+type childResult struct {
+	runs, diskhits int
+	digest         string
+}
+
+func startPoolLockChild(t *testing.T, cacheDir, startFile, resultFile string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^TestPoolLockChildProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"LDP_POOLLOCK_CHILD=1",
+		"LDP_POOLLOCK_CACHE_DIR="+cacheDir,
+		"LDP_POOLLOCK_START_FILE="+startFile,
+		"LDP_POOLLOCK_RESULT_FILE="+resultFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+func readChildResult(t *testing.T, path string) childResult {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r childResult
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(b)), "runs=%d diskhits=%d digest=%s", &r.runs, &r.diskhits, &r.digest); err != nil {
+		t.Fatalf("bad child result %q: %v", b, err)
+	}
+	return r
+}
+
+func TestStrategyCacheCrossProcessSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	startFile := filepath.Join(dir, "start")
+	results := []string{filepath.Join(dir, "r1"), filepath.Join(dir, "r2")}
+
+	cmds := []*exec.Cmd{
+		startPoolLockChild(t, cacheDir, startFile, results[0]),
+		startPoolLockChild(t, cacheDir, startFile, results[1]),
+	}
+	// Drop the barrier: both children are live and now race into the same
+	// cold resolution.
+	if err := os.WriteFile(startFile, []byte("go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("child %d: %v", i, err)
+		}
+	}
+
+	a, b := readChildResult(t, results[0]), readChildResult(t, results[1])
+	// The whole point: one optimizer run between the two processes; the other
+	// found the winner's persisted entry (on the pre-lock check or on the
+	// post-lock re-check) instead of re-paying Algorithm 1.
+	if a.runs+b.runs != 1 {
+		t.Fatalf("want exactly 1 optimizer run across both processes, got %d + %d", a.runs, b.runs)
+	}
+	if a.diskhits+b.diskhits != 1 {
+		t.Fatalf("want exactly 1 disk hit across both processes, got %d + %d", a.diskhits, b.diskhits)
+	}
+	if a.digest != b.digest {
+		t.Fatalf("processes resolved different strategies: %s vs %s", a.digest, b.digest)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.strategy"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one persisted cache entry, got %v (%v)", entries, err)
+	}
+}

@@ -410,6 +410,63 @@ func (rc *RemoteCollector) Snap(ctx context.Context) (Snapshot, error) {
 	return Snapshot{state: ts.State, count: ts.Count, epoch: ts.Epoch, info: mergeInfo(ts.Info, rc.info)}, nil
 }
 
+// SnapAt fetches the historical snapshot the server's epoch history retains
+// for exactly the given epoch — bit-identical to what Snap served when that
+// epoch was current. An epoch the server's retention ladder has coarsened
+// away answers a definitive 404 (a *StatusError whose message names the
+// retained range). A server that answers an exact request with a LOWER epoch
+// has lost the retained history it advertised — the same lossy-restart
+// signature Snap guards against — and is rejected with EpochRegressionError
+// (Prev is the requested epoch). Historical reads never advance the
+// regression high-water mark Snap maintains: reading the past must not make
+// the present look regressed, or vice versa.
+func (rc *RemoteCollector) SnapAt(ctx context.Context, epoch uint64) (Snapshot, error) {
+	return rc.snapAt(ctx, epoch, false)
+}
+
+// SnapAtNearest is SnapAt with floor semantics: the server serves the newest
+// retained epoch at or below the requested one (fleet members checkpoint on
+// their own schedules, so an exact epoch rarely exists fleet-wide). The
+// returned snapshot's epoch says what was actually served; a served epoch
+// above the requested one is rejected.
+func (rc *RemoteCollector) SnapAtNearest(ctx context.Context, epoch uint64) (Snapshot, error) {
+	return rc.snapAt(ctx, epoch, true)
+}
+
+func (rc *RemoteCollector) snapAt(ctx context.Context, epoch uint64, nearest bool) (Snapshot, error) {
+	var ts transport.Snapshot
+	err := retry.Do(ctx, rc.policy, func(actx context.Context) error {
+		s, serr := rc.client.SnapAt(actx, epoch, nearest)
+		if serr == nil {
+			ts = s
+		}
+		return classifyTransportErr(serr)
+	})
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: fetch snapshot at epoch %d: %w", epoch, err)
+	}
+	if len(ts.State) != rc.agg.StateLen() {
+		return Snapshot{}, fmt.Errorf("ldp: remote snapshot has %d state entries, local mechanism expects %d — mechanism mismatch", len(ts.State), rc.agg.StateLen())
+	}
+	if err := infoMismatch(rc.info, ts.Info); err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: remote snapshot aggregated under a different mechanism configuration: %w", err)
+	}
+	if !nearest && ts.Epoch != epoch {
+		if ts.Epoch < epoch {
+			return Snapshot{}, fmt.Errorf("ldp: %w", &EpochRegressionError{
+				Prev: epoch, Observed: ts.Epoch, ObservedCount: ts.Count,
+			})
+		}
+		return Snapshot{}, fmt.Errorf("ldp: requested epoch %d, server served %d", epoch, ts.Epoch)
+	}
+	if nearest && ts.Epoch > epoch {
+		return Snapshot{}, fmt.Errorf("ldp: requested epoch at or below %d, server served %d", epoch, ts.Epoch)
+	}
+	// Deliberately no rc.lastEpoch update: the high-water mark tracks the
+	// live timeline only.
+	return Snapshot{state: ts.State, count: ts.Count, epoch: ts.Epoch, info: mergeInfo(ts.Info, rc.info)}, nil
+}
+
 // Snapshot fetches the server's merged accumulator and report count.
 //
 // Deprecated: use Snap, which carries the mechanism identity and epoch the
@@ -489,6 +546,12 @@ func (b collectorBackend) CountEpoch() (float64, uint64) {
 // status and WAL lag for a durable collector.
 func (b collectorBackend) Durability() (transport.DurabilityHealth, bool) {
 	return b.c.Durability()
+}
+
+// SnapshotAt satisfies transport.HistoryBackend so GET /snapshot?epoch= serves
+// retained history; an in-memory collector reads as "nothing retained" (404).
+func (b collectorBackend) SnapshotAt(epoch uint64, nearest bool) (transport.Snapshot, error) {
+	return b.c.historySnapshotAt(epoch, nearest)
 }
 
 // CollectorService is a served collector endpoint plus its lifecycle

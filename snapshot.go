@@ -157,6 +157,40 @@ func (s Snapshot) Merge(other Snapshot) (Snapshot, error) {
 	}, nil
 }
 
+// Diff is the inverse of Merge: it subtracts an older snapshot of the same
+// mechanism from this one, yielding the snapshot of exactly the reports that
+// arrived after the older cut — a sliding window as a pure value operation.
+// Because accumulators are element-wise sums of per-report contributions, the
+// subtraction is exact: for snapshots a ⊇ b of one collector,
+// a.Diff(b).Merge(b) is bit-identical to a.
+//
+// Diff rejects a mechanism-identity conflict or width mismatch like Merge,
+// and additionally refuses epoch inversion (other.Epoch() > s.Epoch()): a
+// window's endpoints must be ordered, and subtracting a newer snapshot from
+// an older one would fabricate negative report counts. The result keeps the
+// newer endpoint's epoch.
+func (s Snapshot) Diff(other Snapshot) (Snapshot, error) {
+	if err := infoMismatch(s.info, other.info); err != nil {
+		return Snapshot{}, fmt.Errorf("ldp: cannot diff snapshots: %w", err)
+	}
+	if len(s.state) != len(other.state) {
+		return Snapshot{}, fmt.Errorf("ldp: cannot diff snapshots: state width %d vs %d", len(s.state), len(other.state))
+	}
+	if other.epoch > s.epoch {
+		return Snapshot{}, fmt.Errorf("ldp: cannot diff snapshots: epoch inversion (older epoch %d > newer epoch %d)", other.epoch, s.epoch)
+	}
+	diff := make([]float64, len(s.state))
+	for i := range diff {
+		diff[i] = s.state[i] - other.state[i]
+	}
+	return Snapshot{
+		state: diff,
+		count: s.count - other.count,
+		epoch: s.epoch,
+		info:  mergeInfo(s.info, other.info),
+	}, nil
+}
+
 // MergeSnapshots folds any number of snapshots into one via Merge. At least
 // one snapshot is required.
 func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
