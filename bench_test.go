@@ -451,6 +451,14 @@ func BenchmarkPoolAnswerBatch(b *testing.B) {
 	b.Run("naive", benchfix.PoolAnswerBatch(false))
 }
 
+// BenchmarkMetricsHotPath pins the per-request cost of armed telemetry — a
+// pre-resolved counter increment, a gauge set, and a histogram observation —
+// at 0 allocs/op. The body is shared with `cmd/ldpbench -exp bench` via
+// internal/benchfix and the benchgate enforces the allocation pin in CI.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	benchfix.MetricsHotPath()(b)
+}
+
 // BenchmarkWNNLS times consistency post-processing on the AllRange workload
 // through its implicit operators.
 func BenchmarkWNNLS(b *testing.B) {

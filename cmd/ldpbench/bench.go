@@ -67,6 +67,7 @@ func runBenchSuite(out io.Writer, path string) error {
 		{"CheckpointStream/gzip", benchfix.CheckpointStream(true)},
 		{"PoolAnswerBatch/shared", benchfix.PoolAnswerBatch(true)},
 		{"PoolAnswerBatch/naive", benchfix.PoolAnswerBatch(false)},
+		{"MetricsHotPath", benchfix.MetricsHotPath()},
 	}
 	file := BenchFile{
 		GoVersion:  runtime.Version(),
@@ -113,6 +114,7 @@ var gateBenchmarks = []string{
 	"PoolAnswerBatch/shared",
 	"SnapAt/raw",
 	"CheckpointStream/raw",
+	"MetricsHotPath",
 }
 
 // gateNsSlack is how much slower (ratio) a gated benchmark may measure
@@ -149,6 +151,7 @@ func runBenchGate(out io.Writer, path string) error {
 		"PoolAnswerBatch/shared":      benchfix.PoolAnswerBatch(true),
 		"SnapAt/raw":                  benchfix.SnapAt(false),
 		"CheckpointStream/raw":        benchfix.CheckpointStream(false),
+		"MetricsHotPath":              benchfix.MetricsHotPath(),
 	}
 	fmt.Fprintf(out, "%-28s %14s %14s %8s %12s %12s\n",
 		"benchmark", "base ns/op", "now ns/op", "ratio", "base allocs", "now allocs")

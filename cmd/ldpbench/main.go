@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	ldp "repro"
 	"repro/internal/experiments"
 )
 
@@ -38,7 +39,12 @@ func main() {
 	alpha := flag.Float64("alpha", 0.01, "target normalized variance for sample complexity")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial)")
 	benchJSON := flag.String("benchjson", "BENCH_optimizer.json", "output path for -exp bench results")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpbench " + ldp.VersionString())
+		return
+	}
 
 	cfg := experiments.Config{Alpha: *alpha, Full: *full, Seed: *seed, Iters: *iters, Workers: *workers}
 	out := os.Stdout

@@ -76,7 +76,12 @@ func main() {
 	quorum := flag.Int("quorum", 0, "refuse to print an estimate covering fewer than this many shards (0 = any non-empty coverage)")
 	noStale := flag.Bool("no-stale", false, "disable the stale-snapshot fallback: an unreachable shard becomes a coverage gap instead of a stale contribution")
 	window := flag.Uint64("window", 0, "also report a windowed estimate over the last N epochs: the shards' retained history supplies the baseline snapshot (0 disables; needs -data-dir shards)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpfed " + ldp.VersionString())
+		return
+	}
 
 	endpoints := splitServers(*servers)
 	if len(endpoints) == 0 {

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	ldp "repro"
 	"repro/internal/loadgen"
 	"repro/internal/loadgen/evolve"
 )
@@ -62,7 +63,12 @@ func main() {
 	inproc := flag.Bool("inprocess", false, "run shards in-process (quick iteration; kills quiesce instead of SIGKILL)")
 	doEvolve := flag.Bool("evolve", false, "run the strategy-evolution search loop and print the principles table")
 	settle := flag.Duration("settle-timeout", 2*time.Minute, "bound on the post-run settle (flush + recovery) phase")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpload " + ldp.VersionString())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -29,7 +29,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	outPath := flag.String("o", "", "output file (default <workload><n>.strategy)")
 	alpha := flag.Float64("alpha", 0.01, "report sample complexity at this normalized variance")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpopt " + ldp.VersionString())
+		return
+	}
 
 	w, err := ldp.WorkloadByName(*wname, *n)
 	if err != nil {

@@ -60,7 +60,12 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 	cacheDir := flag.String("cache-dir", "", "estimator-pool strategy cache directory (fan-in mode)")
 	asOf := flag.Uint64("as-of", 0, "answer over the shards' retained history at this epoch instead of live state (fan-in mode); each shard serves its newest retained epoch at or below the bound")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpquery " + ldp.VersionString())
+		return
+	}
 
 	names, err := workloadNames(*workloads, *file)
 	if err != nil {

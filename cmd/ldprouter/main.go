@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // debug sidecar: profiles on -debug-addr only, never the serving listener
 	"os"
 	"os/signal"
 	"strings"
@@ -56,7 +57,14 @@ func main() {
 	bindLog := flag.String("bindings-log", "", "append-only log persisting idempotency-key→shard bindings across router restarts")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "readiness probe interval")
 	unhealthyAfter := flag.Int("unhealthy-after", 2, "consecutive failed probes before a shard is gated out of routing")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this side address (never the main listener); empty disables")
+	slowReq := flag.Duration("slow-request", 0, "log a warning for requests slower than this (0 = library default)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldprouter " + ldp.VersionString())
+		return
+	}
 
 	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
 	if err != nil {
@@ -92,9 +100,20 @@ func main() {
 			fatal(err)
 		}
 	}
-	fs, err := ldp.NewFleetServer(fleet)
+	fs, err := ldp.NewFleetServer(fleet, ldp.WithSlowRequestThreshold(*slowReq))
 	if err != nil {
 		fatal(err)
+	}
+	if *debugAddr != "" {
+		// pprof registers on the default mux at import; serving it on a
+		// separate listener keeps profiles off the public surface.
+		go func() {
+			dsrv := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "ldprouter: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("ldprouter: pprof debug listener on %s\n", *debugAddr)
 	}
 	// POST /query answers workloads over the fleet's merged snapshot with the
 	// same mechanism the shards aggregate under.

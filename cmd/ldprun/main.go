@@ -43,7 +43,12 @@ func main() {
 	iters := flag.Int("iters", 300, "optimizer iterations when optimizing")
 	seed := flag.Int64("seed", 0, "random seed")
 	remote := flag.String("remote", "", "stream reports to a remote ldpserve collector at this address")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldprun " + ldp.VersionString())
+		return
+	}
 
 	w, err := ldp.WorkloadByName(*wname, *n)
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // debug sidecar: profiles on -debug-addr only, never the serving listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,7 +57,14 @@ func main() {
 	commitWindow := flag.Duration("commit-window", 0, "group-commit gathering window (with -data-dir): trades per-append latency for larger WAL commits; durability is unchanged")
 	historyKeep := flag.Int("history-keep", 0, "full-resolution window of the checkpoint retention ladder (with -data-dir); older checkpoints coarsen geometrically and GET /snapshot?epoch= serves any retained one; <2 uses the default")
 	gzipHistory := flag.Bool("gzip-history", false, "gzip checkpoint payloads and closed retained WAL segments (with -data-dir)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this side address (never the main listener); empty disables")
+	slowReq := flag.Duration("slow-request", 0, "log a warning for requests slower than this (0 = library default)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpserve " + ldp.VersionString())
+		return
+	}
 
 	agg, err := mechflag.Build(*mech, *n, *eps, *stratPath, *oraclePath)
 	if err != nil {
@@ -86,9 +94,20 @@ func main() {
 		fmt.Printf("ldpserve: durable ingest in %s (fsync=%v): recovered %d reports (%d WAL records replayed, %d torn tail bytes dropped, checkpoint seq %d)\n",
 			*dataDir, st.Fsync, st.RecoveredReports, st.ReplayedRecords, st.DroppedTailBytes, st.CheckpointSeq)
 	}
-	svc, err := ldp.NewCollectorService(col, info)
+	svc, err := ldp.NewCollectorService(col, info, ldp.WithSlowRequestThreshold(*slowReq))
 	if err != nil {
 		fatal(err)
+	}
+	if *debugAddr != "" {
+		// pprof registers on the default mux at import; serving it on a
+		// separate listener keeps profiles off the public surface.
+		go func() {
+			dsrv := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "ldpserve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("ldpserve: pprof debug listener on %s\n", *debugAddr)
 	}
 
 	// Full server-side timeouts: a stalled or hostile peer cannot hold a

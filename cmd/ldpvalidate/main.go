@@ -22,7 +22,12 @@ func main() {
 	path := flag.String("strategy", "", "strategy file written by ldpopt / ldp.SaveStrategy")
 	wname := flag.String("workload", "", "optionally evaluate on this workload family")
 	alpha := flag.Float64("alpha", 0.01, "sample-complexity target")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("ldpvalidate " + ldp.VersionString())
+		return
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "ldpvalidate: -strategy is required")
 		os.Exit(2)

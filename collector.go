@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Collector is the goroutine-safe aggregation front-end for deployments where
@@ -51,6 +53,16 @@ type Collector struct {
 		acc   []float64
 		count int64
 		epoch uint64
+	}
+
+	// stats are lifetime tallies the serving wrapper exposes as scrape-time
+	// counters (enableMetrics); plain atomics so the ingest path never takes
+	// a metrics lock.
+	stats struct {
+		ingestBatches  atomic.Int64
+		ingestReports  atomic.Int64
+		snapshotHits   atomic.Int64
+		snapshotMerges atomic.Int64
 	}
 }
 
@@ -148,7 +160,11 @@ func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
 		if err := c.agg.Check(r); err != nil {
 			return fmt.Errorf("ldp: %w", err)
 		}
-		return c.durableAbsorb(sh, []Report{r}, "")
+		if err := c.durableAbsorb(sh, []Report{r}, ""); err != nil {
+			return err
+		}
+		c.stats.ingestReports.Add(1)
+		return nil
 	}
 	sh.mu.Lock()
 	err := c.agg.Absorb(sh.acc, r)
@@ -159,6 +175,7 @@ func (c *Collector) ingestInto(sh *collectorShard, r Report) error {
 	if err != nil {
 		return fmt.Errorf("ldp: %w", err)
 	}
+	c.stats.ingestReports.Add(1)
 	return nil
 }
 
@@ -169,11 +186,16 @@ func (c *Collector) ingestBatchInto(sh *collectorShard, reports []Report, key st
 		}
 	}
 	if c.dur != nil {
-		return c.durableAbsorb(sh, reports, key)
+		if err := c.durableAbsorb(sh, reports, key); err != nil {
+			return err
+		}
+	} else {
+		sh.mu.Lock()
+		c.absorbValidatedLocked(sh, reports)
+		sh.mu.Unlock()
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	c.absorbValidatedLocked(sh, reports)
+	c.stats.ingestBatches.Add(1)
+	c.stats.ingestReports.Add(int64(len(reports)))
 	return nil
 }
 
@@ -256,6 +278,30 @@ func (c *Collector) totalCount() int64 {
 	return count
 }
 
+// enableMetrics registers the collector's families on reg, all read at
+// scrape time from the collector's own atomics — the ingest path pays
+// nothing it wasn't already paying.
+func (c *Collector) enableMetrics(reg *obs.Registry) {
+	reg.CounterFunc("ldp_collector_ingest_batches_total",
+		"Report batches absorbed since startup.",
+		func() float64 { return float64(c.stats.ingestBatches.Load()) })
+	reg.CounterFunc("ldp_collector_ingest_reports_total",
+		"Individual reports absorbed since startup (batched and unary).",
+		func() float64 { return float64(c.stats.ingestReports.Load()) })
+	reg.CounterFunc("ldp_collector_snapshot_cache_hits_total",
+		"Snapshots served from the cached merge without touching a shard lock.",
+		func() float64 { return float64(c.stats.snapshotHits.Load()) })
+	reg.CounterFunc("ldp_collector_snapshot_merges_total",
+		"Snapshots that re-merged the shards (an ingest landed since the last merge).",
+		func() float64 { return float64(c.stats.snapshotMerges.Load()) })
+	reg.GaugeFunc("ldp_collector_reports",
+		"Reports currently aggregated, recovery included.",
+		func() float64 { return float64(c.totalCount()) })
+	reg.GaugeFunc("ldp_collector_epoch",
+		"Current snapshot epoch — advances exactly when the merged state changes.",
+		func() float64 { _, epoch := c.countEpoch(); return float64(epoch) })
+}
+
 // snapshot returns a caller-owned copy of the merged accumulator, the report
 // count it reflects, and the snapshot epoch — a linearizable point-in-time
 // view: no concurrent Ingest is half-visible.
@@ -300,8 +346,10 @@ func (c *Collector) countEpoch() (count float64, epoch uint64) {
 // /snapshot number the same states identically. Caller holds cache.mu.
 func (c *Collector) refreshCacheLocked() {
 	if c.cache.acc != nil && c.totalCount() == c.cache.count {
+		c.stats.snapshotHits.Add(1)
 		return
 	}
+	c.stats.snapshotMerges.Add(1)
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
 	}

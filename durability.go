@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -121,12 +122,14 @@ type durableState struct {
 	// sinceCkpt counts reports absorbed since the last checkpoint cut.
 	sinceCkpt atomic.Int64
 
-	// Recovery facts, fixed at open.
+	// Recovery facts, fixed at open. recovery is the store's raw recovery
+	// record, kept whole so metrics arming can pin it as gauges.
 	recovered        bool
 	recoveredReports int64
 	replayedRecords  int64
 	droppedTail      int64
 	keys             []transport.SeededKey
+	recovery         durable.Recovery
 
 	// statusMu guards lastErr (background checkpoint failures).
 	statusMu sync.Mutex
@@ -191,6 +194,7 @@ func (c *Collector) openDurable(cfg collectorConfig) error {
 		d.keys = append(d.keys, transport.SeededKey{Key: k.Key, Accepted: int(k.Reports)})
 	}
 	d.store = store
+	d.recovery = rec
 	d.replayedRecords = rec.ReplayedRecords
 	d.droppedTail = rec.DroppedTailBytes
 	d.recovered = rec.HasCheckpoint || rec.ReplayedRecords > 0
@@ -377,6 +381,17 @@ func (c *Collector) Durability() (status DurabilityStatus, ok bool) {
 		Fsync:            d.fsync,
 		LastError:        lastErr,
 	}, true
+}
+
+// armDurabilityMetrics registers the WAL and checkpoint families on reg and
+// starts feeding them: append/flush latency, group-commit sizes, checkpoint
+// durations, live lag gauges, and the last recovery's facts. No-op for an
+// in-memory collector.
+func (c *Collector) armDurabilityMetrics(reg *obs.Registry) {
+	if c.dur == nil {
+		return
+	}
+	c.dur.store.SetMetrics(reg, c.dur.recovery)
 }
 
 // recoveredIdempotencyKeys returns the idempotency keys the WAL proved

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/transport"
 )
@@ -234,6 +236,99 @@ type Fleet struct {
 	// shard whose idempotency cache first saw the key.
 	bindingLogPath string
 	bindingLog     *durable.BindingLog
+
+	// fm is the armed metrics handle set (nil until a FleetServer arms it via
+	// enableMetrics); every observation site pays one atomic load when unarmed.
+	fm atomic.Pointer[fleetMetrics]
+}
+
+// fleetMetrics is the fleet's observability handle set: probe outcomes,
+// breaker transitions, forward retries, merge outcomes, and per-shard
+// routability/coverage.
+type fleetMetrics struct {
+	probes      *obs.CounterVec // ldp_fleet_probes_total{outcome}
+	transitions *obs.CounterVec // ldp_fleet_breaker_transitions_total{to}
+	retries     *obs.Counter    // ldp_fleet_forward_retries_total
+	merges      *obs.CounterVec // ldp_fleet_merges_total{outcome}
+	shardReady  *obs.GaugeVec   // ldp_fleet_shard_ready{endpoint}
+	covFresh    *obs.Gauge
+	covStale    *obs.Gauge
+	covMissing  *obs.Gauge
+}
+
+// enableMetrics registers the fleet's families on reg and starts feeding
+// them. NewFleetServer calls it; a library-embedded Fleet stays unarmed and
+// pays a single nil check per event.
+func (f *Fleet) enableMetrics(reg *obs.Registry) {
+	m := &fleetMetrics{
+		probes: reg.CounterVec("ldp_fleet_probes_total",
+			"Health-probe outcomes per member, by result (ready, not_ready, unreachable).", "outcome"),
+		transitions: reg.CounterVec("ldp_fleet_breaker_transitions_total",
+			"Per-shard circuit-breaker state transitions, by the state entered.", "to"),
+		retries: reg.Counter("ldp_fleet_forward_retries_total",
+			"Retried shard requests — one count per backoff pause the retry loop took."),
+		merges: reg.CounterVec("ldp_fleet_merges_total",
+			"Fan-in merge outcomes: complete, degraded, quorum_refused, empty, or error.", "outcome"),
+		shardReady: reg.GaugeVec("ldp_fleet_shard_ready",
+			"Per-shard routability: 1 when the member receives routed ingest, 0 when gated out.", "endpoint"),
+		covFresh: reg.Gauge("ldp_fleet_coverage_fresh",
+			"Shards that contributed fresh state to the most recent merge."),
+		covStale: reg.Gauge("ldp_fleet_coverage_stale",
+			"Shards that contributed stale last-good state to the most recent merge."),
+		covMissing: reg.Gauge("ldp_fleet_coverage_missing",
+			"Shards that contributed nothing to the most recent merge."),
+	}
+	reg.GaugeFunc("ldp_fleet_members",
+		"Registered fleet members.",
+		func() float64 {
+			f.mu.Lock()
+			n := len(f.members)
+			f.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("ldp_fleet_ready_members",
+		"Members currently routable (ready and breaker not open).",
+		func() float64 { return float64(f.ReadyCount()) })
+	f.fm.Store(m)
+}
+
+func (f *Fleet) observeProbe(outcome string) {
+	if m := f.fm.Load(); m != nil {
+		m.probes.With(outcome).Inc()
+	}
+}
+
+func (f *Fleet) observeShardReady(endpoint string, ready bool) {
+	if m := f.fm.Load(); m != nil {
+		v := 0.0
+		if ready {
+			v = 1
+		}
+		m.shardReady.With(endpoint).Set(v)
+	}
+}
+
+func (f *Fleet) observeBreaker(to retry.BreakerState) {
+	if m := f.fm.Load(); m != nil {
+		m.transitions.With(to.String()).Inc()
+	}
+}
+
+func (f *Fleet) observeRetry() {
+	if m := f.fm.Load(); m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (f *Fleet) observeMerge(outcome string, cov Coverage) {
+	m := f.fm.Load()
+	if m == nil {
+		return
+	}
+	m.merges.With(outcome).Inc()
+	m.covFresh.Set(float64(cov.Fresh))
+	m.covStale.Set(float64(cov.Stale))
+	m.covMissing.Set(float64(cov.Total - cov.Fresh - cov.Stale))
 }
 
 // bindingCap bounds the idempotency-key→shard binding LRU, matching the
@@ -426,10 +521,18 @@ func (f *Fleet) Register(ctx context.Context, endpoint string) error {
 	if err != nil {
 		return err
 	}
+	bp := f.breakerPolicy
+	prevChange := bp.OnStateChange
+	bp.OnStateChange = func(from, to retry.BreakerState) {
+		f.observeBreaker(to)
+		if prevChange != nil {
+			prevChange(from, to)
+		}
+	}
 	m := &fleetMember{
 		endpoint: endpoint,
 		rc:       rc,
-		breaker:  retry.NewBreaker(f.breakerPolicy),
+		breaker:  retry.NewBreaker(bp),
 	}
 	if err := rc.Verify(ctx, f.info.Mechanism, f.info.Epsilon, f.info.Digest); err != nil {
 		var se *StatusError
@@ -456,9 +559,23 @@ func (f *Fleet) Register(ctx context.Context, endpoint string) error {
 	return nil
 }
 
+// retryPolicy returns the fleet's forward-retry policy with the metrics
+// observer chained in: each backoff pause counts one forward retry.
+func (f *Fleet) retryPolicy() retry.Policy {
+	pol := f.policy
+	prev := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error) {
+		f.observeRetry()
+		if prev != nil {
+			prev(attempt, err)
+		}
+	}
+	return pol
+}
+
 // remoteOptions assembles the per-member client options.
 func (f *Fleet) remoteOptions() []RemoteOption {
-	opts := []RemoteOption{WithRemoteRetryPolicy(f.policy)}
+	opts := []RemoteOption{WithRemoteRetryPolicy(f.retryPolicy())}
 	if f.hc != nil {
 		opts = append(opts, WithRemoteHTTPClient(f.hc))
 	}
@@ -488,6 +605,7 @@ func (f *Fleet) Deregister(endpoint string) bool {
 		return false
 	}
 	delete(f.members, endpoint)
+	f.observeShardReady(endpoint, false)
 	for i, ep := range f.order {
 		if ep == endpoint {
 			f.order = append(f.order[:i], f.order[i+1:]...)
@@ -574,8 +692,21 @@ func (f *Fleet) Probe(ctx context.Context) []MemberState {
 
 func (f *Fleet) probeMember(ctx context.Context, m *fleetMember) {
 	ready, reason, err := m.rc.Readyz(ctx)
+	outcome := "ready"
+	switch {
+	case err != nil:
+		outcome = "unreachable"
+	case !ready:
+		outcome = "not_ready"
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Registered after the unlock defer, so this runs before it (LIFO) and
+	// reads the member's settled routing state under its lock.
+	defer func() {
+		f.observeProbe(outcome)
+		f.observeShardReady(m.endpoint, m.ready)
+	}()
 	switch {
 	case err != nil:
 		m.probeFails++
@@ -781,7 +912,7 @@ func (f *Fleet) IngestKeyed(ctx context.Context, reports []Report, key string) (
 		return 0, ErrNoReadyShards
 	}
 	var accepted int
-	err = retry.Do(ctx, f.policy, func(actx context.Context) error {
+	err = retry.Do(ctx, f.retryPolicy(), func(actx context.Context) error {
 		a, perr := m.rc.client.PostReportsKeyed(actx, reports, key)
 		accepted = a
 		return classifyTransportErr(perr)
@@ -894,14 +1025,22 @@ func (f *Fleet) Snap(ctx context.Context) (Snapshot, Coverage, error) {
 		}
 	}
 	if len(snaps) == 0 {
+		f.observeMerge("empty", cov)
 		return Snapshot{}, cov, fmt.Errorf("ldp: no shard contributed a snapshot (%s)", cov)
 	}
 	if f.quorum > 0 && len(snaps) < f.quorum {
+		f.observeMerge("quorum_refused", cov)
 		return Snapshot{}, cov, &QuorumError{Merged: len(snaps), Quorum: f.quorum, Coverage: cov}
 	}
 	merged, err := MergeSnapshots(snaps...)
 	if err != nil {
+		f.observeMerge("error", cov)
 		return Snapshot{}, cov, err
+	}
+	if cov.Complete() {
+		f.observeMerge("complete", cov)
+	} else {
+		f.observeMerge("degraded", cov)
 	}
 	return merged, cov, nil
 }
@@ -971,14 +1110,22 @@ func (f *Fleet) SnapAt(ctx context.Context, epoch uint64) (Snapshot, Coverage, e
 		}
 	}
 	if len(snaps) == 0 {
+		f.observeMerge("empty", cov)
 		return Snapshot{}, cov, fmt.Errorf("ldp: no shard contributed a historical snapshot at epoch %d (%s)", epoch, cov)
 	}
 	if f.quorum > 0 && len(snaps) < f.quorum {
+		f.observeMerge("quorum_refused", cov)
 		return Snapshot{}, cov, &QuorumError{Merged: len(snaps), Quorum: f.quorum, Coverage: cov}
 	}
 	merged, err := MergeSnapshots(snaps...)
 	if err != nil {
+		f.observeMerge("error", cov)
 		return Snapshot{}, cov, err
+	}
+	if cov.Complete() {
+		f.observeMerge("complete", cov)
+	} else {
+		f.observeMerge("degraded", cov)
 	}
 	return merged, cov, nil
 }

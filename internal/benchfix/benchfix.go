@@ -17,6 +17,7 @@ import (
 	"repro/internal/freqoracle"
 	"repro/internal/history"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/protocol"
 	"repro/internal/strategy"
@@ -501,6 +502,28 @@ func PoolAnswerBatch(shared bool) func(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+}
+
+// MetricsHotPath benchmarks one hot-path telemetry step — a pre-resolved
+// labeled counter increment, a gauge set, and a latency-histogram
+// observation — the exact operations every instrumented ingest pays. The
+// benchgate pins it at 0 allocs/op: instrumentation that starts allocating
+// per request is a regression even when no scraper is attached.
+func MetricsHotPath() func(b *testing.B) {
+	return func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.CounterVec("ldp_bench_requests_total", "Benchmark counter.", "endpoint", "code").
+			With("reports", "200")
+		g := reg.Gauge("ldp_bench_level", "Benchmark gauge.")
+		h := reg.Histogram("ldp_bench_duration_seconds", "Benchmark latency in seconds.", obs.LatencyBounds())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(12e-6)
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package durable
+
+import (
+	"repro/internal/obs"
+)
+
+// storeMetrics is the pre-resolved handle set the durable hot paths bump.
+// It is armed once by SetMetrics and read through atomic pointers, so an
+// unarmed store pays one nil check per append and nothing else.
+type storeMetrics struct {
+	appendDur   *obs.Histogram // ldp_wal_append_duration_seconds
+	flushDur    *obs.Histogram // ldp_wal_flush_duration_seconds
+	commitBytes *obs.Histogram // ldp_wal_commit_bytes
+	ckptDur     *obs.Histogram // ldp_checkpoint_duration_seconds
+}
+
+// SetMetrics registers the store's durability families on reg and starts
+// feeding them: append and group-commit flush latency histograms, commit
+// batch sizes, checkpoint durations, live WAL/checkpoint lag gauges (read at
+// scrape time from the store's own atomics), and the recovery facts from rec
+// pinned as gauges so the last restart's cost stays visible. Call once, after
+// Open, before serving traffic.
+func (s *Store) SetMetrics(reg *obs.Registry, rec Recovery) {
+	m := &storeMetrics{
+		appendDur: reg.Histogram("ldp_wal_append_duration_seconds",
+			"WAL append wall time in seconds, including the group-commit wait.", obs.LatencyBounds()),
+		flushDur: reg.Histogram("ldp_wal_flush_duration_seconds",
+			"WAL group-commit flush time in seconds (the write plus fsync syscall pair).", obs.LatencyBounds()),
+		commitBytes: reg.Histogram("ldp_wal_commit_bytes",
+			"Bytes written per WAL group commit.", obs.SizeBounds(26)),
+		ckptDur: reg.Histogram("ldp_checkpoint_duration_seconds",
+			"Checkpoint write duration in seconds, including retention pruning.", obs.LatencyBounds()),
+	}
+	reg.GaugeFunc("ldp_wal_record_lag",
+		"WAL records no durable checkpoint covers yet — what a restart now replays.",
+		func() float64 { return float64(s.RecordLag()) })
+	reg.GaugeFunc("ldp_wal_byte_lag",
+		"WAL bytes no durable checkpoint covers yet.",
+		func() float64 { return float64(s.ByteLag()) })
+	reg.GaugeFunc("ldp_wal_segment_seq",
+		"Active WAL segment sequence number.",
+		func() float64 { return float64(s.Seq()) })
+	reg.GaugeFunc("ldp_checkpoint_seq",
+		"Newest durable checkpoint's sequence number.",
+		func() float64 { return float64(s.CheckpointSeq()) })
+
+	recovered := 0.0
+	if rec.HasCheckpoint || rec.ReplayedRecords > 0 {
+		recovered = 1
+	}
+	reg.Gauge("ldp_recovery_restored",
+		"1 when startup restored prior state (checkpoint and/or WAL records), 0 for a cold start.").Set(recovered)
+	reg.Gauge("ldp_recovery_replayed_records",
+		"WAL records replayed on top of the checkpoint at the last startup.").Set(float64(rec.ReplayedRecords))
+	reg.Gauge("ldp_recovery_replayed_reports",
+		"Reports carried by the WAL records replayed at the last startup.").Set(float64(rec.ReplayedReports))
+	reg.Gauge("ldp_recovery_dropped_tail_bytes",
+		"Torn trailing WAL bytes discarded at the last startup.").Set(float64(rec.DroppedTailBytes))
+
+	s.sm.Store(m)
+	s.mu.Lock()
+	s.wal.metrics.Store(m)
+	s.mu.Unlock()
+}

@@ -193,6 +193,9 @@ type Store struct {
 	// epochs against it.
 	histMu sync.Mutex
 	hist   []history.Entry
+
+	// sm is the armed metrics handle set (nil until SetMetrics).
+	sm atomic.Pointer[storeMetrics]
 }
 
 // Open prepares dir (creating it if needed), recovers its contents — latest
@@ -513,6 +516,16 @@ var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // empty) before the caller absorbs it. Safe for concurrent use; concurrent
 // appends group-commit into shared writes.
 func (s *Store) Append(reports []protocol.Report, key string) error {
+	if m := s.sm.Load(); m != nil {
+		start := time.Now()
+		err := s.append(reports, key)
+		m.appendDur.ObserveDuration(time.Since(start))
+		return err
+	}
+	return s.append(reports, key)
+}
+
+func (s *Store) append(reports []protocol.Report, key string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bp := recBufPool.Get().(*[]byte)
@@ -549,6 +562,7 @@ func (s *Store) Rotate() error {
 	old := s.wal
 	s.wal = nf
 	s.seq = next
+	nf.metrics.Store(s.sm.Load()) // the new segment keeps feeding flush metrics
 	// Capture what the coming checkpoint will cover. The lag gauges keep
 	// counting against the last DURABLE checkpoint — they drop only when
 	// WriteCheckpoint succeeds, so a failing checkpoint leaves the replay
@@ -571,6 +585,16 @@ func (s *Store) Rotate() error {
 // in every fsync mode — losing a checkpoint is harmless only while the WAL it
 // replaces still exists.
 func (s *Store) WriteCheckpoint(snap transport.Snapshot) error {
+	if m := s.sm.Load(); m != nil {
+		start := time.Now()
+		err := s.writeCheckpoint(snap)
+		m.ckptDur.ObserveDuration(time.Since(start))
+		return err
+	}
+	return s.writeCheckpoint(snap)
+}
+
+func (s *Store) writeCheckpoint(snap transport.Snapshot) error {
 	s.mu.RLock()
 	seq := s.seq
 	keys := s.pendingKeys

@@ -50,6 +50,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -270,6 +271,9 @@ type walFile struct {
 	fsync  bool
 	window time.Duration // group-commit gather window (0 = flush immediately)
 
+	// metrics, when armed, observes each flush's syscall time and group size.
+	metrics atomic.Pointer[storeMetrics]
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	f        *os.File
@@ -349,9 +353,18 @@ func (w *walFile) flushLocked() {
 	w.pend = nil
 	goal := w.flushed + int64(len(buf))
 	w.mu.Unlock()
+	m := w.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	_, err := w.f.Write(buf)
 	if err == nil && w.fsync {
 		err = w.f.Sync()
+	}
+	if m != nil {
+		m.flushDur.ObserveDuration(time.Since(start))
+		m.commitBytes.Observe(float64(len(buf)))
 	}
 	w.mu.Lock()
 	w.flushing = false

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// MetricsCheck cross-validates the deployment's /metrics expositions against
+// the /healthz facts the scorer already trusts: the same quantities read
+// through two independent paths must agree once the run has settled. It is
+// part of Ops (the scrape totals are timing-dependent) but its Agree verdict
+// gates the card — telemetry that disagrees with the system it describes is
+// worse than no telemetry.
+type MetricsCheck struct {
+	// ShardsScraped is how many shard fronts answered GET /metrics with a
+	// parseable exposition; RouterScraped says the router's did.
+	ShardsScraped int  `json:"shards_scraped"`
+	RouterScraped bool `json:"router_scraped"`
+	// ReportsMetric is Σ ldp_collector_reports across shards; ReportsHealthz
+	// is Σ /healthz count. Same atomic underneath, so they must match exactly
+	// on a quiescent deployment.
+	ReportsMetric  float64 `json:"reports_metric"`
+	ReportsHealthz float64 `json:"reports_healthz"`
+	// WALLagMetric / WALLagHealthz compare Σ ldp_wal_record_lag with the
+	// healthz durability section. The healthz poll runs first, so a
+	// background checkpoint landing between the two reads can only shrink
+	// the metric-side lag — growth means ingest was still moving.
+	WALLagMetric  int64 `json:"wal_lag_metric"`
+	WALLagHealthz int64 `json:"wal_lag_healthz"`
+	// RouterReportPosts is the router's own ldp_http_requests_total for the
+	// reports endpoint — proof the instrumented path carried the run.
+	RouterReportPosts float64 `json:"router_report_posts"`
+	Agree             bool    `json:"agree"`
+	Detail            string  `json:"detail,omitempty"`
+}
+
+// scrapeSamples fetches and parses one /metrics endpoint.
+func scrapeSamples(ctx context.Context, baseURL string) ([]obs.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET %s/metrics: %s", baseURL, resp.Status)
+	}
+	return obs.ParseText(io.LimitReader(resp.Body, 4<<20))
+}
+
+// MetricsCheck scrapes the router and every shard front and reconciles the
+// expositions against the given healthz views (poll those first: the
+// healthz-then-metrics order is what makes the WAL-lag comparison one-sided).
+func (d *Deployment) MetricsCheck(ctx context.Context, healths []transport.Health) MetricsCheck {
+	var mc MetricsCheck
+	for _, h := range healths {
+		mc.ReportsHealthz += h.Count
+		if h.Durability != nil {
+			mc.WALLagHealthz += h.Durability.WALRecordLag
+		}
+	}
+	for _, f := range d.fronts {
+		samples, err := scrapeSamples(ctx, f.url)
+		if err != nil {
+			continue
+		}
+		mc.ShardsScraped++
+		if v, ok := obs.SampleValue(samples, "ldp_collector_reports", ""); ok {
+			mc.ReportsMetric += v
+		}
+		if v, ok := obs.SampleValue(samples, "ldp_wal_record_lag", ""); ok {
+			mc.WALLagMetric += int64(v)
+		}
+	}
+	if samples, err := scrapeSamples(ctx, d.RouterURL); err == nil {
+		mc.RouterScraped = true
+		mc.RouterReportPosts, _ = obs.SampleValue(samples, "ldp_http_requests_total", `endpoint="reports"`)
+	}
+
+	switch {
+	case !mc.RouterScraped:
+		mc.Detail = "router /metrics unreachable or unparseable"
+	case mc.ShardsScraped != len(healths):
+		mc.Detail = fmt.Sprintf("scraped %d shard /metrics but %d shards answered /healthz", mc.ShardsScraped, len(healths))
+	case mc.ReportsMetric != mc.ReportsHealthz:
+		mc.Detail = fmt.Sprintf("ldp_collector_reports Σ=%.0f disagrees with healthz count Σ=%.0f", mc.ReportsMetric, mc.ReportsHealthz)
+	case mc.WALLagMetric > mc.WALLagHealthz:
+		// Shrinking between the two reads is a checkpoint landing; growing
+		// means reports were still absorbing after settle claimed quiescence.
+		mc.Detail = fmt.Sprintf("wal record lag grew between healthz (%d) and metrics (%d) reads", mc.WALLagHealthz, mc.WALLagMetric)
+	case mc.RouterReportPosts <= 0:
+		mc.Detail = "router served no instrumented POST /reports"
+	default:
+		mc.Agree = true
+	}
+	return mc
+}

@@ -245,7 +245,8 @@ func Run(ctx context.Context, cfg RunConfig) (*Scorecard, error) {
 	card.Ops.ShardsTotal = cov.Total
 	card.Ops.ShardsStale = cov.Stale
 	card.Ops.MinShardsReady = minReady
-	for _, h := range d.ShardHealth(settleCtx) {
+	healths := d.ShardHealth(settleCtx)
+	for _, h := range healths {
 		if h.Durability == nil {
 			continue
 		}
@@ -255,6 +256,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Scorecard, error) {
 			card.Ops.CheckpointSeq = h.Durability.CheckpointSeq
 		}
 	}
+	// Telemetry reconciliation: the /metrics view must agree with the
+	// /healthz facts just polled; a disagreement fails the card.
+	card.Ops.Metrics = d.MetricsCheck(settleCtx, healths)
 	card.Ops.Chaos = d.ChaosStats()
 
 	logf("scorecard: acked=%d absorbed=%d exactly-once=%v max-cell-err=%.1f (envelope %.1f) in-envelope=%v p99=%.1fms throughput=%.0f rps",

@@ -120,6 +120,9 @@ type Ops struct {
 	WALRecordLag  int64  `json:"wal_record_lag"`
 	WALByteLag    int64  `json:"wal_byte_lag"`
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Metrics reconciles the /metrics expositions against the healthz facts
+	// above; its Agree verdict is part of the Passed gate.
+	Metrics MetricsCheck `json:"metrics_check"`
 	// Chaos is each shard proxy's injection counters.
 	Chaos []chaos.Stats `json:"chaos,omitempty"`
 }
@@ -140,10 +143,11 @@ type Scorecard struct {
 	Ops       Ops       `json:"ops"`
 }
 
-// Passed reports the gate CI smoke enforces: exactly-once accounting and
-// estimates inside the acceptance envelope.
+// Passed reports the gate CI smoke enforces: exactly-once accounting,
+// estimates inside the acceptance envelope, and telemetry that agrees with
+// the system it describes.
 func (s *Scorecard) Passed() bool {
-	return s.Counts.ExactlyOnce && s.Estimates.InEnvelope
+	return s.Counts.ExactlyOnce && s.Estimates.InEnvelope && s.Ops.Metrics.Agree
 }
 
 // DeterministicEqual compares the seed-reproducible sections of two

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label values,
+// histograms as cumulative _bucket/_sum/_count triples. Deterministic given
+// deterministic values, so goldens can pin it.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		cells := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			cells = append(cells, f.series[k])
+		}
+		f.mu.Unlock()
+		if len(cells) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range cells {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch {
+	case s.h != nil:
+		writeHistogram(w, f, s)
+	case s.fn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(f.labels, s.labelVals, "", ""), formatValue(s.fn()))
+	case s.c != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(f.labels, s.labelVals, "", ""), formatValue(float64(s.c.Value())))
+	case s.g != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(f.labels, s.labelVals, "", ""), formatValue(s.g.Value()))
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with `le`
+// upper bounds, then the +Inf bucket, _sum, and _count. The per-bucket counts
+// are loaded once each; a scrape racing observations stays internally
+// consistent enough for monitoring (Prometheus itself makes no stronger
+// promise for concurrent collectors).
+func writeHistogram(w io.Writer, f *family, s *series) {
+	h := s.h
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelBlock(f.labels, s.labelVals, "le", formatValue(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelBlock(f.labels, s.labelVals, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelBlock(f.labels, s.labelVals, "", ""), formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelBlock(f.labels, s.labelVals, "", ""), h.Count())
+}
+
+// labelBlock renders {k="v",...} (empty string for no labels), appending the
+// extra pair (for histogram `le`) when extraKey is non-empty.
+func labelBlock(labels, vals []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(vals[i]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(extraVal)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Sample is one parsed exposition line: a series name, its sorted label
+// block as rendered, and the value.
+type Sample struct {
+	Name   string // metric name without the label block
+	Labels string // the raw {...} block, "" when unlabeled
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition into samples, keeping every
+// series line (including _bucket/_sum/_count) and skipping comments. It is
+// the scrape half the ldpload scorer and the e2e tests share; it handles the
+// subset of the format WriteText emits plus anything with simple quoted
+// labels (no escaped quotes inside values are needed by our own output, but
+// they are handled).
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Sample
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, valStr, err := splitSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad sample value in %q: %w", line, err)
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan exposition: %w", err)
+	}
+	return out, nil
+}
+
+func splitSampleLine(line string) (name, labels, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		// Find the closing brace respecting quoted label values.
+		j := i + 1
+		inQuote := false
+		for ; j < len(line); j++ {
+			switch line[j] {
+			case '\\':
+				if inQuote {
+					j++ // skip the escaped byte
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					goto done
+				}
+			}
+		}
+	done:
+		if j >= len(line) {
+			return "", "", "", fmt.Errorf("obs: unterminated label block in %q", line)
+		}
+		return line[:i], line[i : j+1], strings.TrimSpace(line[j+1:]), nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", "", "", fmt.Errorf("obs: malformed sample line %q", line)
+	}
+	return fields[0], "", fields[1], nil
+}
+
+// SampleValue sums every parsed sample whose name matches exactly and whose
+// label block contains the given substring (pass "" to match all series of
+// the family). Summing makes per-shard or per-endpoint fan-outs easy to
+// fold: SampleValue(samples, "ldp_http_requests_total", `endpoint="reports"`).
+func SampleValue(samples []Sample, name, labelSubstr string) (sum float64, found bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		if labelSubstr != "" && !strings.Contains(s.Labels, labelSubstr) {
+			continue
+		}
+		sum += s.Value
+		found = true
+	}
+	return sum, found
+}
+
+// Lint checks a rendered exposition against the naming rules this repo pins:
+// every family is ldp_-prefixed, counters end in _total, histograms measuring
+// seconds end in _seconds, and no two families share a help string (copy-paste
+// help is how catalogs rot). It returns one message per violation.
+func Lint(text string) []string {
+	var problems []string
+	type meta struct{ help, kind string }
+	families := map[string]meta{}
+	var order []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			m := families[name]
+			m.help = help
+			if _, seen := families[name]; !seen {
+				order = append(order, name)
+			}
+			families[name] = m
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, _ := strings.Cut(rest, " ")
+			m := families[name]
+			m.kind = kind
+			if m.help == "" {
+				if _, seen := families[name]; !seen {
+					order = append(order, name)
+				}
+			}
+			families[name] = m
+		}
+	}
+	helps := map[string]string{}
+	for _, name := range order {
+		m := families[name]
+		if !strings.HasPrefix(name, "ldp_") {
+			problems = append(problems, fmt.Sprintf("%s: missing ldp_ prefix", name))
+		}
+		if m.help == "" {
+			problems = append(problems, fmt.Sprintf("%s: missing HELP", name))
+		}
+		if m.kind == "counter" && !strings.HasSuffix(name, "_total") {
+			problems = append(problems, fmt.Sprintf("%s: counter without _total suffix", name))
+		}
+		if m.kind != "counter" && strings.HasSuffix(name, "_total") {
+			problems = append(problems, fmt.Sprintf("%s: _total suffix on a %s", name, m.kind))
+		}
+		if m.kind == "histogram" && strings.Contains(m.help, "seconds") && !strings.HasSuffix(name, "_seconds") {
+			problems = append(problems, fmt.Sprintf("%s: duration histogram without _seconds suffix", name))
+		}
+		if prev, dup := helps[m.help]; dup && m.help != "" {
+			problems = append(problems, fmt.Sprintf("%s: help string duplicates %s", name, prev))
+		} else {
+			helps[m.help] = name
+		}
+	}
+	return problems
+}

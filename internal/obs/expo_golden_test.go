@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata goldens")
+
+// TestExpositionGolden pins the text format byte-for-byte: family ordering,
+// HELP/TYPE lines, label rendering and escaping, histogram
+// bucket/sum/count shape, and value formatting. Any format drift — which
+// would silently break every scraper — must show up as a golden diff.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ldp_zeta_total", "Sorted last by name.").Add(3)
+	v := r.CounterVec("ldp_requests_total", "Requests by endpoint and code.", "endpoint", "code")
+	v.With("reports", "200").Add(12)
+	v.With("reports", "503").Inc()
+	v.With("query", "200").Add(2)
+	r.Gauge("ldp_level", "A gauge with a fractional value.").Set(0.375)
+	r.GaugeFunc("ldp_func_gauge", "A gauge read at scrape time.", func() float64 { return 42 })
+	r.GaugeVec("ldp_escaped", "Label escaping: backslash, quote, newline.", "v").
+		With("a\\b\"c\nd").Set(1)
+	h := r.Histogram("ldp_commit_bytes", "Group commit size in bytes.", SizeBounds(4))
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+	hv := r.HistogramVec("ldp_op_duration_seconds", "Operation latency in seconds.",
+		[]float64{0.001, 0.1}, "op")
+	hv.With("append").Observe(0.0005)
+	hv.With("append").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+
+	// The golden output must also parse back and survive the lint rules —
+	// except the deliberately-bad names used above, so lint only the
+	// well-formed subset via a second registry in TestLintRules.
+	if _, err := ParseText(strings.NewReader(got)); err != nil {
+		t.Fatalf("own golden does not parse: %v", err)
+	}
+}

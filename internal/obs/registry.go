@@ -1,0 +1,354 @@
+// Package obs is the system's one telemetry plane: a dependency-free metrics
+// registry (atomic counters, gauges, and log-bucketed histograms) with
+// Prometheus text-format exposition, plus the request-tracing helpers every
+// HTTP hop shares (the Ldp-Request-Id header, its context plumbing, and the
+// instrumenting middleware that emits structured slog lines).
+//
+// Design constraints, in order:
+//
+//   - Hot-path increments are 0 allocs/op. Handles (*Counter, *Gauge,
+//     *Histogram) are resolved once at wiring time; Inc/Add/Set/Observe touch
+//     only pre-allocated atomics. The per-request label fan-out (status
+//     codes) is a fixed array lookup, never a map with a built key.
+//   - No dependencies beyond the standard library — the package sits below
+//     transport, durable, and the fleet, so it must import none of them.
+//   - Exposition is deterministic: families sort by name, series by label
+//     values, so goldens can pin the format byte-for-byte.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing uint64. The zero value is unusable;
+// obtain one from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; a counter never goes down).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bound cumulative histogram in the loadgen mold: the
+// bounds form a log ladder, observation finds its bucket by binary search
+// over ≤ a few dozen floats, and every update is a plain atomic add — no
+// locks, no allocation.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; counts has len(bounds)+1 (+Inf)
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// LatencyBounds is the shared log₂ latency ladder, in seconds: 1 µs up to
+// ~67 s doubling each step (the loadgen histogram's bucketing, re-based to
+// Prometheus seconds). Everything measuring a duration uses it, so latency
+// series are comparable across subsystems.
+func LatencyBounds() []float64 {
+	out := make([]float64, 27)
+	for i := range out {
+		out[i] = 1e-6 * float64(uint64(1)<<i)
+	}
+	return out
+}
+
+// SizeBounds is a power-of-two ladder from 1 to 2^maxExp, for byte and batch
+// size histograms.
+func SizeBounds(maxExp int) []float64 {
+	out := make([]float64, maxExp+1)
+	for i := range out {
+		out[i] = float64(uint64(1) << i)
+	}
+	return out
+}
+
+// family is one named metric: its metadata plus every labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (labelValues → value) cell of a family.
+type series struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+	fn        func() float64 // read-at-scrape counters/gauges
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+// All registration methods are idempotent on (name, kind, labels): asking for
+// an existing family returns it; a conflicting re-registration panics, since
+// it is always a wiring bug.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels, was %s/%d labels",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// seriesFor resolves (or creates) the series cell for the given label values.
+func (f *family) seriesFor(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), vals...)}
+	switch f.kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, KindCounter, nil, nil).seriesFor(nil).c
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, KindGauge, nil, nil).seriesFor(nil).g
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.family(name, help, KindHistogram, nil, bounds).seriesFor(nil).h
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// for subsystems that already maintain their own atomic totals (PoolStats,
+// the collector's ingest counts). fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, KindCounter, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.series[""] = &series{fn: fn}
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.series[""] = &series{fn: fn}
+}
+
+// CounterVec is a counter family with labels; resolve hot-path handles once
+// with With.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter cell for the given label values, creating it on
+// first use. Resolve outside the hot path.
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.seriesFor(vals).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the gauge cell for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.seriesFor(vals).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds)}
+}
+
+// With returns the histogram cell for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.seriesFor(vals).h }
+
+// Value returns the current value of one series for tests: counters and
+// gauges only (histograms expose Count/Sum on the handle). Label values must
+// match a series created earlier; a missing series reads 0, so asserting a
+// non-zero value proves both existence and movement.
+func (r *Registry) Value(name string, labelVals ...string) float64 {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	key := strings.Join(labelVals, "\x00")
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return s.g.Value()
+	}
+	return 0
+}
+
+// Handler returns the GET /metrics handler: Prometheus text format, version
+// 0.0.4 content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		r.WriteText(&sb)
+		_, _ = w.Write([]byte(sb.String()))
+	})
+}
+
+// formatValue renders a sample value the way Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

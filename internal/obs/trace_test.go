@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWrapMintsAndPropagatesRequestID(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	m := NewHTTPMetrics(reg, "test", logger, time.Second)
+
+	var seenCtxID string
+	h := m.Wrap("echo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenCtxID = RequestID(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	}))
+
+	// No incoming id: one is minted, placed in ctx, echoed in the response.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/echo", nil))
+	minted := rec.Header().Get(RequestIDHeader)
+	if minted == "" || seenCtxID != minted {
+		t.Fatalf("minted id %q, ctx saw %q", minted, seenCtxID)
+	}
+
+	// Incoming id: propagated verbatim.
+	req := httptest.NewRequest(http.MethodGet, "/echo", nil)
+	req.Header.Set(RequestIDHeader, "deadbeef00000001")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seenCtxID != "deadbeef00000001" || rec.Header().Get(RequestIDHeader) != "deadbeef00000001" {
+		t.Fatalf("incoming id not propagated: ctx %q, echo %q", seenCtxID, rec.Header().Get(RequestIDHeader))
+	}
+
+	// The log line carries the id and the endpoint.
+	dec := json.NewDecoder(&buf)
+	found := false
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line["request_id"] == "deadbeef00000001" && line["endpoint"] == "echo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no structured log line with the propagated request id")
+	}
+
+	// Metrics moved: two requests, both 204.
+	if got := reg.Value("ldp_http_requests_total", "echo", "204"); got != 2 {
+		t.Fatalf("ldp_http_requests_total{echo,204} = %v, want 2", got)
+	}
+}
+
+func TestWrapSlowAndErrorLogLevels(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	m := NewHTTPMetrics(reg, "test", logger, time.Nanosecond) // everything is slow
+
+	h := m.Wrap("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Microsecond)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if !strings.Contains(buf.String(), `"slow":true`) {
+		t.Fatalf("slow request not logged at Warn: %s", buf.String())
+	}
+	if got := reg.Value("ldp_http_requests_total", "slow", "500"); got != 1 {
+		t.Fatalf("500 not counted: %v", got)
+	}
+}
+
+func TestNewRequestIDShape(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids %q %q", a, b)
+	}
+}

@@ -48,6 +48,12 @@ type BreakerPolicy struct {
 
 	// Now is the clock; nil uses time.Now. Tests pin it.
 	Now func() time.Time
+
+	// OnStateChange, when set, observes every transition (from != to) —
+	// telemetry's view into trip/probe/recover cycles. Called outside the
+	// breaker's lock is NOT guaranteed; keep it cheap and non-reentrant (a
+	// metric increment, not a call back into the breaker).
+	OnStateChange func(from, to BreakerState)
 }
 
 func (p BreakerPolicy) threshold() int {
@@ -90,6 +96,19 @@ func NewBreaker(p BreakerPolicy) *Breaker {
 	return &Breaker{policy: p}
 }
 
+// setState transitions the breaker (caller holds b.mu) and notifies the
+// policy's observer on a real change.
+func (b *Breaker) setState(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.policy.OnStateChange != nil {
+		b.policy.OnStateChange(from, to)
+	}
+}
+
 // Allow asks whether a call may proceed. It returns nil (go ahead) or
 // ErrBreakerOpen. In half-open, only the first caller after the cooldown gets
 // through; concurrent callers are refused until the probe reports.
@@ -103,7 +122,7 @@ func (b *Breaker) Allow() error {
 		if b.policy.now().Sub(b.openedAt) < b.policy.cooldown() {
 			return ErrBreakerOpen
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return nil
 	default: // half-open
@@ -120,7 +139,7 @@ func (b *Breaker) Allow() error {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setState(BreakerClosed)
 	b.failures = 0
 	b.probing = false
 }
@@ -133,13 +152,13 @@ func (b *Breaker) Failure() {
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerHalfOpen:
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.policy.now()
 		b.probing = false
 	default:
 		b.failures++
 		if b.failures >= b.policy.threshold() {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = b.policy.now()
 			b.failures = 0
 		}

@@ -45,6 +45,32 @@ type Policy struct {
 	// Sleep pauses between attempts; nil uses a context-aware timer. Tests
 	// substitute a recorder so a schedule is asserted, not slept.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes each retry decision: attempt is the
+	// 1-based number of the attempt that just failed with err, immediately
+	// before the backoff pause. Telemetry only — it cannot alter the loop.
+	OnRetry func(attempt int, err error)
+}
+
+// RetryAfterHinter is implemented by errors carrying a server-issued
+// Retry-After hint (the transport's StatusError on 429/503 responses). Do
+// honors the hint: the pause before the next attempt is raised to the hint,
+// capped at the policy's MaxBackoff — a draining shard asking for a second
+// gets its second, but a hostile or confused server cannot park clients
+// beyond the policy's own ceiling.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// RetryAfterHint extracts a positive Retry-After hint from anywhere in err's
+// chain (0, false when absent).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var h RetryAfterHinter
+	if errors.As(err, &h) {
+		if d := h.RetryAfterHint(); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // DefaultPolicy is the production shape: four attempts spaced 100ms → 200ms →
@@ -185,7 +211,22 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 		if IsDefinitive(err) || ctx.Err() != nil || i+1 >= attempts {
 			break
 		}
-		if serr := p.sleep(ctx, p.Backoff(i)); serr != nil {
+		pause := p.Backoff(i)
+		// Honor the server's Retry-After over a shorter computed backoff: the
+		// hint is the server saying when it will be worth asking again. The
+		// policy's MaxBackoff stays the ceiling in both directions.
+		if hint, ok := RetryAfterHint(err); ok {
+			if p.MaxBackoff > 0 && hint > p.MaxBackoff {
+				hint = p.MaxBackoff
+			}
+			if hint > pause {
+				pause = hint
+			}
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(i+1, err)
+		}
+		if serr := p.sleep(ctx, pause); serr != nil {
 			break
 		}
 	}

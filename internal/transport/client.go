@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -60,8 +61,18 @@ func (c *Client) SetHTTPClient(hc *http.Client) {
 func (c *Client) SetObserver(obs Observer) { c.obs = obs }
 
 // do issues req, timing it for the observer. The duration covers request
-// start through response headers — body streaming is the caller's.
+// start through response headers — body streaming is the caller's. Every
+// request carries an Ldp-Request-Id: the caller's context id when one is
+// there (a router forwarding keeps the edge's id), a freshly minted one
+// otherwise — so one logical request traces through every hop's logs.
 func (c *Client) do(req *http.Request, op string) (*http.Response, error) {
+	if req.Header.Get(obs.RequestIDHeader) == "" {
+		id := obs.RequestID(req.Context())
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	if c.obs == nil {
 		return c.hc.Do(req)
 	}
@@ -114,7 +125,7 @@ func (c *Client) PostReportsKeyed(ctx context.Context, reports []protocol.Report
 		if jsonErr != nil {
 			msg = ""
 		}
-		return ir.Accepted, &StatusError{StatusCode: resp.StatusCode, Msg: msg}
+		return ir.Accepted, statusError(resp, msg)
 	}
 	if jsonErr != nil {
 		return 0, fmt.Errorf("transport: bad ingest response: %w", jsonErr)
@@ -148,7 +159,7 @@ func (c *Client) PostQuery(ctx context.Context, q QueryRequest, fn func(QueryRow
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ir) == nil {
 			msg = ir.Error
 		}
-		return QueryResultInfo{}, &StatusError{StatusCode: resp.StatusCode, Msg: msg}
+		return QueryResultInfo{}, statusError(resp, msg)
 	}
 	return DecodeQueryResult(resp.Body, fn)
 }
@@ -186,7 +197,7 @@ func (c *Client) SnapAt(ctx context.Context, epoch uint64, nearest bool) (Snapsh
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return Snapshot{}, &StatusError{StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+		return Snapshot{}, statusError(resp, strings.TrimSpace(string(body)))
 	}
 	return DecodeSnapshotFrame(resp.Body)
 }
@@ -273,9 +284,26 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
 		drain(resp)
-		return nil, &StatusError{StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+		return nil, statusError(resp, strings.TrimSpace(string(body)))
 	}
 	return resp, nil
+}
+
+// statusError builds the StatusError for a non-2xx response, capturing the
+// Retry-After header (delta-seconds or HTTP-date) so the retry loop can honor
+// a draining server's pacing.
+func statusError(resp *http.Response, msg string) *StatusError {
+	se := &StatusError{StatusCode: resp.StatusCode, Msg: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				se.RetryAfter = d
+			}
+		}
+	}
+	return se
 }
 
 // drain consumes what remains of a response body so the connection is reused.

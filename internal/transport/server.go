@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -127,6 +130,9 @@ type Health struct {
 	Status string  `json:"status"`
 	Count  float64 `json:"count"`
 	Epoch  uint64  `json:"epoch"`
+	// Version is the serving binary's build version (ldflags-stamped or the
+	// module version); empty against servers predating it.
+	Version string `json:"version,omitempty"`
 	// Ready reports whether the shard is accepting ingest traffic; Reason
 	// says why not (e.g. "draining") when false.
 	Ready  bool   `json:"ready"`
@@ -291,6 +297,14 @@ type Server struct {
 	mux     *http.ServeMux
 	idem    *idemCache
 
+	// observability: the registry behind GET /metrics (always non-nil — a
+	// server wired without WithMetrics gets a private one so the handlers
+	// never branch), plus the pre-resolved counters the ingest path bumps.
+	metrics       *obs.Registry
+	version       string
+	decodeRejects *obs.Counter
+	idemReplays   *obs.Counter
+
 	// maxRequestBytes bounds one POST /reports body before any frame decoding
 	// runs (http.MaxBytesReader); past it the request fails 413 with the
 	// accepted count so the client trims and re-sends the remainder.
@@ -310,20 +324,87 @@ type Server struct {
 // still refusing an unbounded streaming body before it parks in memory.
 const DefaultMaxRequestBytes = 64 << 20
 
-// NewServer wraps a collector backend for serving.
-func NewServer(b Backend, info Info) (*Server, error) {
+// ServerOption configures a Server's observability wiring.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	reg       *obs.Registry
+	logger    *slog.Logger
+	slow      time.Duration
+	component string
+	version   string
+}
+
+// WithMetrics shares reg as the server's metric registry: the HTTP families,
+// ingest counters, and GET /metrics all land on it, so an embedder can add
+// its own families (WAL gauges, pool stats) to the same exposition.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.reg = reg }
+}
+
+// WithLogger sets the structured logger request lines are emitted through
+// (nil keeps slog.Default).
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(c *serverConfig) { c.logger = l }
+}
+
+// WithSlowRequest sets the latency at or above which a request logs at Warn
+// instead of Debug (<= 0 keeps obs.DefaultSlowRequest).
+func WithSlowRequest(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.slow = d }
+}
+
+// WithComponent names the serving tier in log lines ("collector", "router").
+func WithComponent(name string) ServerOption {
+	return func(c *serverConfig) { c.component = name }
+}
+
+// WithVersion surfaces the build version in /healthz.
+func WithVersion(v string) ServerOption {
+	return func(c *serverConfig) { c.version = v }
+}
+
+// NewServer wraps a collector backend for serving. Every route is
+// instrumented: per-endpoint request counts and latency histograms, trace-id
+// propagation (Ldp-Request-Id minted when absent, echoed always), and
+// structured request logs. GET /metrics serves the registry in Prometheus
+// text format.
+func NewServer(b Backend, info Info, opts ...ServerOption) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("transport: nil backend")
 	}
+	cfg := serverConfig{component: "collector"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.reg == nil {
+		cfg.reg = obs.NewRegistry()
+	}
 	s := &Server{backend: b, info: info, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize),
-		maxRequestBytes: DefaultMaxRequestBytes}
-	s.mux.HandleFunc("POST /reports", s.handleReports)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+		maxRequestBytes: DefaultMaxRequestBytes,
+		metrics:         cfg.reg,
+		version:         cfg.version,
+		decodeRejects: cfg.reg.Counter("ldp_ingest_decode_rejections_total",
+			"POST /reports requests aborted before ingest: malformed frames or oversized bodies."),
+		idemReplays: cfg.reg.Counter("ldp_ingest_idempotent_replays_total",
+			"Duplicate keyed ingest requests answered from the idempotency cache instead of re-absorbed."),
+	}
+	hm := obs.NewHTTPMetrics(cfg.reg, cfg.component, cfg.logger, cfg.slow)
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, hm.Wrap(endpoint, h))
+	}
+	route("POST /reports", "reports", s.handleReports)
+	route("POST /query", "query", s.handleQuery)
+	route("GET /snapshot", "snapshot", s.handleSnapshot)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", cfg.reg.Handler())
 	return s, nil
 }
+
+// Metrics returns the server's registry (never nil), for embedders that
+// register additional families on the same /metrics exposition.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -450,6 +531,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			return // client gone; nothing to replay to
 		}
 		if status, resp, ok := s.idem.outcome(entry); ok {
+			s.idemReplays.Inc()
 			writeJSON(w, status, resp)
 			return
 		}
@@ -495,6 +577,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			if errors.As(err, &mbe) {
 				status = http.StatusRequestEntityTooLarge
 			}
+			s.decodeRejects.Inc()
 			finish(status, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
@@ -606,7 +689,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		status = reason
 	}
-	h := Health{Status: status, Count: count, Epoch: epoch, Ready: ready, Reason: reason, Info: s.info}
+	h := Health{Status: status, Count: count, Epoch: epoch, Version: s.version, Ready: ready, Reason: reason, Info: s.info}
 	if db, ok := s.backend.(DurableBackend); ok {
 		if d, ok := db.Durability(); ok {
 			h.Durability = &d
@@ -649,7 +732,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type StatusError struct {
 	StatusCode int
 	Msg        string
+	// RetryAfter is the server's Retry-After response header, parsed (0 when
+	// absent). A draining shard's 503 says when ingest is worth retrying; the
+	// retry package honors it through RetryAfterHint, capped at the retry
+	// policy's own MaxBackoff.
+	RetryAfter time.Duration
 }
+
+// RetryAfterHint implements retry.RetryAfterHinter.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 func (e *StatusError) Error() string {
 	if e.Msg != "" {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -181,6 +182,29 @@ func NewEstimatorPool(opts ...PoolOption) *EstimatorPool {
 		o(p)
 	}
 	return p
+}
+
+// enableMetrics exposes the pool's cache counters as scrape-time counter
+// families on reg — the same atomics Stats() snapshots, renamed into the
+// metric namespace, so a dashboard sees cold-vs-warm cache behavior without
+// new plumbing on the resolve paths.
+func (p *EstimatorPool) enableMetrics(reg *obs.Registry) {
+	for _, m := range []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"ldp_pool_estimator_builds_total", "Estimator resolutions that built a fresh instance.", &p.stats.estimatorBuilds},
+		{"ldp_pool_estimator_hits_total", "Estimator resolutions served from the cache.", &p.stats.estimatorHits},
+		{"ldp_pool_optimizer_runs_total", "Strategy optimizer (Algorithm 1/2) executions.", &p.stats.optimizerRuns},
+		{"ldp_pool_strategy_mem_hits_total", "Strategy resolutions served from the in-memory cache.", &p.stats.strategyMemHits},
+		{"ldp_pool_strategy_disk_hits_total", "Strategy resolutions served from the persisted cache directory.", &p.stats.strategyDiskHits},
+		{"ldp_pool_shared_row_hits_total", "Batch variance rows served from another query's identical row.", &p.stats.sharedRowHits},
+		{"ldp_pool_answer_hits_total", "Workloads answered from the snapshot-pinned answer cache.", &p.stats.answerHits},
+		{"ldp_pool_answer_invalidations_total", "Cached answer sets dropped because the observed snapshot advanced.", &p.stats.answerInvalidations},
+	} {
+		v := m.v
+		reg.CounterFunc(m.name, m.help, func() float64 { return float64(v.Load()) })
+	}
 }
 
 // Stats returns a snapshot of the pool's cache counters.

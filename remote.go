@@ -6,10 +6,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/transport"
 )
@@ -563,18 +565,61 @@ type CollectorService struct {
 	ts *transport.Server
 }
 
+// ServiceOption configures a served tier's observability (CollectorService
+// and FleetServer alike).
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	logger *slog.Logger
+	slow   time.Duration
+}
+
+// WithServiceLogger sets the structured logger request lines (and their
+// Ldp-Request-Id trace fields) are emitted through; nil keeps slog.Default.
+func WithServiceLogger(l *slog.Logger) ServiceOption {
+	return func(c *serviceConfig) { c.logger = l }
+}
+
+// WithSlowRequestThreshold sets the latency at or above which a request is
+// logged at Warn instead of Debug (<= 0 keeps the 1s default).
+func WithSlowRequestThreshold(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.slow = d }
+}
+
 // NewCollectorService binds an in-process Collector to the HTTP transport
 // and returns the service handle. info describes the mechanism for /healthz
 // and the snapshot frames; pass MechanismInfoOf(agg) unless the deployment
 // has a reason to declare less.
-func NewCollectorService(c *Collector, info transport.Info) (*CollectorService, error) {
+//
+// The service is fully instrumented: GET /metrics serves per-endpoint
+// request counts and latency histograms, the collector's ingest and
+// snapshot-cache counters, the estimator pool's cache stats, the WAL and
+// checkpoint families for a durable collector, and the ldp_build_info
+// identity gauge. Every request carries an Ldp-Request-Id through the
+// structured request log.
+func NewCollectorService(c *Collector, info transport.Info, opts ...ServiceOption) (*CollectorService, error) {
 	if c == nil {
 		return nil, errors.New("ldp: nil collector")
 	}
-	s, err := transport.NewServer(collectorBackend{c: c, pool: NewEstimatorPool()}, info)
+	var cfg serviceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := obs.NewRegistry()
+	pool := NewEstimatorPool()
+	s, err := transport.NewServer(collectorBackend{c: c, pool: pool}, info,
+		transport.WithMetrics(reg),
+		transport.WithComponent("collector"),
+		transport.WithLogger(cfg.logger),
+		transport.WithSlowRequest(cfg.slow),
+		transport.WithVersion(BuildInfo().Version))
 	if err != nil {
 		return nil, fmt.Errorf("ldp: %w", err)
 	}
+	registerBuildInfo(reg)
+	c.enableMetrics(reg)
+	c.armDurabilityMetrics(reg)
+	pool.enableMetrics(reg)
 	// A durable collector's recovery proves which keyed batches were absorbed
 	// before the restart; seeding them lets a client retry of a lost response
 	// replay instead of double-absorbing.
@@ -583,6 +628,10 @@ func NewCollectorService(c *Collector, info transport.Info) (*CollectorService, 
 	}
 	return &CollectorService{ts: s}, nil
 }
+
+// Metrics returns the service's registry — what GET /metrics serves — so an
+// embedder (or a test) can read series or add families of its own.
+func (s *CollectorService) Metrics() *obs.Registry { return s.ts.Metrics() }
 
 // Handler returns the HTTP handler serving /reports, /snapshot, /healthz,
 // and /readyz.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -58,6 +59,7 @@ const (
 type FleetServer struct {
 	fleet           *Fleet
 	mux             *http.ServeMux
+	metrics         *obs.Registry
 	maxRequestBytes int64
 
 	mu        sync.Mutex
@@ -66,27 +68,46 @@ type FleetServer struct {
 	queryPool *EstimatorPool
 }
 
-// NewFleetServer wraps a Fleet in its HTTP tier.
-func NewFleetServer(f *Fleet) (*FleetServer, error) {
+// NewFleetServer wraps a Fleet in its HTTP tier. Every route is traced and
+// measured (ldp_http_* with component="router"), the fleet's health/merge/
+// breaker families are armed on the same registry, and GET /metrics serves
+// the Prometheus exposition.
+func NewFleetServer(f *Fleet, opts ...ServiceOption) (*FleetServer, error) {
 	if f == nil {
 		return nil, errors.New("ldp: nil fleet")
 	}
-	s := &FleetServer{fleet: f, mux: http.NewServeMux(), maxRequestBytes: transport.DefaultMaxRequestBytes}
-	s.mux.HandleFunc("POST /reports", s.handleReports)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /shards", s.handleShardsList)
-	s.mux.HandleFunc("POST /shards", s.handleShardsRegister)
-	s.mux.HandleFunc("DELETE /shards", s.handleShardsDeregister)
-	s.mux.HandleFunc("POST /shards/drain", s.handleShardsDrain)
-	s.mux.HandleFunc("POST /shards/undrain", s.handleShardsUndrain)
+	var cfg serviceConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	reg := obs.NewRegistry()
+	s := &FleetServer{fleet: f, mux: http.NewServeMux(), metrics: reg, maxRequestBytes: transport.DefaultMaxRequestBytes}
+	hm := obs.NewHTTPMetrics(reg, "router", cfg.logger, cfg.slow)
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, hm.Wrap(endpoint, h))
+	}
+	route("POST /reports", "reports", s.handleReports)
+	route("POST /query", "query", s.handleQuery)
+	route("GET /snapshot", "snapshot", s.handleSnapshot)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
+	route("GET /shards", "shards", s.handleShardsList)
+	route("POST /shards", "shards", s.handleShardsRegister)
+	route("DELETE /shards", "shards", s.handleShardsDeregister)
+	route("POST /shards/drain", "shards_drain", s.handleShardsDrain)
+	route("POST /shards/undrain", "shards_undrain", s.handleShardsUndrain)
+	s.mux.Handle("GET /metrics", reg.Handler())
+	f.enableMetrics(reg)
+	registerBuildInfo(reg)
 	return s, nil
 }
 
 // Handler returns the router's HTTP handler.
 func (s *FleetServer) Handler() http.Handler { return s.mux }
+
+// Metrics returns the router's metrics registry (also served at GET
+// /metrics), so an embedding harness can read series without a scrape.
+func (s *FleetServer) Metrics() *obs.Registry { return s.metrics }
 
 // SetMaxRequestBytes overrides the POST /reports body bound (n <= 0 keeps
 // the default). Call before serving traffic.
@@ -310,12 +331,13 @@ func (s *FleetServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeRouterJSON(w, http.StatusOK, fleetHealth{
 		Health: transport.Health{
-			Status: status,
-			Count:  count,
-			Epoch:  epoch,
-			Ready:  ready,
-			Reason: reason,
-			Info:   s.fleet.Info(),
+			Status:  status,
+			Count:   count,
+			Epoch:   epoch,
+			Ready:   ready,
+			Reason:  reason,
+			Info:    s.fleet.Info(),
+			Version: BuildInfo().Version,
 		},
 		Members: members,
 		Quorum:  s.fleet.quorum,
